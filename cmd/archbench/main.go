@@ -1,0 +1,83 @@
+// Command archbench regenerates the evaluation figures of "Parallel
+// Program Archetypes" (Massingill & Chandy, 1999) on simulated machines.
+//
+// Usage:
+//
+//	archbench -list
+//	archbench -fig 6            # one figure
+//	archbench -all              # everything
+//	archbench -fig 16 -scale 0.5 -maxprocs 36 -dir /tmp
+//
+// Table figures print speedup tables; image figures (19, 20, 21) write
+// PGM files into -dir. -scale shrinks the workloads for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/figures"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "figure ID to run (see -list)")
+		all      = flag.Bool("all", false, "run every figure")
+		list     = flag.Bool("list", false, "list available figures")
+		scale    = flag.Float64("scale", 1, "workload scale factor (1 = paper-shaped default)")
+		maxProcs = flag.Int("maxprocs", 0, "cap the simulated processor sweep (0 = figure default)")
+		dir      = flag.String("dir", ".", "output directory for image figures")
+		csvOut   = flag.Bool("csv", false, "also write <dir>/fig<ID>.csv for table figures")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, f := range figures.All() {
+			fmt.Printf("%-4s %s\n", f.ID, f.Title)
+		}
+		return
+	}
+
+	opts := figures.Options{Out: os.Stdout, Dir: *dir, Scale: *scale, MaxProcs: *maxProcs}
+	run := func(f figures.Figure) {
+		res, err := f.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "archbench: figure %s: %v\n", f.ID, err)
+			os.Exit(1)
+		}
+		if *csvOut && res != nil && len(res.Curves) > 0 {
+			path := filepath.Join(*dir, "fig"+f.ID+".csv")
+			out, err := os.Create(path)
+			if err == nil {
+				err = core.WriteCSV(out, res.Curves...)
+				out.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "archbench: csv for figure %s: %v\n", f.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		fmt.Println()
+	}
+
+	switch {
+	case *all:
+		for _, f := range figures.All() {
+			run(f)
+		}
+	case *fig != "":
+		f, ok := figures.ByID(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "archbench: unknown figure %q (use -list)\n", *fig)
+			os.Exit(2)
+		}
+		run(f)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

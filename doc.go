@@ -1,0 +1,39 @@
+// Package repro is a from-scratch Go reproduction of "Parallel Program
+// Archetypes" by Berna L. Massingill and K. Mani Chandy (IPPS 1999).
+//
+// A parallel program archetype combines a computational pattern with a
+// parallelization strategy to produce a pattern of dataflow and
+// communication. This repository implements the paper's two archetypes —
+// one-deep divide and conquer (§2) and mesh-spectral (§3) — together with
+// every substrate they need (an SPMD runtime with virtual-time machine
+// models standing in for the paper's Intel Delta and IBM SP, a collective
+// communication library, distributed grids) and every application the
+// paper evaluates (mergesort, quicksort, skyline, convex hull, closest
+// pair, 2D FFT, Poisson solver, compressible-flow CFD, 3D electromagnetic
+// FDTD, a spectral swirling-flow code, and an airshed smog model).
+//
+// Layout:
+//
+//	internal/core         the archetype method: ParFor (version-1 programs),
+//	                      SPMD experiments, speedup curves, cost metering
+//	internal/machine      LogGP-style machine models (Delta, SP, paging)
+//	internal/spmd         SPMD process runtime with virtual clocks
+//	internal/collective   broadcast/gather/scatter/all-to-all/reduce/barrier
+//	internal/onedeep      one-deep divide-and-conquer archetype + the
+//	                      traditional recursive baseline
+//	internal/meshspectral distributed 2D/3D grids: ghost exchange,
+//	                      redistribution, row/column ops, globals, grid I/O
+//	internal/<app>        the applications listed above
+//	internal/figures      regenerates every evaluation figure of the paper
+//	internal/pipeline     archetype composition: task-parallel pipeline of
+//	                      data-parallel stages over process groups
+//	internal/bnb          the nondeterministic branch-and-bound archetype
+//	internal/perfmodel    closed-form performance models, simulator-validated
+//	cmd/archbench         CLI for the figures
+//	cmd/archdemo          CLI running any single application
+//	examples/             twelve runnable walkthroughs
+//
+// The benchmarks in bench_test.go regenerate one figure each; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for measured
+// curves.
+package repro

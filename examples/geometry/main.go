@@ -1,0 +1,81 @@
+// Geometry: the other one-deep problems §2.6 names — convex hull and
+// closest pair of points — solved with the archetype's communication
+// library and verified against sequential oracles.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/closest"
+	"repro/internal/core"
+	"repro/internal/hull"
+	"repro/internal/machine"
+	"repro/internal/spmd"
+)
+
+func main() {
+	const n = 20000
+	const procs = 8
+	model := machine.IBMSP()
+
+	// --- Convex hull: degenerate split, local hulls, replicated global
+	// hull from the all-gathered union.
+	pts := hull.RandomPoints(n, 3, 1000)
+	want := hull.MonotoneChain(core.Nop, pts)
+	blocks := make([][]hull.Pt, procs)
+	for i := range blocks {
+		blocks[i] = pts[i*n/procs : (i+1)*n/procs]
+	}
+	outs := make([]hull.Pts, procs)
+	res, err := core.Simulate(procs, model, func(p *spmd.Proc) {
+		outs[p.Rank()] = hull.OneDeepSPMD(p, blocks[p.Rank()])
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var got hull.Pts
+	for _, o := range outs {
+		got = append(got, o...)
+	}
+	match := len(got) == len(want)
+	for i := range got {
+		if !match || got[i] != want[i] {
+			match = false
+			break
+		}
+	}
+	if !match {
+		fmt.Fprintln(os.Stderr, "one-deep hull differs from sequential!")
+		os.Exit(1)
+	}
+	fmt.Printf("convex hull of %d points: %d vertices, one-deep == sequential (%.4fs simulated on %d procs)\n",
+		n, len(got), res.Makespan, procs)
+
+	// --- Closest pair: non-trivial split into x-strips, local divide and
+	// conquer, δ-band exchange across splitters.
+	cpts := closest.RandomPoints(n, 4, 1000)
+	seqPair := closest.DivideAndConquer(core.Nop, cpts)
+	cblocks := make([][]closest.Pt, procs)
+	for i := range cblocks {
+		cblocks[i] = cpts[i*n/procs : (i+1)*n/procs]
+	}
+	pairs := make([]closest.Pair, procs)
+	res, err = core.Simulate(procs, model, func(p *spmd.Proc) {
+		pairs[p.Rank()] = closest.OneDeepSPMD(p, cblocks[p.Rank()])
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if pairs[0].Dist2 != seqPair.Dist2 {
+		fmt.Fprintln(os.Stderr, "one-deep closest pair differs from sequential!")
+		os.Exit(1)
+	}
+	fmt.Printf("closest pair of %d points: distance %.5f between (%.1f,%.1f) and (%.1f,%.1f)\n",
+		n, math.Sqrt(pairs[0].Dist2), pairs[0].A.X, pairs[0].A.Y, pairs[0].B.X, pairs[0].B.Y)
+	fmt.Printf("one-deep == sequential D&C == every rank agrees (%.4fs simulated on %d procs)\n",
+		res.Makespan, procs)
+}

@@ -1,0 +1,43 @@
+// Pipeline: archetype composition (the paper's future-work direction) —
+// a stream of 2D FFT frames flows through two process groups, stage A
+// doing row FFTs while stage B does the column FFTs of the previous
+// frame. Overlapped (task-parallel) execution is compared against
+// lockstep execution of the same decomposition.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/machine"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	const procs = 8
+	const n = 128
+	const frames = 8
+	fill := func(f, i, j int) complex128 {
+		return complex(math.Sin(float64(f+1)*0.1*float64(i)), math.Cos(0.05*float64(j)))
+	}
+	model := machine.IBMSP()
+
+	over, outs, err := pipeline.Makespan(procs, n, frames, pipeline.Overlapped, model, fill)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	lock, _, err := pipeline.Makespan(procs, n, frames, pipeline.Lockstep, model, fill)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("two-stage FFT pipeline: %d frames of %dx%d over %d procs (two groups of %d)\n",
+		frames, n, n, procs, procs/2)
+	fmt.Printf("  lockstep   (no overlap): %.4fs simulated\n", lock)
+	fmt.Printf("  overlapped (composed):   %.4fs simulated\n", over)
+	fmt.Printf("  task-parallel composition saved %.0f%%\n", 100*(1-over/lock))
+	fmt.Printf("transformed frames delivered: %d (each bit-identical to the sequential 2D FFT)\n", len(outs))
+}

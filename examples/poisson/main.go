@@ -1,0 +1,71 @@
+// Poisson: the §3.6 application (Figures 13-14). Solves the Poisson
+// problem with Jacobi iteration on the mesh archetype, validates against
+// the manufactured analytic solution, and demonstrates the V1 ≡ V2
+// equivalence and a small speedup sweep.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/meshspectral"
+	"repro/internal/poisson"
+	"repro/internal/spmd"
+)
+
+func main() {
+	const n = 65
+	pr := poisson.Manufactured(n, n, 1e-8, 0)
+	model := machine.IBMSP()
+
+	// Version 1 (Figure 13), sequential and concurrent.
+	uSeq, resSeq := poisson.SolveV1(core.Sequential, pr)
+	uCon, resCon := poisson.SolveV1(core.Concurrent, pr)
+	if resSeq != resCon {
+		fmt.Fprintln(os.Stderr, "V1 modes disagree!")
+		os.Exit(1)
+	}
+	_ = uCon
+	fmt.Printf("V1: converged to diffmax %.2e in %d Jacobi iterations (both ParFor modes identical)\n",
+		resSeq.DiffMax, resSeq.Iterations)
+
+	// Version 2 (Figure 14) across processor counts; results must be
+	// bit-identical to version 1.
+	for _, np := range []int{1, 4, 16} {
+		var errMax float64
+		var iters int
+		var identical bool
+		res, err := core.Simulate(np, model, func(p *spmd.Proc) {
+			g, r := poisson.SolveSPMD(p, pr, meshspectral.NearSquare(p.N()))
+			e := poisson.MaxError(g, pr)
+			full := meshspectral.GatherGrid(g, 0)
+			if p.Rank() == 0 {
+				errMax, iters = e, r.Iterations
+				identical = true
+				for k := range full.Data {
+					if full.Data[k] != uSeq.Data[k] {
+						identical = false
+						break
+					}
+				}
+			}
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		status := "bit-identical to V1"
+		if !identical {
+			status = "DIFFERS FROM V1"
+		}
+		fmt.Printf("V2 on %2d procs: %d iters, max error vs analytic %.2e, simulated %.3fs, %s\n",
+			np, iters, errMax, res.Makespan, status)
+		if !identical {
+			os.Exit(1)
+		}
+	}
+	fmt.Println("\nthe max error is the O(h^2) discretization error — the parallel")
+	fmt.Println("transformation introduced no numerical change at all (§3.6.3)")
+}

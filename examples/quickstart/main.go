@@ -1,0 +1,86 @@
+// Quickstart: develop a parallel program with the one-deep
+// divide-and-conquer archetype, following the paper's method end to end —
+// version 1 (parfor, debuggable sequentially), version 2 (SPMD
+// message-passing), and a speedup measurement on a simulated Intel Delta.
+package main
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/onedeep"
+	"repro/internal/sortapp"
+	"repro/internal/spmd"
+)
+
+func main() {
+	const n = 1 << 18
+	const procs = 16
+	data := sortapp.RandomInts(n, 42)
+
+	// Step 1-2: the sequential algorithm is mergesort; the archetype is
+	// one-deep divide and conquer with a degenerate split (§2.5).
+	spec := sortapp.OneDeepMergesort(onedeep.Centralized)
+
+	// Step 3: the initial archetype-based version (Figure 4), executed
+	// sequentially for debugging and concurrently for confidence.
+	blocks := sortapp.BlockDistribute(data, procs)
+	v1Seq := onedeep.RunV1(core.Sequential, spec, blocks)
+	v1Con := onedeep.RunV1(core.Concurrent, spec, blocks)
+	if !reflect.DeepEqual(v1Seq, v1Con) {
+		fmt.Fprintln(os.Stderr, "version 1 is not deterministic!")
+		os.Exit(1)
+	}
+	fmt.Printf("version 1: sequential and concurrent runs identical (%d elements)\n", n)
+
+	// Step 4: the SPMD version (Figure 5) on a simulated
+	// distributed-memory machine.
+	model := machine.IntelDelta()
+	outs := make([][]int32, procs)
+	res, err := core.Simulate(procs, model, func(p *spmd.Proc) {
+		outs[p.Rank()] = onedeep.RunSPMD(p, spec, blocks[p.Rank()])
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if !reflect.DeepEqual(outs, v1Seq) {
+		fmt.Fprintln(os.Stderr, "SPMD version differs from version 1!")
+		os.Exit(1)
+	}
+	fmt.Println("version 2 (SPMD): identical results to version 1")
+
+	// Speedup the way the paper's figures define it.
+	seq := core.NewTally(model)
+	sortapp.MergeSort(seq, data)
+	fmt.Printf("simulated %s: T_seq = %.3fs, T_%d = %.3fs, speedup = %.1fx (%d msgs, %.1f MB)\n",
+		model.Name, seq.Seconds, procs, res.Makespan, seq.Seconds/res.Makespan,
+		res.Msgs, float64(res.Bytes)/1e6)
+
+	// Where does the time go? The archetype's phase anatomy (Figure 2),
+	// measured with a phase timer: local solve dominates, the merge
+	// exchange is the parallel overhead.
+	fmt.Println("\nphase breakdown:")
+	var breakdown string
+	if _, err := core.Simulate(procs, model, func(p *spmd.Proc) {
+		pt := core.NewPhaseTimer(p)
+		sorted := sortapp.MergeSort(p, blocks[p.Rank()])
+		pt.Mark("local solve")
+		onedeep.RunSPMD(p, spec, sorted) // resort is cheap; exchange dominates
+		pt.Mark("merge exchange")
+		if p.Rank() == 0 {
+			var sb strings.Builder
+			if err := pt.WriteBreakdown(&sb); err == nil {
+				breakdown = sb.String()
+			}
+		}
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(breakdown)
+}

@@ -1,0 +1,79 @@
+// Skyline: the §2.6.1 application. Computes the skyline of a random
+// collection of buildings with the one-deep archetype, verifies it
+// against the sequential divide and conquer, and renders it as ASCII art.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/onedeep"
+	"repro/internal/skyline"
+	"repro/internal/spmd"
+)
+
+func main() {
+	const nBuildings = 400
+	const procs = 8
+	bs := skyline.RandomBuildings(nBuildings, 11, 1000)
+
+	want := skyline.Compute(core.Nop, bs)
+
+	spec := skyline.Spec(onedeep.Centralized)
+	blocks := make([][]skyline.Building, procs)
+	for i := range blocks {
+		blocks[i] = bs[i*len(bs)/procs : (i+1)*len(bs)/procs]
+	}
+	outs := make([]skyline.Skyline, procs)
+	res, err := core.Simulate(procs, machine.IntelDelta(), func(p *spmd.Proc) {
+		outs[p.Rank()] = onedeep.RunSPMD(p, spec, blocks[p.Rank()])
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	got := skyline.Assemble(outs)
+	if !skyline.Equal(got, want) {
+		fmt.Fprintln(os.Stderr, "one-deep skyline differs from sequential!")
+		os.Exit(1)
+	}
+	fmt.Printf("skyline of %d buildings: %d critical points, one-deep == sequential\n",
+		nBuildings, len(got))
+	fmt.Printf("simulated time on %d procs: %.4fs (%d msgs)\n\n", procs, res.Makespan, res.Msgs)
+
+	render(got, 72, 14)
+}
+
+// render draws the skyline as ASCII art.
+func render(s skyline.Skyline, width, height int) {
+	if len(s) == 0 {
+		return
+	}
+	x0 := s[0].X
+	x1 := s[len(s)-1].X
+	maxH := 0.0
+	for _, p := range s {
+		if p.H > maxH {
+			maxH = p.H
+		}
+	}
+	rows := make([][]byte, height)
+	for r := range rows {
+		rows[r] = []byte(strings.Repeat(" ", width))
+	}
+	for c := 0; c < width; c++ {
+		x := x0 + (x1-x0)*float64(c)/float64(width-1)
+		h := skyline.HeightAt(s, x)
+		top := int(h / maxH * float64(height-1))
+		for r := 0; r <= top; r++ {
+			rows[height-1-r][c] = '#'
+		}
+	}
+	for _, row := range rows {
+		fmt.Println(string(row))
+	}
+	fmt.Println(strings.Repeat("-", width))
+}

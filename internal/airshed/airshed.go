@@ -1,0 +1,347 @@
+// Package airshed implements the smog-model application of §3.7.4: the
+// paper's CIT airshed code modelled photochemical smog in the Los Angeles
+// basin on (conceptually) the mesh-spectral archetype. This reproduction
+// is a multi-species photochemical transport model on a 2D grid with
+// operator splitting — advection by a prescribed wind field (first-order
+// upwind), turbulent diffusion (explicit), and a simplified NO/NO₂/O₃
+// photochemical cycle with urban emissions:
+//
+//	NO₂ + hν → NO + O₃   (rate k1·[NO₂], daylight photolysis)
+//	NO + O₃ → NO₂        (rate k2·[NO]·[O₃], titration)
+//
+// Each time step is mesh archetype throughout: one ghost exchange, then
+// grid operations for the three split operators. Sequential and SPMD
+// versions advance bit-identically.
+package airshed
+
+import (
+	"math"
+
+	"repro/internal/array"
+	"repro/internal/core"
+	"repro/internal/meshspectral"
+	"repro/internal/spmd"
+)
+
+// Species indices in a concentration cell.
+const (
+	NO = iota
+	NO2
+	O3
+	NumSpecies
+)
+
+// Conc holds the species concentrations at one grid cell.
+type Conc = [3]float64
+
+// Params configures an airshed episode on the unit-square basin,
+// discretized NX×NY.
+type Params struct {
+	NX, NY int
+	// Wind is the prescribed velocity field (sea breeze plus a basin
+	// recirculation vortex).
+	WindU, WindV float64 // base wind components
+	Vortex       float64 // recirculation strength
+	// K is the turbulent diffusivity.
+	K float64
+	// K1 is the NO₂ photolysis rate, K2 the titration rate.
+	K1, K2 float64
+	// EmitNO and EmitNO2 are urban emission rates; the city occupies a
+	// Gaussian patch centred at (CityX, CityY) with radius CityR.
+	EmitNO, EmitNO2     float64
+	CityX, CityY, CityR float64
+	// O3Background is the initial/boundary ozone concentration.
+	O3Background float64
+	// Dt is the time step; DefaultParams picks a stable one.
+	Dt float64
+}
+
+// DefaultParams returns a stable smog-episode configuration.
+func DefaultParams(nx, ny int) Params {
+	h := 1 / float64(nx)
+	pm := Params{
+		NX: nx, NY: ny,
+		WindU: 0.6, WindV: 0.15, Vortex: 0.4,
+		K:  2e-3,
+		K1: 0.8, K2: 4.0,
+		EmitNO: 2.0, EmitNO2: 0.4,
+		CityX: 0.3, CityY: 0.4, CityR: 0.12,
+		O3Background: 0.4,
+	}
+	// CFL for advection (|u|max ~ 1.2) and diffusion.
+	advDt := 0.4 * h / 1.2
+	difDt := 0.2 * h * h / pm.K
+	pm.Dt = math.Min(advDt, difDt)
+	return pm
+}
+
+// Wind returns the wind vector at (x, y): the base flow plus a solid-body
+// recirculation about the basin centre.
+func (pm *Params) Wind(x, y float64) (float64, float64) {
+	u := pm.WindU - pm.Vortex*(y-0.5)
+	v := pm.WindV + pm.Vortex*(x-0.5)
+	return u, v
+}
+
+// emission returns the per-species emission rate at (x, y).
+func (pm *Params) emission(x, y float64) Conc {
+	d2 := (x-pm.CityX)*(x-pm.CityX) + (y-pm.CityY)*(y-pm.CityY)
+	w := math.Exp(-d2 / (pm.CityR * pm.CityR))
+	return Conc{pm.EmitNO * w, pm.EmitNO2 * w, 0}
+}
+
+// initial returns the initial concentrations.
+func (pm *Params) initial() Conc {
+	return Conc{0, 0, pm.O3Background}
+}
+
+// advectFlops etc. are per-point cost estimates for the split operators.
+const (
+	advectFlops  = 30
+	diffuseFlops = 24
+	reactFlops   = 18
+)
+
+// upwind computes one first-order upwind advection step for every species
+// at a point. cm/cp are the −/+ neighbours along each axis.
+func upwind(c, xm, xp, ym, yp Conc, u, v, dtdx, dtdy float64) Conc {
+	var out Conc
+	for s := 0; s < NumSpecies; s++ {
+		ddx := c[s] - xm[s]
+		if u < 0 {
+			ddx = xp[s] - c[s]
+		}
+		ddy := c[s] - ym[s]
+		if v < 0 {
+			ddy = yp[s] - c[s]
+		}
+		out[s] = c[s] - dtdx*u*ddx - dtdy*v*ddy
+	}
+	return out
+}
+
+// diffuse computes one explicit diffusion step at a point.
+func diffuse(c, xm, xp, ym, yp Conc, kdtdx2, kdtdy2 float64) Conc {
+	var out Conc
+	for s := 0; s < NumSpecies; s++ {
+		out[s] = c[s] + kdtdx2*(xm[s]-2*c[s]+xp[s]) + kdtdy2*(ym[s]-2*c[s]+yp[s])
+	}
+	return out
+}
+
+// react advances the photochemistry and emissions at a point, clamping
+// concentrations at zero (explicit chemistry can overshoot at large k2).
+func react(c, emit Conc, k1, k2, dt float64) Conc {
+	photo := k1 * c[NO2] * dt
+	titr := k2 * c[NO] * c[O3] * dt
+	out := Conc{
+		c[NO] + photo - titr + emit[NO]*dt,
+		c[NO2] - photo + titr + emit[NO2]*dt,
+		c[O3] + photo - titr + emit[O3]*dt,
+	}
+	for s := 0; s < NumSpecies; s++ {
+		if out[s] < 0 {
+			out[s] = 0
+		}
+	}
+	return out
+}
+
+// Sim is the distributed (SPMD) episode.
+type Sim struct {
+	Pm   Params
+	C    *meshspectral.Grid2D[Conc]
+	work *meshspectral.Grid2D[Conc]
+}
+
+// NewSPMD builds the distributed simulation over layout l as process p's
+// body.
+func NewSPMD(p spmd.Comm, pm Params, l meshspectral.Layout) *Sim {
+	s := &Sim{Pm: pm}
+	s.C = meshspectral.New2D[Conc](p, pm.NX, pm.NY, l, 1)
+	s.work = meshspectral.New2D[Conc](p, pm.NX, pm.NY, l, 1)
+	s.C.Fill(func(gi, gj int) Conc { return pm.initial() })
+	return s
+}
+
+// fillOpen writes zero-gradient ghost cells at the global boundaries
+// (pollutants advect out freely; backgrounds flow in).
+func fillOpen(g *meshspectral.Grid2D[Conc], nx, ny int) {
+	x0, x1 := g.OwnedX()
+	y0, y1 := g.OwnedY()
+	if x0 == 0 {
+		for gj := y0; gj < y1; gj++ {
+			g.Set(-1, gj, g.At(0, gj))
+		}
+	}
+	if x1 == nx {
+		for gj := y0; gj < y1; gj++ {
+			g.Set(nx, gj, g.At(nx-1, gj))
+		}
+	}
+	if y0 == 0 {
+		for gi := x0 - 1; gi < x1+1; gi++ {
+			if gi >= -1 && gi <= nx {
+				g.Set(gi, -1, g.At(gi, 0))
+			}
+		}
+	}
+	if y1 == ny {
+		for gi := x0 - 1; gi < x1+1; gi++ {
+			if gi >= -1 && gi <= nx {
+				g.Set(gi, ny, g.At(gi, ny-1))
+			}
+		}
+	}
+}
+
+// Step advances one operator-split time step.
+func (s *Sim) Step() {
+	pm := s.Pm
+	h := 1 / float64(pm.NX)
+	hy := 1 / float64(pm.NY)
+	dtdx, dtdy := pm.Dt/h, pm.Dt/hy
+	kdtdx2 := pm.K * pm.Dt / (h * h)
+	kdtdy2 := pm.K * pm.Dt / (hy * hy)
+	pos := func(gi, gj int) (float64, float64) {
+		return (float64(gi) + 0.5) * h, (float64(gj) + 0.5) * hy
+	}
+
+	// Advection.
+	s.C.ExchangeBoundary()
+	fillOpen(s.C, pm.NX, pm.NY)
+	s.work.Assign(advectFlops, func(gi, gj int) Conc {
+		x, y := pos(gi, gj)
+		u, v := pm.Wind(x, y)
+		return upwind(s.C.At(gi, gj),
+			s.C.At(gi-1, gj), s.C.At(gi+1, gj),
+			s.C.At(gi, gj-1), s.C.At(gi, gj+1),
+			u, v, dtdx, dtdy)
+	})
+	s.C, s.work = s.work, s.C
+
+	// Diffusion.
+	s.C.ExchangeBoundary()
+	fillOpen(s.C, pm.NX, pm.NY)
+	s.work.Assign(diffuseFlops, func(gi, gj int) Conc {
+		return diffuse(s.C.At(gi, gj),
+			s.C.At(gi-1, gj), s.C.At(gi+1, gj),
+			s.C.At(gi, gj-1), s.C.At(gi, gj+1),
+			kdtdx2, kdtdy2)
+	})
+	s.C, s.work = s.work, s.C
+
+	// Chemistry and emissions (point-local; no exchange needed).
+	s.work.Assign(reactFlops, func(gi, gj int) Conc {
+		x, y := pos(gi, gj)
+		return react(s.C.At(gi, gj), pm.emission(x, y), pm.K1, pm.K2, pm.Dt)
+	})
+	s.C, s.work = s.work, s.C
+}
+
+// Run advances n steps.
+func (s *Sim) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// SeqSim is the sequential episode, advancing bit-identically to the
+// SPMD version.
+type SeqSim struct {
+	Pm   Params
+	C    *array.Dense2D[Conc]
+	work *array.Dense2D[Conc]
+}
+
+// NewSeq builds the sequential simulation.
+func NewSeq(pm Params) *SeqSim {
+	s := &SeqSim{Pm: pm}
+	s.C = array.New2D[Conc](pm.NX, pm.NY)
+	s.work = array.New2D[Conc](pm.NX, pm.NY)
+	s.C.Fill(func(i, j int) Conc { return pm.initial() })
+	return s
+}
+
+// at reads with clamped indices (zero-gradient boundaries), matching the
+// distributed ghost contents exactly.
+func (s *SeqSim) at(i, j int) Conc {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.Pm.NX {
+		i = s.Pm.NX - 1
+	}
+	if j < 0 {
+		j = 0
+	}
+	if j >= s.Pm.NY {
+		j = s.Pm.NY - 1
+	}
+	return s.C.At(i, j)
+}
+
+// Step advances one time step sequentially, charging m.
+func (s *SeqSim) Step(m core.Meter) {
+	pm := s.Pm
+	h := 1 / float64(pm.NX)
+	hy := 1 / float64(pm.NY)
+	dtdx, dtdy := pm.Dt/h, pm.Dt/hy
+	kdtdx2 := pm.K * pm.Dt / (h * h)
+	kdtdy2 := pm.K * pm.Dt / (hy * hy)
+	pos := func(i, j int) (float64, float64) {
+		return (float64(i) + 0.5) * h, (float64(j) + 0.5) * hy
+	}
+	for i := 0; i < pm.NX; i++ {
+		for j := 0; j < pm.NY; j++ {
+			x, y := pos(i, j)
+			u, v := pm.Wind(x, y)
+			s.work.Set(i, j, upwind(s.C.At(i, j),
+				s.at(i-1, j), s.at(i+1, j), s.at(i, j-1), s.at(i, j+1),
+				u, v, dtdx, dtdy))
+		}
+	}
+	s.C, s.work = s.work, s.C
+	for i := 0; i < pm.NX; i++ {
+		for j := 0; j < pm.NY; j++ {
+			s.work.Set(i, j, diffuse(s.C.At(i, j),
+				s.at(i-1, j), s.at(i+1, j), s.at(i, j-1), s.at(i, j+1),
+				kdtdx2, kdtdy2))
+		}
+	}
+	s.C, s.work = s.work, s.C
+	for i := 0; i < pm.NX; i++ {
+		for j := 0; j < pm.NY; j++ {
+			x, y := pos(i, j)
+			s.work.Set(i, j, react(s.C.At(i, j), pm.emission(x, y), pm.K1, pm.K2, pm.Dt))
+		}
+	}
+	s.C, s.work = s.work, s.C
+	m.Flops(float64((advectFlops + diffuseFlops + reactFlops) * pm.NX * pm.NY))
+}
+
+// Run advances n steps.
+func (s *SeqSim) Run(m core.Meter, n int) {
+	for i := 0; i < n; i++ {
+		s.Step(m)
+	}
+}
+
+// Field extracts one species' concentration field from a gathered array.
+func Field(c *array.Dense2D[Conc], species int) *array.Dense2D[float64] {
+	out := array.New2D[float64](c.NX, c.NY)
+	for k, v := range c.Data {
+		out.Data[k] = v[species]
+	}
+	return out
+}
+
+// TotalNOx returns the domain total of NO+NO₂ (conserved by the
+// chemistry; changed only by emissions and boundary outflow).
+func TotalNOx(c *array.Dense2D[Conc]) float64 {
+	sum := 0.0
+	for _, v := range c.Data {
+		sum += v[NO] + v[NO2]
+	}
+	return sum / float64(c.NX*c.NY)
+}

@@ -1,0 +1,208 @@
+package bnb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/spmd"
+)
+
+func TestKnapsackDPKnown(t *testing.T) {
+	items := []Item{{2, 3}, {3, 4}, {4, 5}, {5, 6}}
+	if got := KnapsackDP(items, 5); got != 7 {
+		t.Errorf("DP = %d, want 7 (items 1+2)", got)
+	}
+	if KnapsackDP(items, 0) != 0 {
+		t.Error("zero capacity should give 0")
+	}
+	if KnapsackDP(nil, 10) != 0 {
+		t.Error("no items should give 0")
+	}
+}
+
+func TestSolveSeqMatchesDP(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		items := RandomItems(14, 20, int64(trial))
+		capacity := 60 + trial*3
+		want := KnapsackDP(items, capacity)
+		res := SolveSeq(core.Nop, Knapsack(items, capacity))
+		if !res.Found || res.Best != float64(want) {
+			t.Fatalf("trial %d: B&B = %v, DP = %d", trial, res, want)
+		}
+		if res.Expanded <= 0 {
+			t.Fatalf("trial %d: no nodes expanded", trial)
+		}
+	}
+}
+
+func TestSolveSeqPropertyQuick(t *testing.T) {
+	f := func(seed int16, nRaw, capRaw uint8) bool {
+		n := int(nRaw)%12 + 1
+		capacity := int(capRaw) + 1
+		items := RandomItems(n, 15, int64(seed))
+		res := SolveSeq(core.Nop, Knapsack(items, capacity))
+		return res.Found && res.Best == float64(KnapsackDP(items, capacity))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveSeqDegenerate(t *testing.T) {
+	// Everything too heavy: the only solution is the empty set.
+	items := []Item{{100, 5}, {200, 9}}
+	res := SolveSeq(core.Nop, Knapsack(items, 10))
+	if !res.Found || res.Best != 0 {
+		t.Errorf("all-too-heavy: %v, want 0", res)
+	}
+	// No items: value 0.
+	res = SolveSeq(core.Nop, Knapsack(nil, 10))
+	if !res.Found || res.Best != 0 {
+		t.Errorf("no items: %v, want 0", res)
+	}
+}
+
+func TestSolveSyncMatchesDP(t *testing.T) {
+	items := RandomItems(18, 25, 7)
+	const capacity = 120
+	want := float64(KnapsackDP(items, capacity))
+	for _, n := range []int{1, 2, 4, 7} {
+		results := make([]Result, n)
+		_, err := spmd.NewWorld(n, machine.IBMSP()).Run(func(p *spmd.Proc) {
+			results[p.Rank()] = SolveSync(p, Knapsack(items, capacity), 8)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < n; r++ {
+			if results[r] != results[0] {
+				t.Fatalf("n=%d: rank %d result %+v != rank 0 %+v", n, r, results[r], results[0])
+			}
+		}
+		if !results[0].Found || results[0].Best != want {
+			t.Fatalf("n=%d: sync B&B = %+v, DP = %g", n, results[0], want)
+		}
+	}
+}
+
+func TestSolveSyncDeterministicMakespan(t *testing.T) {
+	items := RandomItems(14, 20, 9)
+	var first float64
+	for trial := 0; trial < 4; trial++ {
+		res, err := spmd.NewWorld(4, machine.IBMSP()).Run(func(p *spmd.Proc) {
+			SolveSync(p, Knapsack(items, 80), 4)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial == 0 {
+			first = res.Makespan
+		} else if res.Makespan != first {
+			t.Fatalf("sync B&B makespan varies: %g vs %g — determinism broken", res.Makespan, first)
+		}
+	}
+}
+
+func TestSolveAsyncMatchesDP(t *testing.T) {
+	items := RandomItems(18, 25, 11)
+	const capacity = 120
+	want := float64(KnapsackDP(items, capacity))
+	for _, n := range []int{2, 4, 8} {
+		results := make([]Result, n)
+		_, err := spmd.NewWorld(n, machine.IBMSP()).Run(func(p *spmd.Proc) {
+			results[p.Rank()] = SolveAsync(p, Knapsack(items, capacity), 16)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < n; r++ {
+			if results[r].Best != want || !results[r].Found {
+				t.Fatalf("n=%d rank %d: async B&B = %+v, DP = %g", n, r, results[r], want)
+			}
+			if results[r].Expanded != results[0].Expanded {
+				t.Fatalf("n=%d: expansion counts not shared at shutdown", n)
+			}
+		}
+	}
+}
+
+func TestSolveAsyncRepeatedRunsAgreeOnOptimum(t *testing.T) {
+	// The nondeterministic archetype's contract: execution varies, the
+	// answer does not.
+	items := RandomItems(16, 20, 13)
+	want := float64(KnapsackDP(items, 90))
+	for trial := 0; trial < 5; trial++ {
+		var got Result
+		_, err := spmd.NewWorld(5, machine.IBMSP()).Run(func(p *spmd.Proc) {
+			r := SolveAsync(p, Knapsack(items, 90), 8)
+			if p.Rank() == 0 {
+				got = r
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Best != want {
+			t.Fatalf("trial %d: optimum %g != %g", trial, got.Best, want)
+		}
+	}
+}
+
+func TestSolveAsyncRequiresTwoProcs(t *testing.T) {
+	_, err := spmd.NewWorld(1, machine.IBMSP()).Run(func(p *spmd.Proc) {
+		SolveAsync(p, Knapsack(RandomItems(4, 5, 1), 10), 4)
+	})
+	if err == nil {
+		t.Error("single-process async solve should panic")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("incomplete spec should panic")
+		}
+	}()
+	SolveSeq(core.Nop, &Spec[int]{Name: "broken"})
+}
+
+func TestPruningReducesWork(t *testing.T) {
+	// With the fractional bound, B&B should expand far fewer nodes than
+	// the full 2^n tree.
+	items := RandomItems(20, 30, 17)
+	res := SolveSeq(core.Nop, Knapsack(items, 150))
+	if res.Expanded >= 1<<20/4 {
+		t.Errorf("expanded %d nodes of a 2^20 tree — bound is not pruning", res.Expanded)
+	}
+}
+
+func TestBoundIsAdmissible(t *testing.T) {
+	// The bound at the root must never be below the DP optimum.
+	f := func(seed int16, capRaw uint8) bool {
+		items := RandomItems(10, 12, int64(seed))
+		capacity := int(capRaw) + 1
+		spec := Knapsack(items, capacity)
+		bound := spec.Bound(core.Nop, spec.Root)
+		return bound >= float64(KnapsackDP(items, capacity))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeapOrdering(t *testing.T) {
+	h := &boundHeap[int]{}
+	for _, b := range []float64{3, 9, 1, 7, 5, 9} {
+		heapPush(h, node[int]{0, b})
+	}
+	prev := 1e18
+	for h.Len() > 0 {
+		nd := heapPop(h)
+		if nd.bound > prev {
+			t.Fatalf("heap not max-ordered: %g after %g", nd.bound, prev)
+		}
+		prev = nd.bound
+	}
+}

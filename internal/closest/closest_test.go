@@ -1,0 +1,186 @@
+package closest
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/spmd"
+)
+
+func TestBruteForceKnown(t *testing.T) {
+	pts := []Pt{{0, 0}, {10, 10}, {1, 0}, {5, 5}}
+	p := BruteForce(pts)
+	if !p.Valid || p.Dist2 != 1 {
+		t.Errorf("closest = %+v, want dist2 1", p)
+	}
+}
+
+func TestBruteForceDegenerate(t *testing.T) {
+	if BruteForce(nil).Valid {
+		t.Error("empty input should be invalid")
+	}
+	if BruteForce([]Pt{{1, 1}}).Valid {
+		t.Error("single point should be invalid")
+	}
+	dup := BruteForce([]Pt{{1, 1}, {1, 1}})
+	if !dup.Valid || dup.Dist2 != 0 {
+		t.Error("duplicate points should give zero distance")
+	}
+}
+
+func TestDivideAndConquerMatchesBrute(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		pts := RandomPoints(trial*7+2, int64(trial), 100)
+		want := BruteForce(pts)
+		got := DivideAndConquer(core.Nop, pts)
+		if got.Dist2 != want.Dist2 {
+			t.Fatalf("trial %d: D&C dist2 %g != brute %g", trial, got.Dist2, want.Dist2)
+		}
+	}
+}
+
+func TestDivideAndConquerPropertyQuick(t *testing.T) {
+	f := func(raw []struct{ X, Y int8 }) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		pts := make([]Pt, len(raw))
+		for i, r := range raw {
+			pts[i] = Pt{float64(r.X), float64(r.Y)}
+		}
+		return DivideAndConquer(core.Nop, pts).Dist2 == BruteForce(pts).Dist2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivideAndConquerClusteredData(t *testing.T) {
+	// Clustered points stress the strip logic.
+	var pts []Pt
+	for i := 0; i < 50; i++ {
+		pts = append(pts, Pt{float64(i) * 10, 0})
+		pts = append(pts, Pt{float64(i)*10 + 0.001*float64(i+1), 0.001})
+	}
+	want := BruteForce(pts)
+	got := DivideAndConquer(core.Nop, pts)
+	if got.Dist2 != want.Dist2 {
+		t.Fatalf("clustered: %g != %g", got.Dist2, want.Dist2)
+	}
+}
+
+func runOneDeep(t *testing.T, pts []Pt, n int) Pair {
+	t.Helper()
+	blocks := make([][]Pt, n)
+	for i := range blocks {
+		blocks[i] = pts[i*len(pts)/n : (i+1)*len(pts)/n]
+	}
+	results := make([]Pair, n)
+	w := spmd.NewWorld(n, machine.IBMSP())
+	if _, err := w.Run(func(p *spmd.Proc) {
+		results[p.Rank()] = OneDeepSPMD(p, blocks[p.Rank()])
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < n; r++ {
+		if results[r] != results[0] {
+			t.Fatalf("rank %d result %+v != rank 0 %+v", r, results[r], results[0])
+		}
+	}
+	return results[0]
+}
+
+func TestOneDeepMatchesSequential(t *testing.T) {
+	pts := RandomPoints(800, 5, 1000)
+	want := BruteForce(pts)
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		got := runOneDeep(t, pts, n)
+		if got.Dist2 != want.Dist2 {
+			t.Fatalf("n=%d: one-deep dist2 %g != %g", n, got.Dist2, want.Dist2)
+		}
+	}
+}
+
+func TestOneDeepCrossStripPair(t *testing.T) {
+	// Construct data whose closest pair straddles a strip boundary:
+	// uniform spread plus a tight pair in the middle.
+	pts := RandomPoints(400, 6, 1000)
+	pts = append(pts, Pt{500.0, 30}, Pt{500.01, 30})
+	want := BruteForce(pts)
+	if want.Dist2 > 0.001 {
+		t.Fatalf("test setup wrong: planted pair not closest (%g)", want.Dist2)
+	}
+	for _, n := range []int{2, 4, 7} {
+		got := runOneDeep(t, pts, n)
+		if got.Dist2 != want.Dist2 {
+			t.Fatalf("n=%d: missed cross-strip pair: %g != %g", n, got.Dist2, want.Dist2)
+		}
+	}
+}
+
+func TestOneDeepTinyInputs(t *testing.T) {
+	for _, count := range []int{0, 1, 2, 3} {
+		pts := RandomPoints(count, 7, 100)
+		want := BruteForce(pts)
+		got := runOneDeep(t, pts, 4)
+		if got.Valid != want.Valid {
+			t.Fatalf("count=%d: validity mismatch", count)
+		}
+		if want.Valid && got.Dist2 != want.Dist2 {
+			t.Fatalf("count=%d: %g != %g", count, got.Dist2, want.Dist2)
+		}
+	}
+}
+
+func TestOneDeepPropertyQuick(t *testing.T) {
+	f := func(raw []struct{ X, Y int16 }, nraw uint8) bool {
+		n := int(nraw)%6 + 1
+		pts := make([]Pt, len(raw))
+		for i, r := range raw {
+			pts[i] = Pt{float64(r.X), float64(r.Y)}
+		}
+		blocks := make([][]Pt, n)
+		for i := range blocks {
+			blocks[i] = pts[i*len(pts)/n : (i+1)*len(pts)/n]
+		}
+		results := make([]Pair, n)
+		if _, err := spmd.NewWorld(n, machine.IBMSP()).Run(func(p *spmd.Proc) {
+			results[p.Rank()] = OneDeepSPMD(p, blocks[p.Rank()])
+		}); err != nil {
+			return false
+		}
+		want := BruteForce(pts)
+		if !want.Valid {
+			return !results[0].Valid
+		}
+		return results[0].Valid && results[0].Dist2 == want.Dist2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBetter(t *testing.T) {
+	a := Pair{Dist2: 1, Valid: true}
+	b := Pair{Dist2: 2, Valid: true}
+	if better(a, b) != a || better(b, a) != a {
+		t.Error("better should pick the smaller distance")
+	}
+	if better(Pair{}, b) != b || better(b, Pair{}) != b {
+		t.Error("better should skip invalid pairs")
+	}
+	tie := Pair{A: Pt{9, 9}, Dist2: 1, Valid: true}
+	if better(a, tie) != a {
+		t.Error("ties should resolve to the first argument")
+	}
+	if got := better(Pair{}, Pair{}); got.Valid {
+		t.Error("two invalid pairs should stay invalid")
+	}
+	inf := Pair{Dist2: math.Inf(1), Valid: true}
+	if better(inf, a) != a {
+		t.Error("infinite distance should lose to finite")
+	}
+}

@@ -1,0 +1,204 @@
+// Package core implements the paper's primary contribution: the archetype
+// program-development method.
+//
+// The method (§1.2) develops a parallel application in stages:
+//
+//  1. Start from a sequential algorithm and identify an archetype.
+//  2. Write an initial archetype-based version (version 1) using
+//     data-parallel constructs — the paper's parfor/forall, here ParFor —
+//     which can be executed sequentially for debugging; for deterministic
+//     programs sequential and concurrent execution give identical results.
+//  3. Transform version 1 into an SPMD program (version 2) for a
+//     distributed-memory message-passing machine, with communication
+//     encapsulated in the archetype's library (package collective).
+//  4. Measure: the Experiment type runs the SPMD program over a sweep of
+//     process counts on a simulated machine (package machine/spmd) and
+//     reports speedup curves in the form of the paper's figures.
+//
+// The two archetypes the paper develops — one-deep divide and conquer and
+// mesh-spectral — live in packages onedeep and meshspectral and build on
+// the machinery here.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/machine"
+	"repro/internal/spmd"
+)
+
+// Mode selects how ParFor executes its iterations. The paper's version-1
+// programs are written once and run in either mode with identical results
+// (for deterministic programs) — Sequential is the debugging mode,
+// Concurrent the execution mode.
+type Mode int
+
+const (
+	// Sequential runs iterations in index order on the calling goroutine
+	// (the paper's "replace parfor with for").
+	Sequential Mode = iota
+	// Concurrent runs all iterations in their own goroutines and waits.
+	Concurrent
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Sequential:
+		return "sequential"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParFor is the paper's parfor/forall construct: n independent iterations.
+// The iterations must be independent — writing disjoint data — which is
+// exactly the archetype precondition that makes the two modes equivalent.
+func ParFor(m Mode, n int, body func(i int)) {
+	switch m {
+	case Sequential:
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+	case Concurrent:
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			go func() {
+				defer wg.Done()
+				body(i)
+			}()
+		}
+		wg.Wait()
+	default:
+		panic(fmt.Sprintf("core: invalid ParFor mode %d", int(m)))
+	}
+}
+
+// Program is an SPMD program body: it is run once per process.
+type Program func(p *spmd.Proc)
+
+// Simulate runs prog on an n-process world over the given machine model
+// and returns the run's virtual-time result.
+func Simulate(n int, m *machine.Model, prog Program) (*spmd.Result, error) {
+	return spmd.NewWorld(n, m).Run(prog)
+}
+
+// Experiment pairs a sequential baseline with an SPMD program so speedup
+// curves can be produced the way the paper's figures define them:
+// speedup(P) = T(sequential program) / T(SPMD program on P processes).
+type Experiment struct {
+	Name  string
+	Model *machine.Model
+	// Seq is the sequential algorithm, run on a 1-process world (no
+	// communication is priced except self-copies). If nil, the baseline
+	// is Par run with one process.
+	Seq Program
+	// Par is the SPMD program; it discovers the process count via
+	// p.N().
+	Par Program
+}
+
+// Point is one measurement of a speedup curve.
+type Point struct {
+	Procs   int
+	Time    float64 // simulated parallel time, seconds
+	Speedup float64 // SeqTime / Time
+	Msgs    int64
+	Bytes   int64
+}
+
+// Curve is a named speedup series, the unit the paper's figures plot.
+type Curve struct {
+	Name    string
+	SeqTime float64
+	Points  []Point
+}
+
+// Run produces the experiment's speedup curve over the given process
+// counts.
+func (e *Experiment) Run(procs []int) (*Curve, error) {
+	seqProg := e.Seq
+	if seqProg == nil {
+		seqProg = e.Par
+	}
+	seqRes, err := Simulate(1, e.Model, seqProg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %q: sequential baseline: %w", e.Name, err)
+	}
+	c := &Curve{Name: e.Name, SeqTime: seqRes.Makespan}
+	for _, n := range procs {
+		res, err := Simulate(n, e.Model, e.Par)
+		if err != nil {
+			return nil, fmt.Errorf("experiment %q: %d processes: %w", e.Name, n, err)
+		}
+		c.Points = append(c.Points, Point{
+			Procs:   n,
+			Time:    res.Makespan,
+			Speedup: seqRes.Makespan / res.Makespan,
+			Msgs:    res.Msgs,
+			Bytes:   res.Bytes,
+		})
+	}
+	return c, nil
+}
+
+// Efficiency returns speedup divided by process count for the i-th point.
+func (c *Curve) Efficiency(i int) float64 {
+	pt := c.Points[i]
+	return pt.Speedup / float64(pt.Procs)
+}
+
+// SpeedupAt returns the speedup measured at exactly n processes, or 0 if
+// the curve has no such point.
+func (c *Curve) SpeedupAt(n int) float64 {
+	for _, pt := range c.Points {
+		if pt.Procs == n {
+			return pt.Speedup
+		}
+	}
+	return 0
+}
+
+// WriteTable renders one or more curves sharing the same process counts as
+// an aligned text table with a "perfect" column, the textual equivalent of
+// the paper's speedup plots.
+func WriteTable(w io.Writer, curves ...*Curve) error {
+	if len(curves) == 0 {
+		return nil
+	}
+	base := curves[0]
+	if _, err := fmt.Fprintf(w, "%8s %10s", "procs", "perfect"); err != nil {
+		return err
+	}
+	for _, c := range curves {
+		fmt.Fprintf(w, " %16s", c.Name)
+	}
+	fmt.Fprintln(w)
+	for i, pt := range base.Points {
+		fmt.Fprintf(w, "%8d %10.2f", pt.Procs, float64(pt.Procs))
+		for _, c := range curves {
+			if i < len(c.Points) {
+				fmt.Fprintf(w, " %16.2f", c.Points[i].Speedup)
+			} else {
+				fmt.Fprintf(w, " %16s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// PowersOfTwo returns {1, 2, 4, ..., <=max}, the conventional sweep for
+// speedup plots.
+func PowersOfTwo(max int) []int {
+	var out []int
+	for n := 1; n <= max; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/spmd"
+)
+
+func TestParForSequentialOrder(t *testing.T) {
+	var order []int
+	ParFor(Sequential, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential ParFor out of order: %v", order)
+		}
+	}
+}
+
+func TestParForConcurrentRunsAll(t *testing.T) {
+	var count int64
+	seen := make([]int64, 100)
+	ParFor(Concurrent, 100, func(i int) {
+		atomic.AddInt64(&count, 1)
+		atomic.AddInt64(&seen[i], 1)
+	})
+	if count != 100 {
+		t.Fatalf("ran %d iterations, want 100", count)
+	}
+	for i, v := range seen {
+		if v != 1 {
+			t.Fatalf("iteration %d ran %d times", i, v)
+		}
+	}
+}
+
+func TestParForModesEquivalentForIndependentBodies(t *testing.T) {
+	// The paper's claim for deterministic programs with independent
+	// iterations: both modes produce identical results.
+	n := 64
+	a := make([]int, n)
+	b := make([]int, n)
+	ParFor(Sequential, n, func(i int) { a[i] = i * i })
+	ParFor(Concurrent, n, func(i int) { b[i] = i * i })
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("modes disagree at %d", i)
+		}
+	}
+}
+
+func TestParForZeroIterations(t *testing.T) {
+	ran := false
+	ParFor(Sequential, 0, func(int) { ran = true })
+	ParFor(Concurrent, 0, func(int) { ran = true })
+	if ran {
+		t.Error("body ran for n=0")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Sequential.String() != "sequential" || Concurrent.String() != "concurrent" {
+		t.Error("mode names wrong")
+	}
+	if !strings.Contains(Mode(9).String(), "9") {
+		t.Error("unknown mode should include value")
+	}
+}
+
+func TestTallyAccumulates(t *testing.T) {
+	m := machine.IBMSP()
+	tl := NewTally(m)
+	tl.Flops(100)
+	tl.Cmps(10)
+	tl.MemWords(4)
+	tl.Charge(1e-6)
+	want := 100*m.FlopTime + 10*m.CmpTime + 4*m.MemTime + 1e-6
+	if diff := tl.Seconds - want; diff > 1e-18 || diff < -1e-18 {
+		t.Errorf("tally = %g, want %g", tl.Seconds, want)
+	}
+}
+
+func TestNopMeterDiscards(t *testing.T) {
+	Nop.Flops(1e9)
+	Nop.Cmps(1e9)
+	Nop.MemWords(1e9)
+	Nop.Charge(1e9) // must not panic or affect anything
+}
+
+func TestExperimentSpeedups(t *testing.T) {
+	// A perfectly parallel program: each process does work/n flops.
+	const work = 1e6
+	exp := &Experiment{
+		Name:  "embarrassing",
+		Model: machine.IBMSP(),
+		Par: func(p *spmd.Proc) {
+			p.Flops(work / float64(p.N()))
+		},
+	}
+	curve, err := exp.Run([]int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range curve.Points {
+		if diff := pt.Speedup - float64(pt.Procs); diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("point %d: speedup %g, want %d", i, pt.Speedup, pt.Procs)
+		}
+	}
+	if sp := curve.SpeedupAt(4); sp < 3.99 || sp > 4.01 {
+		t.Errorf("SpeedupAt(4) = %g, want ~4", sp)
+	}
+	if curve.SpeedupAt(3) != 0 {
+		t.Error("SpeedupAt missing point should be 0")
+	}
+	if eff := curve.Efficiency(3); eff < 0.99 || eff > 1.01 {
+		t.Errorf("efficiency = %g, want ~1", eff)
+	}
+}
+
+func TestExperimentExplicitSeqBaseline(t *testing.T) {
+	exp := &Experiment{
+		Name:  "with-serial-fraction",
+		Model: machine.IBMSP(),
+		Seq:   func(p *spmd.Proc) { p.Flops(1e6) },
+		Par: func(p *spmd.Proc) {
+			p.Flops(2e6 / float64(p.N())) // parallel algorithm does 2x work
+		},
+	}
+	curve, err := exp.Run([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := curve.Points[0].Speedup; sp < 0.99 || sp > 1.01 {
+		t.Errorf("speedup = %g, want ~1 (2x work on 2 procs)", sp)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	c1 := &Curve{Name: "alg-a", Points: []Point{{Procs: 1, Speedup: 1}, {Procs: 2, Speedup: 1.9}}}
+	c2 := &Curve{Name: "alg-b", Points: []Point{{Procs: 1, Speedup: 1}, {Procs: 2, Speedup: 1.2}}}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, c1, c2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"procs", "perfect", "alg-a", "alg-b", "1.90", "1.20"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if err := WriteTable(&buf); err != nil {
+		t.Errorf("empty table should be a no-op: %v", err)
+	}
+}
+
+func TestPowersOfTwo(t *testing.T) {
+	got := PowersOfTwo(64)
+	want := []int{1, 2, 4, 8, 16, 32, 64}
+	if len(got) != len(want) {
+		t.Fatalf("PowersOfTwo(64) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PowersOfTwo(64) = %v", got)
+		}
+	}
+	if len(PowersOfTwo(0)) != 0 {
+		t.Error("PowersOfTwo(0) should be empty")
+	}
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV renders one or more curves sharing the same process counts as
+// CSV with a perfect-speedup column — plot-ready output for the figure
+// tables.
+func WriteCSV(w io.Writer, curves ...*Curve) error {
+	if len(curves) == 0 {
+		return nil
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"procs", "perfect"}
+	for _, c := range curves {
+		header = append(header, c.Name+"_speedup", c.Name+"_time_s")
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("core: write csv header: %w", err)
+	}
+	for i, pt := range curves[0].Points {
+		row := []string{strconv.Itoa(pt.Procs), strconv.Itoa(pt.Procs)}
+		for _, c := range curves {
+			if i < len(c.Points) {
+				row = append(row,
+					strconv.FormatFloat(c.Points[i].Speedup, 'g', 6, 64),
+					strconv.FormatFloat(c.Points[i].Time, 'g', 6, 64))
+			} else {
+				row = append(row, "", "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("core: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	c1 := &Curve{Name: "a", Points: []Point{
+		{Procs: 1, Speedup: 1, Time: 2},
+		{Procs: 4, Speedup: 3.5, Time: 0.57},
+	}}
+	c2 := &Curve{Name: "b", Points: []Point{
+		{Procs: 1, Speedup: 0.9, Time: 2.2},
+	}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, c1, c2); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want header + 2 rows, got %d", len(rows))
+	}
+	want := []string{"procs", "perfect", "a_speedup", "a_time_s", "b_speedup", "b_time_s"}
+	for i, h := range want {
+		if rows[0][i] != h {
+			t.Errorf("header[%d] = %q, want %q", i, rows[0][i], h)
+		}
+	}
+	if rows[1][2] != "1" || rows[2][2] != "3.5" {
+		t.Errorf("speedups wrong: %v", rows)
+	}
+	// Short curve pads with empty cells.
+	if rows[2][4] != "" {
+		t.Errorf("missing point should be empty, got %q", rows[2][4])
+	}
+	if err := WriteCSV(&buf); err != nil {
+		t.Errorf("no curves should be a no-op: %v", err)
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import "repro/internal/machine"
+
+// Meter is the cost-accounting interface application code charges its work
+// to. An spmd.Proc is a Meter (charges advance its virtual clock); a Tally
+// accumulates seconds for sequential baselines; Nop discards charges (for
+// version-1 debugging runs where timing is irrelevant).
+//
+// Archetype "fill in the blanks" functions receive a Meter so the same
+// application code serves version 1 (sequential), the sequential cost
+// baseline, and the SPMD version.
+type Meter interface {
+	// Charge adds sec seconds of computation.
+	Charge(sec float64)
+	// Flops charges n floating-point operations.
+	Flops(n float64)
+	// Cmps charges n comparison/exchange steps.
+	Cmps(n float64)
+	// MemWords charges n words of pure data movement.
+	MemWords(n float64)
+}
+
+// Tally is a Meter that accumulates virtual seconds against a machine
+// model; it is how sequential-baseline times are computed without running
+// a world.
+type Tally struct {
+	Model   *machine.Model
+	Seconds float64
+}
+
+// NewTally returns a Tally over the given model.
+func NewTally(m *machine.Model) *Tally { return &Tally{Model: m} }
+
+// Charge implements Meter.
+func (t *Tally) Charge(sec float64) { t.Seconds += sec }
+
+// Flops implements Meter.
+func (t *Tally) Flops(n float64) { t.Seconds += n * t.Model.FlopTime }
+
+// Cmps implements Meter.
+func (t *Tally) Cmps(n float64) { t.Seconds += n * t.Model.CmpTime }
+
+// MemWords implements Meter.
+func (t *Tally) MemWords(n float64) { t.Seconds += n * t.Model.MemTime }
+
+type nopMeter struct{}
+
+func (nopMeter) Charge(float64)   {}
+func (nopMeter) Flops(float64)    {}
+func (nopMeter) Cmps(float64)     {}
+func (nopMeter) MemWords(float64) {}
+
+// Nop is a Meter that discards all charges.
+var Nop Meter = nopMeter{}

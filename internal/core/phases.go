@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/collective"
+	"repro/internal/spmd"
+)
+
+// PhaseTimer produces per-phase timing breakdowns of an SPMD program —
+// the split/solve/merge anatomy of Figure 2, measured. Each Mark records
+// the maximum virtual time any process spent since the previous mark
+// (phases are separated by the equivalent of barrier synchronization, as
+// §3.2 assumes between archetype operations).
+//
+// All processes must call Mark the same number of times with the same
+// names; the collected table is valid on every process.
+type PhaseTimer struct {
+	c     spmd.Comm
+	names []string
+	times []float64
+	last  float64
+}
+
+// NewPhaseTimer starts a timer at the communicator's current maximum
+// clock.
+func NewPhaseTimer(c spmd.Comm) *PhaseTimer {
+	return &PhaseTimer{c: c, last: collective.MaxClock(c)}
+}
+
+// Mark ends the current phase under the given name.
+func (t *PhaseTimer) Mark(name string) {
+	now := collective.MaxClock(t.c)
+	t.names = append(t.names, name)
+	t.times = append(t.times, now-t.last)
+	t.last = now
+}
+
+// Phases returns the recorded (name, seconds) pairs.
+func (t *PhaseTimer) Phases() ([]string, []float64) {
+	return append([]string(nil), t.names...), append([]float64(nil), t.times...)
+}
+
+// Total returns the sum of all recorded phases.
+func (t *PhaseTimer) Total() float64 {
+	sum := 0.0
+	for _, v := range t.times {
+		sum += v
+	}
+	return sum
+}
+
+// WriteBreakdown renders the phases as an aligned table with percentages.
+func (t *PhaseTimer) WriteBreakdown(w io.Writer) error {
+	total := t.Total()
+	for i, name := range t.names {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * t.times[i] / total
+		}
+		if _, err := fmt.Fprintf(w, "%16s %12.6fs %6.1f%%\n", name, t.times[i], pct); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%16s %12.6fs\n", "total", total)
+	return err
+}

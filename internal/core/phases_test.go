@@ -1,0 +1,97 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/spmd"
+)
+
+func TestPhaseTimerMeasuresMaxAcrossProcs(t *testing.T) {
+	var names []string
+	var times []float64
+	_, err := Simulate(4, machine.IBMSP(), func(p *spmd.Proc) {
+		pt := NewPhaseTimer(p)
+		// Phase 1: rank r works r+1 ms; the phase time is the max (4ms).
+		p.Charge(float64(p.Rank()+1) * 1e-3)
+		pt.Mark("work")
+		// Phase 2: everyone 2ms.
+		p.Charge(2e-3)
+		pt.Mark("settle")
+		if p.Rank() == 0 {
+			names, times = pt.Phases()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "work" || names[1] != "settle" {
+		t.Fatalf("phases = %v", names)
+	}
+	// Phase 1 max is 4ms (plus small collective costs).
+	if times[0] < 4e-3 || times[0] > 5e-3 {
+		t.Errorf("work phase = %g, want ~4ms", times[0])
+	}
+	if times[1] < 2e-3 || times[1] > 3e-3 {
+		t.Errorf("settle phase = %g, want ~2ms", times[1])
+	}
+}
+
+func TestPhaseTimerConsistentAcrossRanks(t *testing.T) {
+	all := make([][]float64, 3)
+	_, err := Simulate(3, machine.IBMSP(), func(p *spmd.Proc) {
+		pt := NewPhaseTimer(p)
+		p.Flops(float64(1000 * (p.Rank() + 1)))
+		pt.Mark("a")
+		p.Flops(500)
+		pt.Mark("b")
+		_, times := pt.Phases()
+		all[p.Rank()] = times
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 3; r++ {
+		for i := range all[0] {
+			if all[r][i] != all[0][i] {
+				t.Fatalf("rank %d phase %d differs: %g vs %g", r, i, all[r][i], all[0][i])
+			}
+		}
+	}
+}
+
+func TestPhaseTimerBreakdown(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := Simulate(2, machine.IBMSP(), func(p *spmd.Proc) {
+		pt := NewPhaseTimer(p)
+		p.Charge(1e-3)
+		pt.Mark("alpha")
+		p.Charge(3e-3)
+		pt.Mark("beta")
+		if p.Rank() == 0 {
+			_, times := pt.Phases()
+			sum := 0.0
+			for _, v := range times {
+				sum += v
+			}
+			if math.Abs(pt.Total()-sum) > 1e-12 {
+				t.Error("total != sum of phases")
+			}
+			if err := pt.WriteBreakdown(&buf); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"alpha", "beta", "total", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package fdtd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/meshspectral"
+	"repro/internal/spmd"
+)
+
+func TestPulseInitialization(t *testing.T) {
+	pm := DefaultParams(16)
+	s := NewSeq(pm)
+	center := s.E.At(8, 8, 8)
+	corner := s.E.At(0, 0, 0)
+	if center[2] < 0.7*pm.Amplitude {
+		t.Errorf("center Ez = %g, want near %g", center[2], pm.Amplitude)
+	}
+	if corner[2] > 0.01 {
+		t.Errorf("corner Ez = %g, want near 0", corner[2])
+	}
+	if center[0] != 0 || center[1] != 0 {
+		t.Error("only Ez should be excited initially")
+	}
+	if s.Energy() <= 0 {
+		t.Error("initial energy must be positive")
+	}
+}
+
+func TestEnergyBoundedOverTime(t *testing.T) {
+	pm := DefaultParams(16)
+	s := NewSeq(pm)
+	e0 := s.Energy()
+	for step := 0; step < 100; step++ {
+		s.Step(core.Nop)
+		e := s.Energy()
+		if e > 1.10*e0 {
+			t.Fatalf("step %d: energy grew to %g (initial %g) — unstable", step, e, e0)
+		}
+		if math.IsNaN(e) {
+			t.Fatalf("step %d: energy is NaN", step)
+		}
+	}
+	if e := s.Energy(); e < 0.2*e0 {
+		t.Errorf("energy decayed to %g of initial — cavity should be nearly lossless", e/e0)
+	}
+}
+
+func TestPulsePropagates(t *testing.T) {
+	pm := DefaultParams(24)
+	pm.PulseWidth = 0.08 // narrow pulse so the probe starts quiet
+	s := NewSeq(pm)
+	// A probe point away from the pulse starts quiet...
+	probe := s.E.At(4, 12, 12)
+	if math.Abs(probe[2]) > 1e-3 {
+		t.Fatalf("probe not quiet initially: %g", probe[2])
+	}
+	s.Run(core.Nop, 40)
+	probe = s.E.At(4, 12, 12)
+	h := s.H.At(4, 12, 12)
+	mag := math.Abs(probe[0]) + math.Abs(probe[1]) + math.Abs(probe[2]) +
+		math.Abs(h[0]) + math.Abs(h[1]) + math.Abs(h[2])
+	if mag < 1e-6 {
+		t.Errorf("wave has not reached the probe after 40 steps (|field| = %g)", mag)
+	}
+}
+
+func TestDivergenceFreeH(t *testing.T) {
+	// H starts zero and gains only discrete curls, so the matching
+	// forward-difference divergence stays exactly zero in the interior.
+	pm := DefaultParams(16)
+	s := NewSeq(pm)
+	s.Run(core.Nop, 30)
+	n := pm.N
+	for i := 2; i < n-3; i++ {
+		for j := 2; j < n-3; j++ {
+			for k := 2; k < n-3; k++ {
+				div := (s.H.At(i+1, j, k)[0] - s.H.At(i, j, k)[0]) +
+					(s.H.At(i, j+1, k)[1] - s.H.At(i, j, k)[1]) +
+					(s.H.At(i, j, k+1)[2] - s.H.At(i, j, k)[2])
+				if math.Abs(div) > 1e-12 {
+					t.Fatalf("div H at (%d,%d,%d) = %g, want 0", i, j, k, div)
+				}
+			}
+		}
+	}
+}
+
+func TestSPMDMatchesSeqBitIdentical(t *testing.T) {
+	pm := DefaultParams(12)
+	const steps = 10
+	seq := NewSeq(pm)
+	seq.Run(core.Nop, steps)
+
+	for _, n := range []int{1, 2, 3, 4} {
+		var eField, hField [][3]float64
+		_, err := spmd.NewWorld(n, machine.IBMSP()).Run(func(p *spmd.Proc) {
+			s := NewSPMD(p, pm)
+			s.Run(steps)
+			ef := meshspectral.GatherGrid3(s.E, 0)
+			hf := meshspectral.GatherGrid3(s.H, 0)
+			if p.Rank() == 0 {
+				eField, hField = ef.Data, hf.Data
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range seq.E.Data {
+			if eField[k] != seq.E.Data[k] {
+				t.Fatalf("n=%d: E differs at %d (not bit-identical)", n, k)
+			}
+			if hField[k] != seq.H.Data[k] {
+				t.Fatalf("n=%d: H differs at %d (not bit-identical)", n, k)
+			}
+		}
+	}
+}
+
+func TestSPMDEnergyConsistentAcrossRanks(t *testing.T) {
+	pm := DefaultParams(12)
+	energies := make([]float64, 3)
+	_, err := spmd.NewWorld(3, machine.IBMSP()).Run(func(p *spmd.Proc) {
+		s := NewSPMD(p, pm)
+		s.Run(5)
+		energies[p.Rank()] = s.Energy()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 3; r++ {
+		if energies[r] != energies[0] {
+			t.Errorf("rank %d energy %g != rank 0 %g", r, energies[r], energies[0])
+		}
+	}
+	// And it matches the sequential energy to reduction-order tolerance.
+	seq := NewSeq(pm)
+	seq.Run(core.Nop, 5)
+	if rel := math.Abs(energies[0]-seq.Energy()) / seq.Energy(); rel > 1e-12 {
+		t.Errorf("SPMD energy differs from sequential by %g relative", rel)
+	}
+}
+
+func TestCourantStabilityLimit(t *testing.T) {
+	// Above the 3D Courant limit the scheme must blow up; this guards
+	// against the update signs/stencils being subtly wrong (a wrong
+	// sign often *stabilizes* everything by damping).
+	pm := DefaultParams(12)
+	pm.Courant = 0.9 // > 1/sqrt(3) ≈ 0.577
+	s := NewSeq(pm)
+	e0 := s.Energy()
+	s.Run(core.Nop, 120)
+	if e := s.Energy(); e < 10*e0 {
+		t.Errorf("unstable Courant number did not blow up: %g -> %g", e0, e)
+	}
+}

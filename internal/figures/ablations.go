@@ -1,0 +1,208 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/meshspectral"
+	"repro/internal/onedeep"
+	"repro/internal/poisson"
+	"repro/internal/sortapp"
+	"repro/internal/spmd"
+)
+
+// The ablations quantify the design alternatives the paper enumerates:
+// §3.3's reduction patterns (recursive doubling vs all-to-one/one-to-all),
+// §2.3's parameter-computation strategies (centralized vs replicated),
+// §2.4's all-gather formulations, and §3.6.3's data-distribution choice.
+
+func init() {
+	register(Figure{
+		ID:      "A1",
+		Title:   "Ablation: recursive-doubling vs gather/broadcast reduction (Figure 9)",
+		Caption: "Virtual time of 100 all-reduce operations per process count.",
+		Run:     runAblationReduce,
+	})
+	register(Figure{
+		ID:      "A2",
+		Title:   "Ablation: centralized vs replicated splitter computation (§2.3)",
+		Caption: "One-deep mergesort makespans under both parameter strategies.",
+		Run:     runAblationParams,
+	})
+	register(Figure{
+		ID:      "A3",
+		Title:   "Ablation: 1D vs near-square 2D decomposition for the Poisson solver (§3.6.3)",
+		Caption: "Makespans for distribution by rows vs generic blocks.",
+		Run:     runAblationLayout,
+	})
+	register(Figure{
+		ID:      "A4",
+		Title:   "Ablation: all-gather via gather+broadcast vs direct exchange (§2.4)",
+		Caption: "Virtual time of 100 all-gather operations per process count.",
+		Run:     runAblationAllGather,
+	})
+}
+
+// AblationRow is one comparison row: the same operation priced two ways.
+type AblationRow struct {
+	Procs int
+	A, B  float64 // seconds
+}
+
+func writeAblation(o Options, nameA, nameB string, rows []AblationRow) {
+	w := o.out()
+	fmt.Fprintf(w, "%8s %16s %16s %10s\n", "procs", nameA, nameB, "B/A")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %16.6g %16.6g %10.2f\n", r.Procs, r.A, r.B, r.B/r.A)
+	}
+}
+
+// AblationReduce measures both reduction implementations.
+func AblationReduce(procs []int, reps int) ([]AblationRow, error) {
+	model := machine.IBMSP()
+	var rows []AblationRow
+	for _, np := range procs {
+		rd, err := core.Simulate(np, model, func(p *spmd.Proc) {
+			for i := 0; i < reps; i++ {
+				collective.AllReduce(p, float64(p.Rank()), math.Max)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		gb, err := core.Simulate(np, model, func(p *spmd.Proc) {
+			for i := 0; i < reps; i++ {
+				collective.AllReduceGB(p, float64(p.Rank()), math.Max)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Procs: np, A: rd.Makespan, B: gb.Makespan})
+	}
+	return rows, nil
+}
+
+func runAblationReduce(o Options) (*Result, error) {
+	banner(o, "Ablation A1: reduction strategy (100 all-reduces)")
+	rows, err := AblationReduce(o.procs([]int{4, 8, 16, 32, 64}), 100)
+	if err != nil {
+		return nil, err
+	}
+	writeAblation(o, "recursive-dbl", "gather+bcast", rows)
+	return &Result{}, nil
+}
+
+// AblationParams measures one-deep mergesort under both splitter
+// strategies.
+func AblationParams(n int, procs []int) ([]AblationRow, error) {
+	model := machine.IntelDelta()
+	data := sortapp.RandomInts(n, 77)
+	var rows []AblationRow
+	for _, np := range procs {
+		blocks := sortapp.BlockDistribute(data, np)
+		var times [2]float64
+		for i, strat := range []onedeep.ParamStrategy{onedeep.Centralized, onedeep.Replicated} {
+			spec := sortapp.OneDeepMergesort(strat)
+			res, err := core.Simulate(np, model, func(p *spmd.Proc) {
+				onedeep.RunSPMD(p, spec, blocks[p.Rank()])
+			})
+			if err != nil {
+				return nil, err
+			}
+			times[i] = res.Makespan
+		}
+		rows = append(rows, AblationRow{Procs: np, A: times[0], B: times[1]})
+	}
+	return rows, nil
+}
+
+func runAblationParams(o Options) (*Result, error) {
+	n := o.scaleInt(1<<18, 1<<12)
+	banner(o, "Ablation A2: splitter strategy, one-deep mergesort, %d int32", n)
+	rows, err := AblationParams(n, o.procs([]int{4, 16, 64}))
+	if err != nil {
+		return nil, err
+	}
+	writeAblation(o, "centralized", "replicated", rows)
+	return &Result{}, nil
+}
+
+// AblationLayout measures the Poisson solver under 1D and 2D block
+// layouts.
+func AblationLayout(n, steps int, procs []int) ([]AblationRow, error) {
+	model := machine.IBMSP()
+	pr := poisson.Manufactured(n, n, 0, steps)
+	var rows []AblationRow
+	for _, np := range procs {
+		var times [2]float64
+		for i, l := range []meshspectral.Layout{meshspectral.Rows(np), meshspectral.NearSquare(np)} {
+			res, err := core.Simulate(np, model, func(p *spmd.Proc) {
+				poisson.SolveSPMD(p, pr, l)
+			})
+			if err != nil {
+				return nil, err
+			}
+			times[i] = res.Makespan
+		}
+		rows = append(rows, AblationRow{Procs: np, A: times[0], B: times[1]})
+	}
+	return rows, nil
+}
+
+func runAblationLayout(o Options) (*Result, error) {
+	small := o.scaleInt(128, 32)
+	large := small * 4
+	const steps = 50
+	// Two grid sizes bracket the crossover: on small grids the 1D
+	// decomposition wins (fewer messages, latency-bound); on large grids
+	// the 2D decomposition wins (less boundary data, bandwidth-bound).
+	for _, n := range []int{small, large} {
+		banner(o, "Ablation A3: Poisson decomposition, %dx%d grid, %d steps", n, n, steps)
+		rows, err := AblationLayout(n, steps, o.procs([]int{16, 36, 64}))
+		if err != nil {
+			return nil, err
+		}
+		writeAblation(o, "rows (1D)", "blocks (2D)", rows)
+	}
+	return &Result{}, nil
+}
+
+// AblationAllGather measures both all-gather formulations.
+func AblationAllGather(procs []int, reps int) ([]AblationRow, error) {
+	model := machine.IBMSP()
+	var rows []AblationRow
+	for _, np := range procs {
+		gb, err := core.Simulate(np, model, func(p *spmd.Proc) {
+			for i := 0; i < reps; i++ {
+				collective.AllGather(p, p.Rank())
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		ex, err := core.Simulate(np, model, func(p *spmd.Proc) {
+			for i := 0; i < reps; i++ {
+				collective.AllGatherExchange(p, p.Rank())
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Procs: np, A: gb.Makespan, B: ex.Makespan})
+	}
+	return rows, nil
+}
+
+func runAblationAllGather(o Options) (*Result, error) {
+	banner(o, "Ablation A4: all-gather formulation (100 all-gathers)")
+	rows, err := AblationAllGather(o.procs([]int{4, 8, 16, 32, 64}), 100)
+	if err != nil {
+		return nil, err
+	}
+	writeAblation(o, "gather+bcast", "exchange", rows)
+	return &Result{}, nil
+}

@@ -1,0 +1,87 @@
+package figures
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/onedeep"
+	"repro/internal/sortapp"
+	"repro/internal/spmd"
+)
+
+func init() {
+	register(Figure{
+		ID:    "6",
+		Title: "Speedups of traditional and one-deep mergesort vs sequential mergesort",
+		Caption: "Paper: 10^6 integers on the Intel Delta, P = 1..64; one-deep " +
+			"tracks perfect speedup while the traditional tree parallelization " +
+			"saturates early (serial split/merge at the top of the tree and " +
+			"full-data transfers).",
+		Run: runFig6,
+	})
+}
+
+// Fig6Curves produces the two speedup curves of Figure 6 at the given
+// element count over the given processor sweep (exported for tests and
+// benchmarks).
+func Fig6Curves(n int, procs []int) (oneDeep, traditional *core.Curve, err error) {
+	model := machine.IntelDelta()
+	data := sortapp.RandomInts(n, 1999)
+
+	// Sequential baseline: the sequential mergesort (as the paper's
+	// caption specifies).
+	seq := core.NewTally(model)
+	sortapp.MergeSort(seq, data)
+
+	spec := sortapp.OneDeepMergesort(onedeep.Centralized)
+	oneDeep = &core.Curve{Name: "one-deep", SeqTime: seq.Seconds}
+	traditional = &core.Curve{Name: "traditional", SeqTime: seq.Seconds}
+
+	for _, np := range procs {
+		blocks := sortapp.BlockDistribute(data, np)
+		res, err := core.Simulate(np, model, func(p *spmd.Proc) {
+			out := onedeep.RunSPMD(p, spec, blocks[p.Rank()])
+			if !sortapp.IsSorted(out) {
+				panic("one-deep output unsorted")
+			}
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("fig 6 one-deep at %d procs: %w", np, err)
+		}
+		oneDeep.Points = append(oneDeep.Points, core.Point{
+			Procs: np, Time: res.Makespan, Speedup: seq.Seconds / res.Makespan,
+			Msgs: res.Msgs, Bytes: res.Bytes,
+		})
+
+		rec := sortapp.TraditionalMergesort(32)
+		res, err = core.Simulate(np, model, func(p *spmd.Proc) {
+			out := rec.RunSPMD(p, data)
+			if p.Rank() == 0 && !sortapp.IsSorted(out) {
+				panic("traditional output unsorted")
+			}
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("fig 6 traditional at %d procs: %w", np, err)
+		}
+		traditional.Points = append(traditional.Points, core.Point{
+			Procs: np, Time: res.Makespan, Speedup: seq.Seconds / res.Makespan,
+			Msgs: res.Msgs, Bytes: res.Bytes,
+		})
+	}
+	return oneDeep, traditional, nil
+}
+
+func runFig6(o Options) (*Result, error) {
+	n := o.scaleInt(1<<20, 1<<12)
+	procs := o.procs(core.PowersOfTwo(64))
+	banner(o, "Figure 6: mergesort speedups, %d int32, Intel Delta model", n)
+	oneDeep, trad, err := Fig6Curves(n, procs)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.WriteTable(o.out(), trad, oneDeep); err != nil {
+		return nil, err
+	}
+	return &Result{Curves: []*core.Curve{trad, oneDeep}}, nil
+}

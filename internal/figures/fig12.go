@@ -1,0 +1,77 @@
+package figures
+
+import (
+	"math"
+
+	"repro/internal/array"
+	"repro/internal/core"
+	"repro/internal/fft"
+	"repro/internal/machine"
+	"repro/internal/meshspectral"
+	"repro/internal/spmd"
+)
+
+func init() {
+	register(Figure{
+		ID:    "12",
+		Title: "Speedup of parallel 2D FFT vs sequential 2D FFT",
+		Caption: "Paper: repeated 2D FFT on the IBM SP, P = 1..32; the speedup is " +
+			"deliberately disappointing (maxing out around 3-5) because the " +
+			"computation-to-communication ratio of the transpose-based 2D FFT " +
+			"is too low — the paper's own caption makes this point. The " +
+			"published caption's grid size is corrupted in the source text; " +
+			"128x128 repeated 10x reproduces the reported saturation.",
+		Run: runFig12,
+	})
+}
+
+// Fig12Curve produces the Figure 12 speedup curve for an n×n complex grid
+// transformed reps times, over the given processor sweep.
+func Fig12Curve(n, reps int, procs []int) (*core.Curve, error) {
+	model := machine.IBMSP()
+	fill := func(gi, gj int) complex128 {
+		return complex(math.Sin(float64(gi)*0.37), math.Cos(float64(gj)*0.11))
+	}
+
+	// Sequential baseline: really run the sequential 2D FFT reps times.
+	seq := core.NewTally(model)
+	dense := array.New2D[complex128](n, n)
+	dense.Fill(fill)
+	for r := 0; r < reps; r++ {
+		fft.TwoDSeq(seq, dense, false)
+	}
+
+	curve := &core.Curve{Name: "2D FFT", SeqTime: seq.Seconds}
+	for _, np := range procs {
+		res, err := core.Simulate(np, model, func(p *spmd.Proc) {
+			g := meshspectral.New2D[complex128](p, n, n, meshspectral.Rows(p.N()), 0)
+			g.Fill(fill)
+			for r := 0; r < reps; r++ {
+				g = fft.TwoDSPMD(p, g, false)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		curve.Points = append(curve.Points, core.Point{
+			Procs: np, Time: res.Makespan, Speedup: seq.Seconds / res.Makespan,
+			Msgs: res.Msgs, Bytes: res.Bytes,
+		})
+	}
+	return curve, nil
+}
+
+func runFig12(o Options) (*Result, error) {
+	n := o.scalePow2(128, 16)
+	const reps = 10
+	procs := o.procs(core.PowersOfTwo(32))
+	banner(o, "Figure 12: 2D FFT speedup, %dx%d complex grid x%d reps, IBM SP model", n, n, reps)
+	curve, err := Fig12Curve(n, reps, procs)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.WriteTable(o.out(), curve); err != nil {
+		return nil, err
+	}
+	return &Result{Curves: []*core.Curve{curve}}, nil
+}

@@ -1,0 +1,69 @@
+package figures
+
+import (
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/meshspectral"
+	"repro/internal/poisson"
+	"repro/internal/spmd"
+)
+
+func init() {
+	register(Figure{
+		ID:    "15",
+		Title: "Speedup of parallel Poisson solver vs sequential Poisson solver",
+		Caption: "Paper: Jacobi iteration on the IBM SP, P up to ~36, fixed step " +
+			"count; modest saturating speedup — every step pays a boundary " +
+			"exchange plus a max-reduction against only a few flops per point. " +
+			"The published caption's grid size is corrupted in the source " +
+			"text; 128x128 x 100 steps reproduces the reported range.",
+		Run: runFig15,
+	})
+}
+
+// Fig15Curve produces the Figure 15 speedup curve for an n×n grid and the
+// given fixed iteration count, over the given processor sweep (near-square
+// block layouts, as §3.6.3's generic block distribution suggests).
+func Fig15Curve(n, steps int, procs []int) (*core.Curve, error) {
+	model := machine.IBMSP()
+	pr := poisson.Manufactured(n, n, 0, steps) // tolerance 0: fixed step count
+
+	seq := core.NewTally(model)
+	if _, res := poisson.SolveSeq(seq, pr); res.Iterations != steps {
+		panic("fig 15: sequential solver did not run the fixed step count")
+	}
+
+	curve := &core.Curve{Name: "Poisson", SeqTime: seq.Seconds}
+	for _, np := range procs {
+		l := meshspectral.NearSquare(np)
+		res, err := core.Simulate(np, model, func(p *spmd.Proc) {
+			poisson.SolveSPMD(p, pr, l)
+		})
+		if err != nil {
+			return nil, err
+		}
+		curve.Points = append(curve.Points, core.Point{
+			Procs: np, Time: res.Makespan, Speedup: seq.Seconds / res.Makespan,
+			Msgs: res.Msgs, Bytes: res.Bytes,
+		})
+	}
+	return curve, nil
+}
+
+func runFig15(o Options) (*Result, error) {
+	n := o.scaleInt(128, 16)
+	steps := 100
+	if o.scale() < 1 {
+		steps = 30
+	}
+	procs := o.procs([]int{1, 2, 4, 9, 16, 25, 36})
+	banner(o, "Figure 15: Poisson speedup, %dx%d grid, %d steps, IBM SP model", n, n, steps)
+	curve, err := Fig15Curve(n, steps, procs)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.WriteTable(o.out(), curve); err != nil {
+		return nil, err
+	}
+	return &Result{Curves: []*core.Curve{curve}}, nil
+}

@@ -1,0 +1,63 @@
+package figures
+
+import (
+	"repro/internal/cfd"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/meshspectral"
+	"repro/internal/spmd"
+)
+
+func init() {
+	register(Figure{
+		ID:    "16",
+		Title: "Speedup of 2D compressible-flow CFD code",
+		Caption: "Paper: 2D CFD on the Intel Delta, P = 1..100, near-linear " +
+			"speedup — the stencil computation dominates communication on a " +
+			"large grid. The published caption's grid size is corrupted in the " +
+			"source text; 384x384 with a 2D block decomposition reproduces the " +
+			"near-linear shape to 100 processors.",
+		Run: runFig16,
+	})
+}
+
+// Fig16Curve produces the Figure 16 speedup curve for an n×n grid over
+// the given steps and processor sweep.
+func Fig16Curve(n, steps int, procs []int) (*core.Curve, error) {
+	model := machine.IntelDelta()
+	pm := cfd.DefaultParams(n, n)
+
+	seq := core.NewTally(model)
+	cfd.NewSeq(pm).Run(seq, steps)
+
+	curve := &core.Curve{Name: "CFD", SeqTime: seq.Seconds}
+	for _, np := range procs {
+		l := meshspectral.NearSquare(np)
+		res, err := core.Simulate(np, model, func(p *spmd.Proc) {
+			cfd.NewSPMD(p, pm, l).Run(steps)
+		})
+		if err != nil {
+			return nil, err
+		}
+		curve.Points = append(curve.Points, core.Point{
+			Procs: np, Time: res.Makespan, Speedup: seq.Seconds / res.Makespan,
+			Msgs: res.Msgs, Bytes: res.Bytes,
+		})
+	}
+	return curve, nil
+}
+
+func runFig16(o Options) (*Result, error) {
+	n := o.scaleInt(384, 32)
+	const steps = 8
+	procs := o.procs([]int{1, 4, 16, 36, 64, 100})
+	banner(o, "Figure 16: CFD speedup, %dx%d grid, %d steps, Intel Delta model", n, n, steps)
+	curve, err := Fig16Curve(n, steps, procs)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.WriteTable(o.out(), curve); err != nil {
+		return nil, err
+	}
+	return &Result{Curves: []*core.Curve{curve}}, nil
+}

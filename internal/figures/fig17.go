@@ -1,0 +1,75 @@
+package figures
+
+import (
+	"repro/internal/core"
+	"repro/internal/fdtd"
+	"repro/internal/machine"
+	"repro/internal/spmd"
+)
+
+func init() {
+	register(Figure{
+		ID:    "17",
+		Title: "Speedup of 3D electromagnetics (FDTD) code",
+		Caption: "Paper: 3D FDTD on the IBM SP, P = 1..18, with performance " +
+			"DECREASING past ~16 processors because the ratio of computation " +
+			"to communication drops too low (the paper's own caption). Each " +
+			"step monitors the total field energy (a recursive-doubling sum " +
+			"reduction), as the original code monitored scattering " +
+			"quantities; with thin slabs the fixed per-step exchange plus the " +
+			"log-P reduction overtakes the shrinking compute share.",
+		Run: runFig17,
+	})
+}
+
+// Fig17Curve produces the Figure 17 speedup curve for an n³ grid over the
+// given steps and processor sweep. Every step computes the global field
+// energy, like the paper's scattering monitoring.
+func Fig17Curve(n, steps int, procs []int) (*core.Curve, error) {
+	model := machine.IBMSP()
+	pm := fdtd.DefaultParams(n)
+
+	seq := core.NewTally(model)
+	{
+		s := fdtd.NewSeq(pm)
+		for i := 0; i < steps; i++ {
+			s.Step(seq)
+			s.Energy()
+			seq.Flops(6 * float64(n) * float64(n) * float64(n))
+		}
+	}
+
+	curve := &core.Curve{Name: "FDTD", SeqTime: seq.Seconds}
+	for _, np := range procs {
+		res, err := core.Simulate(np, model, func(p *spmd.Proc) {
+			s := fdtd.NewSPMD(p, pm)
+			for i := 0; i < steps; i++ {
+				s.Step()
+				s.Energy()
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		curve.Points = append(curve.Points, core.Point{
+			Procs: np, Time: res.Makespan, Speedup: seq.Seconds / res.Makespan,
+			Msgs: res.Msgs, Bytes: res.Bytes,
+		})
+	}
+	return curve, nil
+}
+
+func runFig17(o Options) (*Result, error) {
+	n := o.scaleInt(32, 10)
+	const steps = 50
+	procs := o.procs([]int{1, 2, 4, 8, 12, 14, 16, 18})
+	banner(o, "Figure 17: FDTD speedup, %d^3 grid, %d steps, IBM SP model", n, steps)
+	curve, err := Fig17Curve(n, steps, procs)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.WriteTable(o.out(), curve); err != nil {
+		return nil, err
+	}
+	return &Result{Curves: []*core.Curve{curve}}, nil
+}

@@ -1,0 +1,141 @@
+// Package figures regenerates the paper's evaluation artefacts: one
+// registered experiment per data figure (6, 12, 15, 16, 17, 18), the
+// sample-output images (19, 20, 21) as PGM files, and the design-choice
+// ablations DESIGN.md calls out.
+//
+// Absolute numbers come from the simulated machine models and so are not
+// expected to match the 1990s hardware; the curves' shapes — who wins, by
+// roughly what factor, where the curves roll over — are the reproduction
+// targets. EXPERIMENTS.md records paper-vs-measured for every figure.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Options controls a figure run.
+type Options struct {
+	// Out receives the textual table (defaults to io.Discard).
+	Out io.Writer
+	// Dir is where image figures write their PGM files (default ".").
+	Dir string
+	// Scale multiplies the default workload size (grid edge or element
+	// count). 1.0 reproduces the paper-shaped default; benchmarks use
+	// smaller scales. Values <= 0 mean 1.0.
+	Scale float64
+	// MaxProcs caps the processor sweep when positive.
+	MaxProcs int
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+func (o Options) dir() string {
+	if o.Dir == "" {
+		return "."
+	}
+	return o.Dir
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 1
+	}
+	return o.Scale
+}
+
+// scaleInt applies the workload scale to a default size with a floor.
+func (o Options) scaleInt(def, min int) int {
+	n := int(float64(def) * o.scale())
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+// scalePow2 applies the scale and rounds down to a power of two.
+func (o Options) scalePow2(def, min int) int {
+	n := o.scaleInt(def, min)
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	if p < min {
+		p = min
+	}
+	return p
+}
+
+// procs filters a sweep by MaxProcs.
+func (o Options) procs(sweep []int) []int {
+	if o.MaxProcs <= 0 {
+		return sweep
+	}
+	var out []int
+	for _, p := range sweep {
+		if p <= o.MaxProcs {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}
+
+// Result is what a figure run produces.
+type Result struct {
+	// Curves holds the speedup series (nil for image figures).
+	Curves []*core.Curve
+	// Files lists image files written (nil for table figures).
+	Files []string
+}
+
+// Figure is one registered experiment.
+type Figure struct {
+	ID      string
+	Title   string
+	Caption string
+	Run     func(o Options) (*Result, error)
+}
+
+var registry []Figure
+
+func register(f Figure) { registry = append(registry, f) }
+
+// All returns every registered figure sorted by ID.
+func All() []Figure {
+	out := append([]Figure(nil), registry...)
+	sort.Slice(out, func(i, j int) bool {
+		// Numeric-ish ordering: pad short IDs.
+		a, b := out[i].ID, out[j].ID
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return out
+}
+
+// ByID looks a figure up.
+func ByID(id string) (Figure, bool) {
+	for _, f := range registry {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return Figure{}, false
+}
+
+// banner prints the figure header to the options' writer.
+func banner(o Options, f string, args ...any) {
+	fmt.Fprintf(o.out(), "=== "+f+" ===\n", args...)
+}

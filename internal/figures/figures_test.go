@@ -1,0 +1,321 @@
+package figures
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"6", "12", "15", "16", "17", "18", "19", "20", "21", "A1", "A2", "A3", "A4", "A5", "A6"}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("figure %q not registered", id)
+		}
+	}
+	if len(All()) < len(want) {
+		t.Errorf("registry has %d figures, want at least %d", len(All()), len(want))
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown figure should not resolve")
+	}
+	for _, f := range All() {
+		if f.Title == "" || f.Run == nil {
+			t.Errorf("figure %s lacks title or runner", f.ID)
+		}
+	}
+}
+
+func TestOptionsHelpers(t *testing.T) {
+	var o Options
+	if o.scale() != 1 || o.out() == nil || o.dir() != "." {
+		t.Error("zero options defaults wrong")
+	}
+	o = Options{Scale: 0.5}
+	if o.scaleInt(100, 10) != 50 {
+		t.Errorf("scaleInt = %d", o.scaleInt(100, 10))
+	}
+	if o.scaleInt(10, 8) != 8 {
+		t.Error("scaleInt floor not applied")
+	}
+	if o.scalePow2(128, 16) != 64 {
+		t.Errorf("scalePow2 = %d", o.scalePow2(128, 16))
+	}
+	o = Options{MaxProcs: 10}
+	got := o.procs([]int{1, 4, 16, 64})
+	if len(got) != 2 || got[1] != 4 {
+		t.Errorf("procs cap = %v", got)
+	}
+	if ps := (Options{MaxProcs: 1}).procs([]int{4, 8}); len(ps) != 1 || ps[0] != 1 {
+		t.Errorf("empty cap should fall back to {1}, got %v", ps)
+	}
+}
+
+func TestFig6ShapeOneDeepBeatsTraditional(t *testing.T) {
+	oneDeep, trad, err := Fig6Curves(1<<16, []int{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline: "the one-deep version performs significantly
+	// better".
+	spOne, spTrad := oneDeep.SpeedupAt(16), trad.SpeedupAt(16)
+	if spOne <= 2*spTrad {
+		t.Errorf("one-deep %0.2f should beat traditional %0.2f by >2x at 16 procs", spOne, spTrad)
+	}
+	if spOne < 6 {
+		t.Errorf("one-deep speedup %0.2f at 16 procs too low", spOne)
+	}
+	if spTrad > 8 {
+		t.Errorf("traditional speedup %0.2f at 16 procs implausibly high", spTrad)
+	}
+	// Both near 1 at a single processor.
+	if s := oneDeep.SpeedupAt(1); s < 0.7 || s > 1.2 {
+		t.Errorf("one-deep 1-proc speedup %0.2f should be ~1", s)
+	}
+}
+
+func TestFig12ShapeSaturates(t *testing.T) {
+	curve, err := Fig12Curve(64, 3, []int{1, 8, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Disappointing performance is a result of too small a ratio of
+	// computation to communication": far below perfect at 32.
+	if s := curve.SpeedupAt(32); s > 16 {
+		t.Errorf("FFT speedup %0.2f at 32 procs should be well below perfect", s)
+	}
+	// But parallelism still helps at small P.
+	if curve.SpeedupAt(8) <= curve.SpeedupAt(1) {
+		t.Error("FFT speedup should improve from 1 to 8 procs")
+	}
+	// Saturation: the 8->32 gain is far below the 4x proc increase.
+	if g := curve.SpeedupAt(32) / curve.SpeedupAt(8); g > 3 {
+		t.Errorf("FFT gain 8->32 procs = %0.2fx, should show saturation", g)
+	}
+}
+
+func TestFig15ShapeSublinear(t *testing.T) {
+	curve, err := Fig15Curve(64, 20, []int{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := curve.SpeedupAt(16); s > 8 {
+		t.Errorf("Poisson speedup %0.2f at 16 procs should be clearly sublinear on this grid", s)
+	}
+	if curve.SpeedupAt(4) <= curve.SpeedupAt(1) {
+		t.Error("Poisson speedup should improve from 1 to 4 procs")
+	}
+}
+
+func TestFig16ShapeNearLinear(t *testing.T) {
+	curve, err := Fig16Curve(96, 3, []int{1, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff := curve.SpeedupAt(16) / 16; eff < 0.75 {
+		t.Errorf("CFD efficiency %0.2f at 16 procs, want near-linear (>0.75)", eff)
+	}
+	if s := curve.SpeedupAt(1); s < 0.9 || s > 1.1 {
+		t.Errorf("CFD 1-proc speedup %0.2f should be ~1", s)
+	}
+}
+
+func TestFig17ShapeRollsOverPast16(t *testing.T) {
+	curve, err := Fig17Curve(32, 10, []int{8, 16, 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's caption: performance decreases for more than ~16
+	// processors.
+	if curve.SpeedupAt(18) >= curve.SpeedupAt(16) {
+		t.Errorf("FDTD should roll over past 16 procs: s(16)=%0.2f s(18)=%0.2f",
+			curve.SpeedupAt(16), curve.SpeedupAt(18))
+	}
+	if curve.SpeedupAt(16) <= curve.SpeedupAt(8) {
+		t.Error("FDTD should still improve from 8 to 16 procs")
+	}
+}
+
+func TestFig18ShapeSuperlinearThenBelow(t *testing.T) {
+	curve, err := Fig18Curve(129, 128, 5, 5, []int{5, 10, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relative to the paged 5-processor base: better than ideal at 2x...
+	if s := curve.SpeedupAt(10); s <= 2 {
+		t.Errorf("relative speedup at 10 procs = %0.2f, want >2 (paging at base)", s)
+	}
+	// ...but below ideal at 8x.
+	if s := curve.SpeedupAt(40); s >= 8 {
+		t.Errorf("relative speedup at 40 procs = %0.2f, want <8", s)
+	}
+	if curve.SpeedupAt(5) != 1 {
+		t.Error("base point should have relative speedup exactly 1")
+	}
+}
+
+// readPGMHeader validates a PGM file and returns its dimensions.
+func readPGMHeader(t *testing.T, path string) (int, int) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var magic string
+	var w, h, maxv int
+	if _, err := fmt.Fscan(br, &magic, &w, &h, &maxv); err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	if magic != "P5" || maxv != 255 || w <= 0 || h <= 0 {
+		t.Fatalf("bad PGM header in %s: %s %d %d %d", path, magic, w, h, maxv)
+	}
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One whitespace byte separates header from pixels.
+	if len(rest) < w*h {
+		t.Fatalf("%s: %d pixel bytes, want >= %d", path, len(rest), w*h)
+	}
+	return w, h
+}
+
+func TestImageFiguresWriteValidPGMs(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	o := Options{Out: &buf, Dir: dir, Scale: 0.15}
+	for _, id := range []string{"19", "20", "21"} {
+		f, _ := ByID(id)
+		res, err := f.Run(o)
+		if err != nil {
+			t.Fatalf("figure %s: %v", id, err)
+		}
+		if len(res.Files) == 0 {
+			t.Fatalf("figure %s wrote no files", id)
+		}
+		for _, path := range res.Files {
+			w, h := readPGMHeader(t, path)
+			if w < 8 || h < 8 {
+				t.Errorf("%s suspiciously small: %dx%d", path, w, h)
+			}
+			if filepath.Dir(path) != dir {
+				t.Errorf("%s written outside requested dir", path)
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), "wrote") {
+		t.Error("image figures should report written files")
+	}
+}
+
+func TestFig20ImagesDiffer(t *testing.T) {
+	dir := t.TempDir()
+	f, _ := ByID("20")
+	res, err := f.Run(Options{Dir: dir, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 4 {
+		t.Fatalf("figure 20 should write 4 panels, wrote %d", len(res.Files))
+	}
+	early, err := os.ReadFile(res.Files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := os.ReadFile(res.Files[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(early, late) {
+		t.Error("early and late density panels identical — simulation not advancing?")
+	}
+}
+
+func TestAblationReduceShape(t *testing.T) {
+	rows, err := AblationReduce([]int{4, 64}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gather+broadcast degrades faster with P than recursive doubling.
+	small := rows[0].B / rows[0].A
+	large := rows[1].B / rows[1].A
+	if large <= small {
+		t.Errorf("gather+bcast penalty should grow with P: %0.2f -> %0.2f", small, large)
+	}
+	if large < 1.5 {
+		t.Errorf("recursive doubling should clearly win at 64 procs (ratio %0.2f)", large)
+	}
+}
+
+func TestAblationAllGatherCrossover(t *testing.T) {
+	rows, err := AblationAllGather([]int{4, 64}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].B >= rows[0].A {
+		t.Errorf("direct exchange should win at 4 procs: %g vs %g", rows[0].B, rows[0].A)
+	}
+	if rows[1].B <= rows[1].A {
+		t.Errorf("gather+bcast should win at 64 procs: %g vs %g", rows[1].A, rows[1].B)
+	}
+}
+
+func TestModelValidationErrors(t *testing.T) {
+	rows, err := ModelValidation(64, 10, []int{4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if e := math.Abs(r.Error()); e > 0.3 {
+			t.Errorf("P=%d %v: model error %.0f%% exceeds 30%%", r.Procs, r.Layout, 100*e)
+		}
+	}
+}
+
+func TestMachineSweepShape(t *testing.T) {
+	curves, err := MachineSweep(1<<14, []int{1, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 4 {
+		t.Fatalf("expected 4 machine curves, got %d", len(curves))
+	}
+	byName := map[string]float64{}
+	for _, c := range curves {
+		byName[c.Name] = c.SpeedupAt(16)
+	}
+	// The SMP should scale at least as well as anything; the Ethernet
+	// workstation network should be clearly worst.
+	if byName["smp"] < byName["workstations"] {
+		t.Error("SMP should outscale the workstation network")
+	}
+	if byName["workstations"] >= byName["intel-delta"] {
+		t.Error("workstation network should scale worse than the Delta")
+	}
+}
+
+func TestTableFiguresRunAtTinyScale(t *testing.T) {
+	// Every table figure runs end to end at a tiny scale and prints a
+	// table (integration smoke test of the registry plumbing).
+	for _, id := range []string{"6", "12", "15", "16", "17", "18", "A2", "A3"} {
+		f, _ := ByID(id)
+		var buf bytes.Buffer
+		if _, err := f.Run(Options{Out: &buf, Scale: 0.1, MaxProcs: 8}); err != nil {
+			t.Fatalf("figure %s at tiny scale: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), "procs") {
+			t.Errorf("figure %s printed no table:\n%s", id, buf.String())
+		}
+	}
+}

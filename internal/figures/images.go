@@ -1,0 +1,145 @@
+package figures
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/array"
+	"repro/internal/cfd"
+	"repro/internal/machine"
+	"repro/internal/meshspectral"
+	"repro/internal/spmd"
+	"repro/internal/swirl"
+)
+
+func init() {
+	register(Figure{
+		ID:    "19",
+		Title: "CFD output: density as a shock interacts with a sinusoidal density gradient",
+		Caption: "Reproduced as a PGM image from the same shock-interface problem " +
+			"run on the distributed mesh archetype.",
+		Run: runFig19,
+	})
+	register(Figure{
+		ID:    "20",
+		Title: "CFD output: density and vorticity, shock / sinusoidal interface, early and late times",
+		Caption: "Four panels: density and vorticity at an early time (shock " +
+			"reaching the interface) and a late time (after interaction).",
+		Run: runFig20,
+	})
+	register(Figure{
+		ID:    "21",
+		Title: "Spectral-code output: azimuthal velocity in a swirling flow",
+		Caption: "The swirl code's u(r, z) field rendered as a PGM image after " +
+			"spin-up under the stirring force.",
+		Run: runFig21,
+	})
+}
+
+func writePGM(o Options, name string, a *array.Dense2D[float64]) (string, error) {
+	path := filepath.Join(o.dir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("figures: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := meshspectral.WritePGM(a, f, 0, 0); err != nil {
+		return "", err
+	}
+	fmt.Fprintf(o.out(), "wrote %s (%dx%d)\n", path, a.NY, a.NX)
+	return path, nil
+}
+
+// runCFDSnapshots runs the shock-interface problem on 4 simulated
+// processes and returns gathered snapshots at the requested step counts.
+func runCFDSnapshots(nx, ny int, snaps []int) ([]*array.Dense2D[cfd.Cell], error) {
+	pm := cfd.DefaultParams(nx, ny)
+	out := make([]*array.Dense2D[cfd.Cell], len(snaps))
+	_, err := spmd.NewWorld(4, machine.IntelDelta()).Run(func(p *spmd.Proc) {
+		s := cfd.NewSPMD(p, pm, meshspectral.Blocks(2, 2))
+		done := 0
+		for si, target := range snaps {
+			for done < target {
+				s.Step()
+				done++
+			}
+			full := meshspectral.GatherGrid(s.U, 0)
+			if p.Rank() == 0 {
+				out[si] = full
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func runFig19(o Options) (*Result, error) {
+	nx := o.scaleInt(256, 32)
+	ny := nx / 2
+	steps := o.scaleInt(400, 40)
+	banner(o, "Figure 19: shock/interface density, %dx%d grid, %d steps", nx, ny, steps)
+	snaps, err := runCFDSnapshots(nx, ny, []int{steps})
+	if err != nil {
+		return nil, err
+	}
+	// Transpose so x runs horizontally in the image.
+	img := cfd.Density(snaps[0]).Transpose()
+	path, err := writePGM(o, "fig19_density.pgm", img)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Files: []string{path}}, nil
+}
+
+func runFig20(o Options) (*Result, error) {
+	nx := o.scaleInt(256, 32)
+	ny := nx / 2
+	early := o.scaleInt(150, 15)
+	late := o.scaleInt(450, 45)
+	banner(o, "Figure 20: density+vorticity at steps %d and %d, %dx%d grid", early, late, nx, ny)
+	snaps, err := runCFDSnapshots(nx, ny, []int{early, late})
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for i, label := range []string{"early", "late"} {
+		d, err := writePGM(o, fmt.Sprintf("fig20_density_%s.pgm", label), cfd.Density(snaps[i]).Transpose())
+		if err != nil {
+			return nil, err
+		}
+		v, err := writePGM(o, fmt.Sprintf("fig20_vorticity_%s.pgm", label), cfd.Vorticity(snaps[i]).Transpose())
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, d, v)
+	}
+	return &Result{Files: files}, nil
+}
+
+func runFig21(o Options) (*Result, error) {
+	nr := o.scaleInt(129, 17)
+	nz := o.scalePow2(128, 16)
+	steps := o.scaleInt(200, 20)
+	banner(o, "Figure 21: swirling-flow azimuthal velocity, %dx%d grid, %d steps", nr, nz, steps)
+	pm := swirl.DefaultParams(nr, nz)
+	var field *array.Dense2D[float64]
+	_, err := spmd.NewWorld(4, machine.IBMSP()).Run(func(p *spmd.Proc) {
+		s := swirl.NewSPMD(p, pm)
+		s.Run(steps)
+		full := meshspectral.GatherGrid(s.U, 0)
+		if p.Rank() == 0 {
+			field = swirl.AzimuthalVelocity(full)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	path, err := writePGM(o, "fig21_swirl.pgm", field)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Files: []string{path}}, nil
+}

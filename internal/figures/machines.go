@@ -1,0 +1,69 @@
+package figures
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/onedeep"
+	"repro/internal/sortapp"
+	"repro/internal/spmd"
+)
+
+func init() {
+	register(Figure{
+		ID:    "A5",
+		Title: "Ablation: one archetype program across machine classes",
+		Caption: "The paper argues archetype programs port across architectures " +
+			"(multicomputers, SMPs, workstation networks) with only the " +
+			"communication library re-tuned. The same one-deep mergesort binary " +
+			"is costed under all four machine profiles; the program is " +
+			"unchanged, only the machine model differs.",
+		Run: runMachinesAblation,
+	})
+}
+
+// MachineSweep runs the one-deep mergesort across every built-in machine
+// profile and returns one curve per machine.
+func MachineSweep(n int, procs []int) ([]*core.Curve, error) {
+	data := sortapp.RandomInts(n, 31)
+	models := []*machine.Model{
+		machine.IntelDelta(), machine.IBMSP(), machine.Workstations(), machine.SMP(),
+	}
+	var curves []*core.Curve
+	for _, m := range models {
+		seq := core.NewTally(m)
+		sortapp.MergeSort(seq, data)
+		c := &core.Curve{Name: m.Name, SeqTime: seq.Seconds}
+		spec := sortapp.OneDeepMergesort(onedeep.Centralized)
+		for _, np := range procs {
+			blocks := sortapp.BlockDistribute(data, np)
+			res, err := core.Simulate(np, m, func(p *spmd.Proc) {
+				onedeep.RunSPMD(p, spec, blocks[p.Rank()])
+			})
+			if err != nil {
+				return nil, fmt.Errorf("machine sweep on %s at %d procs: %w", m.Name, np, err)
+			}
+			c.Points = append(c.Points, core.Point{
+				Procs: np, Time: res.Makespan, Speedup: seq.Seconds / res.Makespan,
+				Msgs: res.Msgs, Bytes: res.Bytes,
+			})
+		}
+		curves = append(curves, c)
+	}
+	return curves, nil
+}
+
+func runMachinesAblation(o Options) (*Result, error) {
+	n := o.scaleInt(1<<19, 1<<12)
+	procs := o.procs(core.PowersOfTwo(64))
+	banner(o, "Ablation A5: one-deep mergesort, %d int32, across machine classes", n)
+	curves, err := MachineSweep(n, procs)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.WriteTable(o.out(), curves...); err != nil {
+		return nil, err
+	}
+	return &Result{Curves: curves}, nil
+}

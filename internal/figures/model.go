@@ -1,0 +1,79 @@
+package figures
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/meshspectral"
+	"repro/internal/perfmodel"
+	"repro/internal/poisson"
+	"repro/internal/spmd"
+)
+
+func init() {
+	register(Figure{
+		ID:    "A6",
+		Title: "Validation: archetype performance model vs simulation (Poisson)",
+		Caption: "§1.1 claims archetypes help build performance models; the " +
+			"closed-form mesh model's predictions are tabulated against the " +
+			"simulator for the Poisson solver across processor counts and " +
+			"both 1D and 2D decompositions.",
+		Run: runModelValidation,
+	})
+}
+
+// ModelRow is one prediction-vs-measurement comparison.
+type ModelRow struct {
+	Procs     int
+	Layout    meshspectral.Layout
+	Predicted float64
+	Measured  float64
+}
+
+// Error returns the relative prediction error.
+func (r ModelRow) Error() float64 {
+	return (r.Predicted - r.Measured) / r.Measured
+}
+
+// ModelValidation compares the closed-form Poisson model with simulation
+// for every (procs, layout) pair.
+func ModelValidation(n, steps int, procs []int) ([]ModelRow, error) {
+	m := machine.IBMSP()
+	var rows []ModelRow
+	for _, np := range procs {
+		for _, l := range []meshspectral.Layout{meshspectral.Rows(np), meshspectral.NearSquare(np)} {
+			pr := poisson.Manufactured(n, n, 0, steps)
+			res, err := core.Simulate(np, m, func(p *spmd.Proc) {
+				poisson.SolveSPMD(p, pr, l)
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ModelRow{
+				Procs:     np,
+				Layout:    l,
+				Predicted: perfmodel.Poisson(m, n, n, steps, l),
+				Measured:  res.Makespan,
+			})
+		}
+	}
+	return rows, nil
+}
+
+func runModelValidation(o Options) (*Result, error) {
+	n := o.scaleInt(128, 32)
+	const steps = 50
+	banner(o, "Validation A6: Poisson performance model, %dx%d grid, %d steps, IBM SP model", n, n, steps)
+	rows, err := ModelValidation(n, steps, o.procs([]int{4, 9, 16, 25, 36}))
+	if err != nil {
+		return nil, err
+	}
+	w := o.out()
+	fmt.Fprintf(w, "%8s %8s %14s %14s %8s\n", "procs", "layout", "predicted", "measured", "error")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %8s %13.6gs %13.6gs %7.1f%%\n",
+			r.Procs, r.Layout.String(), r.Predicted, r.Measured, 100*r.Error())
+	}
+	return &Result{}, nil
+}

@@ -1,0 +1,168 @@
+// Package machine defines the cost model for the simulated
+// distributed-memory machines on which archetype programs run.
+//
+// The paper's evaluation was performed on the Intel Touchstone Delta, the
+// Intel Paragon, the IBM SP, and networks of Sun and Pentium workstations.
+// None of that hardware is available, so the reproduction substitutes a
+// deterministic LogGP-style cost model: each simulated process carries a
+// virtual clock; computation advances it by FlopTime per floating-point
+// operation (or CmpTime per comparison), and a message of b bytes costs the
+// sender SendOverhead, travels for Latency + b/Bandwidth, and costs the
+// receiver RecvOverhead. Speedup curves produced under this model depend
+// only on compute/communication ratios and serial fractions, which is what
+// the paper's figures measure.
+package machine
+
+import "fmt"
+
+// Model is a LogGP-style machine description. All times are in seconds,
+// sizes in bytes. The zero Model is not useful; use one of the profile
+// constructors or fill in every field.
+type Model struct {
+	Name string
+
+	// FlopTime is the virtual cost of one floating-point operation.
+	FlopTime float64
+	// CmpTime is the virtual cost of one comparison/exchange step in
+	// integer-sorting workloads (usually close to FlopTime but kept
+	// separate so sorting and PDE workloads can be calibrated apart).
+	CmpTime float64
+	// MemTime is the virtual cost of touching one word of memory in
+	// copy/pack/unpack loops (data movement without arithmetic).
+	MemTime float64
+
+	// Latency is the end-to-end wire latency of a message.
+	Latency float64
+	// Bandwidth is the per-link bandwidth in bytes/second.
+	Bandwidth float64
+	// SendOverhead and RecvOverhead are the processor occupancies for
+	// issuing and retiring one message.
+	SendOverhead float64
+	RecvOverhead float64
+
+	// MemPerProc, when positive, is the number of bytes a single process
+	// can hold resident before it starts paging. When a process declares
+	// more resident data than this (see spmd.Proc.SetResident), its
+	// compute charges are multiplied by PagingFactor. This reproduces
+	// the super-linear small-P speedups the paper attributes to paging
+	// (Figure 18 caption).
+	MemPerProc   float64
+	PagingFactor float64
+}
+
+// Validate reports an error if the model is unusable.
+func (m *Model) Validate() error {
+	switch {
+	case m.FlopTime <= 0:
+		return fmt.Errorf("machine %q: FlopTime must be positive, got %g", m.Name, m.FlopTime)
+	case m.CmpTime <= 0:
+		return fmt.Errorf("machine %q: CmpTime must be positive, got %g", m.Name, m.CmpTime)
+	case m.MemTime <= 0:
+		return fmt.Errorf("machine %q: MemTime must be positive, got %g", m.Name, m.MemTime)
+	case m.Latency < 0:
+		return fmt.Errorf("machine %q: Latency must be non-negative, got %g", m.Name, m.Latency)
+	case m.Bandwidth <= 0:
+		return fmt.Errorf("machine %q: Bandwidth must be positive, got %g", m.Name, m.Bandwidth)
+	case m.SendOverhead < 0 || m.RecvOverhead < 0:
+		return fmt.Errorf("machine %q: overheads must be non-negative", m.Name)
+	case m.MemPerProc > 0 && m.PagingFactor < 1:
+		return fmt.Errorf("machine %q: PagingFactor must be >= 1 when MemPerProc is set", m.Name)
+	}
+	return nil
+}
+
+// MsgTime returns the full latency seen by a receiver that was already
+// waiting when a message of b bytes was sent: send overhead, wire latency,
+// serialization, and receive overhead.
+func (m *Model) MsgTime(b int) float64 {
+	return m.SendOverhead + m.Latency + float64(b)/m.Bandwidth + m.RecvOverhead
+}
+
+// IntelDelta returns a profile resembling the Intel Touchstone Delta
+// (i860 nodes, 2D mesh interconnect) used for the paper's Figures 6 and 16:
+// respectable per-node compute for its day, high message latency, modest
+// bandwidth.
+func IntelDelta() *Model {
+	return &Model{
+		Name:         "intel-delta",
+		FlopTime:     150e-9, // ~7 Mflop/s sustained (i860 was hard to feed)
+		CmpTime:      250e-9, // comparison-exchange step incl. data movement
+		MemTime:      60e-9,
+		Latency:      75e-6,
+		Bandwidth:    10e6,
+		SendOverhead: 25e-6,
+		RecvOverhead: 25e-6,
+	}
+}
+
+// IBMSP returns a profile resembling the IBM SP (POWER2 nodes, multistage
+// switch) used for the paper's Figures 12, 15, 17, and 18: much faster
+// nodes than the Delta, moderately better network, hence a lower
+// computation-to-communication ratio for the same problem.
+func IBMSP() *Model {
+	return &Model{
+		Name:         "ibm-sp",
+		FlopTime:     25e-9, // ~40 Mflop/s sustained
+		CmpTime:      20e-9,
+		MemTime:      10e-9,
+		Latency:      40e-6,
+		Bandwidth:    35e6,
+		SendOverhead: 15e-6,
+		RecvOverhead: 15e-6,
+	}
+}
+
+// IBMSPPaged returns the IBM SP profile with the memory-pressure model
+// enabled: memPerProc bytes resident per process before paging sets in,
+// with the given slowdown factor. The paper's Figure 18 explains its
+// better-than-ideal small-P speedups by paging at the 5-processor base;
+// this profile reproduces that effect.
+func IBMSPPaged(memPerProc float64, factor float64) *Model {
+	m := IBMSP()
+	m.Name = "ibm-sp-paged"
+	m.MemPerProc = memPerProc
+	m.PagingFactor = factor
+	return m
+}
+
+// Workstations returns a profile resembling a network of Sun/Pentium
+// workstations on shared Ethernet: fast-ish nodes, very slow network.
+func Workstations() *Model {
+	return &Model{
+		Name:         "workstations",
+		FlopTime:     30e-9,
+		CmpTime:      25e-9,
+		MemTime:      12e-9,
+		Latency:      700e-6,
+		Bandwidth:    1e6,
+		SendOverhead: 150e-6,
+		RecvOverhead: 150e-6,
+	}
+}
+
+// SMP returns a profile resembling a symmetric multiprocessor where
+// "messages" are shared-memory copies: negligible latency, high bandwidth.
+// The paper argues archetypes apply to shared-memory machines as well;
+// this profile lets the same programs be costed under that regime.
+func SMP() *Model {
+	return &Model{
+		Name:         "smp",
+		FlopTime:     25e-9,
+		CmpTime:      20e-9,
+		MemTime:      10e-9,
+		Latency:      2e-6,
+		Bandwidth:    400e6,
+		SendOverhead: 1e-6,
+		RecvOverhead: 1e-6,
+	}
+}
+
+// Profiles returns all built-in machine profiles keyed by name.
+func Profiles() map[string]*Model {
+	ms := []*Model{IntelDelta(), IBMSP(), Workstations(), SMP()}
+	out := make(map[string]*Model, len(ms))
+	for _, m := range ms {
+		out[m.Name] = m
+	}
+	return out
+}

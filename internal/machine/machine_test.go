@@ -1,0 +1,90 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfilesValidate(t *testing.T) {
+	for name, m := range Profiles() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("profile %s: %v", name, err)
+		}
+		if m.Name != name {
+			t.Errorf("profile keyed %q has Name %q", name, m.Name)
+		}
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Model)
+	}{
+		{"zero flop", func(m *Model) { m.FlopTime = 0 }},
+		{"negative cmp", func(m *Model) { m.CmpTime = -1 }},
+		{"zero mem", func(m *Model) { m.MemTime = 0 }},
+		{"negative latency", func(m *Model) { m.Latency = -1e-6 }},
+		{"zero bandwidth", func(m *Model) { m.Bandwidth = 0 }},
+		{"negative send overhead", func(m *Model) { m.SendOverhead = -1 }},
+		{"negative recv overhead", func(m *Model) { m.RecvOverhead = -1 }},
+		{"paging factor below one", func(m *Model) { m.MemPerProc = 1 << 20; m.PagingFactor = 0.5 }},
+	}
+	for _, tc := range cases {
+		m := IBMSP()
+		tc.mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: expected validation error, got nil", tc.name)
+		}
+	}
+}
+
+func TestMsgTimeComponents(t *testing.T) {
+	m := &Model{
+		Name: "t", FlopTime: 1e-9, CmpTime: 1e-9, MemTime: 1e-9,
+		Latency: 10e-6, Bandwidth: 1e6, SendOverhead: 2e-6, RecvOverhead: 3e-6,
+	}
+	got := m.MsgTime(1000) // 1000 bytes at 1 MB/s = 1 ms
+	want := 2e-6 + 10e-6 + 1e-3 + 3e-6
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("MsgTime(1000) = %g, want %g", got, want)
+	}
+	if m.MsgTime(0) != 2e-6+10e-6+3e-6 {
+		t.Errorf("MsgTime(0) should be pure overhead+latency")
+	}
+}
+
+func TestMsgTimeMonotoneInSize(t *testing.T) {
+	m := IntelDelta()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.MsgTime(x) <= m.MsgTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaSlowerThanSP(t *testing.T) {
+	delta, sp := IntelDelta(), IBMSP()
+	if delta.FlopTime <= sp.FlopTime {
+		t.Error("Delta nodes should be slower than SP nodes")
+	}
+	if delta.MsgTime(8192) <= sp.MsgTime(8192) {
+		t.Error("Delta messages should be more expensive than SP messages")
+	}
+}
+
+func TestPagedProfile(t *testing.T) {
+	m := IBMSPPaged(64<<20, 8)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.MemPerProc != 64<<20 || m.PagingFactor != 8 {
+		t.Errorf("paged profile fields not set: %+v", m)
+	}
+}

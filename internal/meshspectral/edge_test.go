@@ -1,0 +1,133 @@
+package meshspectral
+
+import (
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/spmd"
+)
+
+// Edge cases: grids smaller than the process count produce empty local
+// sections on some processes; every operation must still work.
+
+func TestEmptyLocalSections(t *testing.T) {
+	const nx, ny = 2, 3 // 4 processes by rows: ranks 2,3 own nothing
+	val := func(i, j int) float64 { return float64(i*10 + j) }
+	run(t, 4, func(p *spmd.Proc) {
+		g := New2D[float64](p, nx, ny, Rows(4), 1)
+		g.Fill(val)
+		x0, x1 := g.OwnedX()
+		if x1-x0 > 1 {
+			t.Errorf("rank %d owns %d rows of a 2-row grid over 4 procs", p.Rank(), x1-x0)
+		}
+		g.ExchangeBoundary() // must not deadlock or panic
+		g.Assign(1, func(gi, gj int) float64 { return val(gi, gj) + 1 })
+		full := GatherGrid(g, 0)
+		if p.Rank() == 0 {
+			for i := 0; i < nx; i++ {
+				for j := 0; j < ny; j++ {
+					if full.At(i, j) != val(i, j)+1 {
+						t.Errorf("(%d,%d) = %g", i, j, full.At(i, j))
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestRedistributeWithEmptySections(t *testing.T) {
+	// 3x8 grid: by rows over 6 procs half the procs are empty; by cols
+	// everyone owns something. Round trip through both.
+	const nx, ny = 3, 8
+	val := func(i, j int) float64 { return float64(i*100 + j) }
+	run(t, 6, func(p *spmd.Proc) {
+		g := New2D[float64](p, nx, ny, Rows(6), 0)
+		g.Fill(val)
+		c := g.Redistribute(Cols(6))
+		back := c.Redistribute(Rows(6))
+		x0, x1 := back.OwnedX()
+		for gi := x0; gi < x1; gi++ {
+			for gj := 0; gj < ny; gj++ {
+				if back.At(gi, gj) != val(gi, gj) {
+					t.Errorf("roundtrip (%d,%d) = %g", gi, gj, back.At(gi, gj))
+				}
+			}
+		}
+	})
+}
+
+func TestRowOpOnEmptySection(t *testing.T) {
+	run(t, 4, func(p *spmd.Proc) {
+		g := New2D[float64](p, 2, 4, Rows(4), 0)
+		calls := 0
+		g.RowOp(func(gi int, row []float64) { calls++ })
+		x0, x1 := g.OwnedX()
+		if calls != x1-x0 {
+			t.Errorf("rank %d: RowOp ran %d times for %d rows", p.Rank(), calls, x1-x0)
+		}
+	})
+}
+
+func TestOneByOneGrid(t *testing.T) {
+	run(t, 1, func(p *spmd.Proc) {
+		g := New2D[float64](p, 1, 1, Rows(1), 1)
+		g.Set(0, 0, 42)
+		g.ExchangeBoundary()
+		if g.At(0, 0) != 42 {
+			t.Error("1x1 grid lost its value")
+		}
+		full := GatherGrid(g, 0)
+		if full.At(0, 0) != 42 {
+			t.Error("1x1 gather wrong")
+		}
+	})
+}
+
+func TestScatterEmptySections(t *testing.T) {
+	full := array.New2D[float64](2, 5)
+	full.Fill(func(i, j int) float64 { return float64(i + j) })
+	var back *array.Dense2D[float64]
+	run(t, 4, func(p *spmd.Proc) {
+		var src *array.Dense2D[float64]
+		if p.Rank() == 0 {
+			src = full
+		}
+		g := ScatterGrid(p, src, 0, Rows(4), 0)
+		out := GatherGrid(g, 0)
+		if p.Rank() == 0 {
+			back = out
+		}
+	})
+	for k := range full.Data {
+		if back.Data[k] != full.Data[k] {
+			t.Fatalf("scatter/gather with empty sections mismatch at %d", k)
+		}
+	}
+}
+
+func TestGrid3DEmptySlabs(t *testing.T) {
+	const nx = 2
+	run(t, 4, func(p *spmd.Proc) {
+		g := New3D[float64](p, nx, 3, 3, 1)
+		g.Fill(func(i, j, k int) float64 { return float64(i) })
+		g.ExchangeBoundary()
+		full := GatherGrid3(g, 0)
+		if p.Rank() == 0 {
+			if full.At(0, 0, 0) != 0 || full.At(1, 0, 0) != 1 {
+				t.Error("3D gather with empty slabs wrong")
+			}
+		}
+	})
+}
+
+func TestInteriorOnEmptySection(t *testing.T) {
+	run(t, 4, func(p *spmd.Proc) {
+		g := New2D[float64](p, 2, 2, Rows(4), 1)
+		lo, hi := g.InteriorX()
+		if lo > hi {
+			// Empty is fine, inverted is fine to iterate (no-op), but
+			// AssignRegion must tolerate it:
+			g.AssignRegion(lo, hi, 0, 2, 1, func(gi, gj int) float64 { return 0 })
+		}
+	})
+}

@@ -1,0 +1,42 @@
+package meshspectral
+
+import (
+	"repro/internal/collective"
+	"repro/internal/spmd"
+)
+
+// Global is a variable common to all points in the grid — a constant, or
+// the result of a reduction — replicated in every process with its copies
+// kept consistent (§3.2): the value may only change through operations
+// that establish the same value everywhere (initialization, reduction,
+// broadcast). The Poisson solver's diffmax (Figure 14) is the canonical
+// example.
+type Global[T any] struct {
+	p spmd.Comm
+	v T
+}
+
+// NewGlobal creates a replicated global with an initial value; the caller
+// must pass the same init on every process (it is a program constant or
+// comes from prior consistent state).
+func NewGlobal[T any](p spmd.Comm, init T) *Global[T] {
+	return &Global[T]{p: p, v: init}
+}
+
+// Get returns the current (consistent) value.
+func (g *Global[T]) Get() T { return g.v }
+
+// SetReduced establishes a new value by reducing each process's local
+// contribution with op (recursive doubling, Figure 9). The postcondition
+// is the paper's: all processes have access to the result.
+func (g *Global[T]) SetReduced(local T, op func(a, b T) T) T {
+	g.v = collective.AllReduce(g.p, local, op)
+	return g.v
+}
+
+// SetBcast establishes a new value computed (or read from a file) at root
+// by broadcasting it — the §3.3 "broadcast of global data" pattern.
+func (g *Global[T]) SetBcast(root int, v T) T {
+	g.v = collective.Broadcast(g.p, root, v)
+	return g.v
+}

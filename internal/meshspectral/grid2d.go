@@ -1,0 +1,348 @@
+package meshspectral
+
+import (
+	"fmt"
+
+	"repro/internal/array"
+	"repro/internal/spmd"
+)
+
+// Grid2D is one process's view of a distributed NX×NY grid: the owned
+// block determined by the layout, surrounded by a ghost boundary of width
+// H holding shadow copies of neighbouring processes' boundary values
+// (Figure 8). All indices in the API are global.
+type Grid2D[T any] struct {
+	p      spmd.Comm
+	NX, NY int
+	L      Layout
+	H      int
+	perX   bool
+	perY   bool
+
+	px, py             int // block coordinates
+	ix0, ix1, iy0, iy1 int // owned global ranges [ix0,ix1) × [iy0,iy1)
+	loc                *array.Dense2D[T]
+}
+
+// New2D creates this process's section of an NX×NY grid distributed
+// according to l with ghost width halo.
+func New2D[T any](p spmd.Comm, nx, ny int, l Layout, halo int) *Grid2D[T] {
+	if err := l.Validate(p.N()); err != nil {
+		panic(err.Error())
+	}
+	if halo < 0 {
+		panic("meshspectral: negative halo")
+	}
+	g := &Grid2D[T]{p: p, NX: nx, NY: ny, L: l, H: halo}
+	g.px, g.py = l.Coords(p.Rank())
+	g.ix0, g.ix1 = blockRange(nx, l.PX, g.px)
+	g.iy0, g.iy1 = blockRange(ny, l.PY, g.py)
+	g.loc = array.New2D[T](g.ix1-g.ix0+2*halo, g.iy1-g.iy0+2*halo)
+	return g
+}
+
+// SetPeriodic configures periodic wrap-around in each dimension for
+// boundary exchange.
+func (g *Grid2D[T]) SetPeriodic(x, y bool) { g.perX, g.perY = x, y }
+
+// Proc returns the owning process.
+func (g *Grid2D[T]) Proc() spmd.Comm { return g.p }
+
+// OwnedX returns the owned global i-range [lo, hi).
+func (g *Grid2D[T]) OwnedX() (int, int) { return g.ix0, g.ix1 }
+
+// OwnedY returns the owned global j-range [lo, hi).
+func (g *Grid2D[T]) OwnedY() (int, int) { return g.iy0, g.iy1 }
+
+// InteriorX returns the intersection of the owned i-range with the global
+// interior [1, NX-1) — the paper's xintersect (Figure 14).
+func (g *Grid2D[T]) InteriorX() (int, int) {
+	lo, hi := g.ix0, g.ix1
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > g.NX-1 {
+		hi = g.NX - 1
+	}
+	return lo, hi
+}
+
+// InteriorY returns the intersection of the owned j-range with the global
+// interior [1, NY-1) — the paper's yintersect (Figure 14).
+func (g *Grid2D[T]) InteriorY() (int, int) {
+	lo, hi := g.iy0, g.iy1
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > g.NY-1 {
+		hi = g.NY - 1
+	}
+	return lo, hi
+}
+
+// Owns reports whether global point (gi, gj) is owned by this process.
+func (g *Grid2D[T]) Owns(gi, gj int) bool {
+	return gi >= g.ix0 && gi < g.ix1 && gj >= g.iy0 && gj < g.iy1
+}
+
+func (g *Grid2D[T]) check(gi, gj int) (int, int) {
+	li, lj := gi-g.ix0+g.H, gj-g.iy0+g.H
+	if li < 0 || li >= g.loc.NX || lj < 0 || lj >= g.loc.NY {
+		panic(fmt.Sprintf("meshspectral: access (%d,%d) outside local section [%d,%d)x[%d,%d) with halo %d",
+			gi, gj, g.ix0, g.ix1, g.iy0, g.iy1, g.H))
+	}
+	return li, lj
+}
+
+// At returns the value at global point (gi, gj), which must lie within the
+// owned block or its ghost boundary.
+func (g *Grid2D[T]) At(gi, gj int) T {
+	li, lj := g.check(gi, gj)
+	return g.loc.At(li, lj)
+}
+
+// Set assigns the value at global point (gi, gj); ghost cells may be
+// written (useful for physical boundary conditions).
+func (g *Grid2D[T]) Set(gi, gj int, v T) {
+	li, lj := g.check(gi, gj)
+	g.loc.Set(li, lj, v)
+}
+
+// Fill sets every owned point to f(gi, gj) without communication or
+// compute charges (initialization).
+func (g *Grid2D[T]) Fill(f func(gi, gj int) T) {
+	for gi := g.ix0; gi < g.ix1; gi++ {
+		row := g.loc.Row(gi - g.ix0 + g.H)
+		for gj := g.iy0; gj < g.iy1; gj++ {
+			row[gj-g.iy0+g.H] = f(gi, gj)
+		}
+	}
+}
+
+// Assign performs a grid operation (§3.1) over the whole owned block:
+// every owned point is set to f(gi, gj). Per the archetype's
+// data-dependency rule, f must not read this grid at any point other
+// than (gi, gj) itself — neighbour reads must go to other grids
+// (typically the previous time level, whose ghosts were refreshed by
+// ExchangeBoundary). flopsPerPoint is charged for each owned point.
+func (g *Grid2D[T]) Assign(flopsPerPoint float64, f func(gi, gj int) T) {
+	g.AssignRegion(g.ix0, g.ix1, g.iy0, g.iy1, flopsPerPoint, f)
+}
+
+// AssignRegion is Assign restricted to the intersection of the owned
+// block with the global rectangle [x0,x1)×[y0,y1).
+func (g *Grid2D[T]) AssignRegion(x0, x1, y0, y1 int, flopsPerPoint float64, f func(gi, gj int) T) {
+	if x0 < g.ix0 {
+		x0 = g.ix0
+	}
+	if x1 > g.ix1 {
+		x1 = g.ix1
+	}
+	if y0 < g.iy0 {
+		y0 = g.iy0
+	}
+	if y1 > g.iy1 {
+		y1 = g.iy1
+	}
+	for gi := x0; gi < x1; gi++ {
+		row := g.loc.Row(gi - g.ix0 + g.H)
+		for gj := y0; gj < y1; gj++ {
+			row[gj-g.iy0+g.H] = f(gi, gj)
+		}
+	}
+	if x1 > x0 && y1 > y0 {
+		g.p.Flops(flopsPerPoint * float64((x1-x0)*(y1-y0)))
+	}
+}
+
+// CopyFrom copies the owned block of src (which must share layout and
+// dimensions) into this grid, charging data-movement cost — the
+// "copy new values to old values" step of the Poisson solver (Figure 14).
+func (g *Grid2D[T]) CopyFrom(src *Grid2D[T]) {
+	if src.NX != g.NX || src.NY != g.NY || src.L != g.L {
+		panic("meshspectral: CopyFrom requires identical shape and layout")
+	}
+	for gi := g.ix0; gi < g.ix1; gi++ {
+		dst := g.loc.Row(gi - g.ix0 + g.H)
+		from := src.loc.Row(gi - src.ix0 + src.H)
+		copy(dst[g.H:g.H+g.iy1-g.iy0], from[src.H:src.H+src.iy1-src.iy0])
+	}
+	g.p.MemWords(float64((g.ix1-g.ix0)*(g.iy1-g.iy0)) * g.elemWords())
+}
+
+// RowOp applies f to every owned row (§3.1 row operations). The grid must
+// be distributed by rows; rows are passed as contiguous slices of length
+// NY aliasing local storage, and f may modify them in place. f receives
+// the global row index. Work should be charged by the caller through the
+// grid's Proc.
+func (g *Grid2D[T]) RowOp(f func(gi int, row []T)) {
+	if g.L.PY != 1 {
+		panic(fmt.Sprintf("meshspectral: row operation requires distribution by rows, grid is %v", g.L))
+	}
+	for gi := g.ix0; gi < g.ix1; gi++ {
+		row := g.loc.Row(gi - g.ix0 + g.H)
+		f(gi, row[g.H:g.H+g.NY])
+	}
+}
+
+// ColOp applies f to every owned column (§3.1 column operations). The
+// grid must be distributed by columns. Columns are copied into a
+// contiguous buffer for f and copied back afterwards, with the movement
+// charged; f receives the global column index.
+func (g *Grid2D[T]) ColOp(f func(gj int, col []T)) {
+	if g.L.PX != 1 {
+		panic(fmt.Sprintf("meshspectral: column operation requires distribution by columns, grid is %v", g.L))
+	}
+	buf := make([]T, g.NX)
+	for gj := g.iy0; gj < g.iy1; gj++ {
+		lj := gj - g.iy0 + g.H
+		for i := 0; i < g.NX; i++ {
+			buf[i] = g.loc.At(i+g.H, lj)
+		}
+		f(gj, buf)
+		for i := 0; i < g.NX; i++ {
+			g.loc.Set(i+g.H, lj, buf[i])
+		}
+	}
+	g.p.MemWords(2 * float64(g.NX*(g.iy1-g.iy0)) * g.elemWords())
+}
+
+// elemWords estimates 8-byte words per element for cost accounting.
+func (g *Grid2D[T]) elemWords() float64 {
+	var probe [1]T
+	return float64(spmd.BytesOf(probe[:])) / 8
+}
+
+// LocalDense returns a copy of the owned block as a dense array (no
+// ghosts) — handy for assembling results and for tests.
+func (g *Grid2D[T]) LocalDense() *array.Dense2D[T] {
+	out := array.New2D[T](g.ix1-g.ix0, g.iy1-g.iy0)
+	for gi := g.ix0; gi < g.ix1; gi++ {
+		src := g.loc.Row(gi - g.ix0 + g.H)
+		copy(out.Row(gi-g.ix0), src[g.H:g.H+g.iy1-g.iy0])
+	}
+	return out
+}
+
+// neighbour returns the rank one step along the given axis (dx, dy ∈
+// {-1,0,1}) honouring periodicity, or -1 when there is no neighbour.
+func (g *Grid2D[T]) neighbour(dx, dy int) int {
+	nx, ny := g.px+dx, g.py+dy
+	if nx < 0 || nx >= g.L.PX {
+		if !g.perX {
+			return -1
+		}
+		nx = (nx + g.L.PX) % g.L.PX
+	}
+	if ny < 0 || ny >= g.L.PY {
+		if !g.perY {
+			return -1
+		}
+		ny = (ny + g.L.PY) % g.L.PY
+	}
+	return g.L.Rank(nx, ny)
+}
+
+// ExchangeBoundary refreshes the ghost boundary with neighbours' boundary
+// values (Figure 8). Two phases — first along i, then along j including
+// the freshly received i-ghost rows — so diagonal (corner) ghost cells are
+// also correct, supporting 9-point stencils.
+func (g *Grid2D[T]) ExchangeBoundary() {
+	if g.H == 0 {
+		return
+	}
+	g.exchangeX()
+	g.exchangeY()
+}
+
+// packRows copies local rows [r0,r1) over local columns [c0,c1) into a
+// fresh slice.
+func (g *Grid2D[T]) packRows(r0, r1, c0, c1 int) []T {
+	out := make([]T, 0, (r1-r0)*(c1-c0))
+	for r := r0; r < r1; r++ {
+		out = append(out, g.loc.Row(r)[c0:c1]...)
+	}
+	return out
+}
+
+// unpackRows writes buf into local rows [r0,r1) over columns [c0,c1).
+func (g *Grid2D[T]) unpackRows(buf []T, r0, r1, c0, c1 int) {
+	k := 0
+	w := c1 - c0
+	for r := r0; r < r1; r++ {
+		copy(g.loc.Row(r)[c0:c1], buf[k:k+w])
+		k += w
+	}
+}
+
+func (g *Grid2D[T]) exchangeX() {
+	up := g.neighbour(-1, 0)
+	down := g.neighbour(1, 0)
+	H := g.H
+	lnx := g.ix1 - g.ix0
+	c0, c1 := H, H+g.iy1-g.iy0
+	if up >= 0 {
+		buf := g.packRows(H, 2*H, c0, c1)
+		g.p.MemWords(float64(len(buf)) * g.elemWords())
+		g.p.Send(up, tagHaloXLo, buf, spmd.BytesOf(buf))
+	}
+	if down >= 0 {
+		buf := g.packRows(lnx, lnx+H, c0, c1)
+		g.p.MemWords(float64(len(buf)) * g.elemWords())
+		g.p.Send(down, tagHaloXHi, buf, spmd.BytesOf(buf))
+	}
+	if down >= 0 {
+		buf := spmd.Recv[[]T](g.p, down, tagHaloXLo)
+		g.unpackRows(buf, lnx+H, lnx+2*H, c0, c1)
+		g.p.MemWords(float64(len(buf)) * g.elemWords())
+	}
+	if up >= 0 {
+		buf := spmd.Recv[[]T](g.p, up, tagHaloXHi)
+		g.unpackRows(buf, 0, H, c0, c1)
+		g.p.MemWords(float64(len(buf)) * g.elemWords())
+	}
+}
+
+func (g *Grid2D[T]) exchangeY() {
+	left := g.neighbour(0, -1)
+	right := g.neighbour(0, 1)
+	H := g.H
+	lny := g.iy1 - g.iy0
+	// Full local height including i-ghost rows so corners are carried.
+	r0, r1 := 0, g.loc.NX
+	packCols := func(cl0, cl1 int) []T {
+		out := make([]T, 0, (r1-r0)*(cl1-cl0))
+		for r := r0; r < r1; r++ {
+			out = append(out, g.loc.Row(r)[cl0:cl1]...)
+		}
+		return out
+	}
+	unpackCols := func(buf []T, cl0, cl1 int) {
+		k := 0
+		w := cl1 - cl0
+		for r := r0; r < r1; r++ {
+			copy(g.loc.Row(r)[cl0:cl1], buf[k:k+w])
+			k += w
+		}
+	}
+	if left >= 0 {
+		buf := packCols(H, 2*H)
+		g.p.MemWords(float64(len(buf)) * g.elemWords())
+		g.p.Send(left, tagHaloYLo, buf, spmd.BytesOf(buf))
+	}
+	if right >= 0 {
+		buf := packCols(lny, lny+H)
+		g.p.MemWords(float64(len(buf)) * g.elemWords())
+		g.p.Send(right, tagHaloYHi, buf, spmd.BytesOf(buf))
+	}
+	if right >= 0 {
+		buf := spmd.Recv[[]T](g.p, right, tagHaloYLo)
+		unpackCols(buf, lny+H, lny+2*H)
+		g.p.MemWords(float64(len(buf)) * g.elemWords())
+	}
+	if left >= 0 {
+		buf := spmd.Recv[[]T](g.p, left, tagHaloYHi)
+		unpackCols(buf, 0, H)
+		g.p.MemWords(float64(len(buf)) * g.elemWords())
+	}
+}

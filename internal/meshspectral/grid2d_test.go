@@ -1,0 +1,394 @@
+package meshspectral
+
+import (
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/machine"
+	"repro/internal/spmd"
+)
+
+func run(t *testing.T, n int, body func(p *spmd.Proc)) *spmd.Result {
+	t.Helper()
+	res, err := spmd.NewWorld(n, machine.IBMSP()).Run(body)
+	if err != nil {
+		t.Fatalf("n=%d: %v", n, err)
+	}
+	return res
+}
+
+func TestLayoutBasics(t *testing.T) {
+	if Rows(4) != (Layout{4, 1}) || Cols(4) != (Layout{1, 4}) || Blocks(2, 3) != (Layout{2, 3}) {
+		t.Error("layout constructors wrong")
+	}
+	if Rows(4).Validate(4) != nil || Blocks(2, 3).Validate(6) != nil {
+		t.Error("valid layouts rejected")
+	}
+	if Blocks(2, 3).Validate(5) == nil || (Layout{0, 5}).Validate(5) == nil {
+		t.Error("invalid layouts accepted")
+	}
+	l := Blocks(3, 4)
+	for r := 0; r < 12; r++ {
+		px, py := l.Coords(r)
+		if l.Rank(px, py) != r {
+			t.Fatalf("Coords/Rank roundtrip broken at %d", r)
+		}
+	}
+	if l.String() != "3x4" {
+		t.Errorf("String = %q", l.String())
+	}
+}
+
+func TestNearSquare(t *testing.T) {
+	cases := map[int]Layout{
+		1:  {1, 1},
+		4:  {2, 2},
+		6:  {2, 3},
+		12: {3, 4},
+		16: {4, 4},
+		7:  {1, 7}, // prime
+		36: {6, 6},
+	}
+	for n, want := range cases {
+		if got := NearSquare(n); got != want {
+			t.Errorf("NearSquare(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestBlockRangeCoversAll(t *testing.T) {
+	for _, n := range []int{1, 5, 7, 16, 100} {
+		for _, parts := range []int{1, 2, 3, 7} {
+			prev := 0
+			for b := 0; b < parts; b++ {
+				lo, hi := blockRange(n, parts, b)
+				if lo != prev {
+					t.Fatalf("gap at block %d of %d/%d", b, n, parts)
+				}
+				if hi < lo {
+					t.Fatalf("negative block %d", b)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("blocks don't cover [0,%d)", n)
+			}
+		}
+	}
+}
+
+// testLayouts enumerates layouts for a 6-process world.
+func testLayouts6() []Layout {
+	return []Layout{Rows(6), Cols(6), Blocks(2, 3), Blocks(3, 2)}
+}
+
+func TestFillGatherRoundtrip(t *testing.T) {
+	const nx, ny = 13, 9
+	want := array.New2D[float64](nx, ny)
+	want.Fill(func(i, j int) float64 { return float64(i*100 + j) })
+	for _, l := range testLayouts6() {
+		var got *array.Dense2D[float64]
+		run(t, 6, func(p *spmd.Proc) {
+			g := New2D[float64](p, nx, ny, l, 1)
+			g.Fill(func(gi, gj int) float64 { return float64(gi*100 + gj) })
+			full := GatherGrid(g, 0)
+			if p.Rank() == 0 {
+				got = full
+			} else if full != nil {
+				t.Errorf("non-root got non-nil gather")
+			}
+		})
+		for k := range want.Data {
+			if got.Data[k] != want.Data[k] {
+				t.Fatalf("layout %v: gathered grid wrong at %d", l, k)
+			}
+		}
+	}
+}
+
+func TestExchangeBoundaryAllLayouts(t *testing.T) {
+	const nx, ny = 12, 12
+	val := func(i, j int) float64 { return float64(i*1000 + j) }
+	for _, l := range testLayouts6() {
+		for _, halo := range []int{1, 2} {
+			run(t, 6, func(p *spmd.Proc) {
+				g := New2D[float64](p, nx, ny, l, halo)
+				g.Fill(val)
+				g.ExchangeBoundary()
+				// Every ghost cell whose global point exists must hold
+				// the global value — including corners.
+				x0, x1 := g.OwnedX()
+				y0, y1 := g.OwnedY()
+				for gi := x0 - halo; gi < x1+halo; gi++ {
+					for gj := y0 - halo; gj < y1+halo; gj++ {
+						if gi < 0 || gi >= nx || gj < 0 || gj >= ny {
+							continue
+						}
+						if got := g.At(gi, gj); got != val(gi, gj) {
+							t.Errorf("layout %v halo %d rank %d: ghost (%d,%d) = %g, want %g",
+								l, halo, p.Rank(), gi, gj, got, val(gi, gj))
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestExchangeBoundaryPeriodic(t *testing.T) {
+	const nx, ny = 8, 8
+	val := func(i, j int) float64 { return float64(i*1000 + j) }
+	wrap := func(v, n int) int { return ((v % n) + n) % n }
+	for _, l := range []Layout{Rows(4), Cols(4), Blocks(2, 2)} {
+		run(t, 4, func(p *spmd.Proc) {
+			g := New2D[float64](p, nx, ny, l, 1)
+			g.SetPeriodic(true, true)
+			g.Fill(val)
+			g.ExchangeBoundary()
+			x0, x1 := g.OwnedX()
+			y0, y1 := g.OwnedY()
+			for gi := x0 - 1; gi < x1+1; gi++ {
+				for gj := y0 - 1; gj < y1+1; gj++ {
+					want := val(wrap(gi, nx), wrap(gj, ny))
+					if got := g.At(gi, gj); got != want {
+						t.Errorf("layout %v rank %d: periodic ghost (%d,%d) = %g, want %g",
+							l, p.Rank(), gi, gj, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestExchangeBoundarySingleProcPeriodic(t *testing.T) {
+	run(t, 1, func(p *spmd.Proc) {
+		g := New2D[float64](p, 5, 5, Rows(1), 1)
+		g.SetPeriodic(true, true)
+		g.Fill(func(i, j int) float64 { return float64(i*10 + j) })
+		g.ExchangeBoundary()
+		if g.At(-1, 0) != 40 { // wraps to row 4
+			t.Errorf("self-periodic top ghost = %g, want 40", g.At(-1, 0))
+		}
+		if g.At(5, 2) != 2 { // wraps to row 0
+			t.Errorf("self-periodic bottom ghost = %g, want 2", g.At(5, 2))
+		}
+		if g.At(0, -1) != 4 {
+			t.Errorf("self-periodic left ghost = %g, want 4", g.At(0, -1))
+		}
+	})
+}
+
+func TestRedistributeRoundtrip(t *testing.T) {
+	const nx, ny = 10, 14
+	val := func(i, j int) float64 { return float64(i)*3.5 + float64(j)*0.25 }
+	run(t, 6, func(p *spmd.Proc) {
+		g := New2D[float64](p, nx, ny, Rows(6), 1)
+		g.Fill(val)
+		chain := []Layout{Cols(6), Blocks(2, 3), Blocks(3, 2), Rows(6)}
+		cur := g
+		for _, l := range chain {
+			cur = cur.Redistribute(l)
+			x0, x1 := cur.OwnedX()
+			y0, y1 := cur.OwnedY()
+			for gi := x0; gi < x1; gi++ {
+				for gj := y0; gj < y1; gj++ {
+					if cur.At(gi, gj) != val(gi, gj) {
+						t.Errorf("after redistribute to %v: (%d,%d) = %g, want %g",
+							l, gi, gj, cur.At(gi, gj), val(gi, gj))
+						return
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestRedistributeSameLayoutIsCopy(t *testing.T) {
+	res := run(t, 4, func(p *spmd.Proc) {
+		g := New2D[float64](p, 8, 8, Rows(4), 0)
+		g.Fill(func(i, j int) float64 { return float64(i + j) })
+		h := g.Redistribute(Rows(4))
+		x0, x1 := h.OwnedX()
+		for gi := x0; gi < x1; gi++ {
+			for gj := 0; gj < 8; gj++ {
+				if h.At(gi, gj) != g.At(gi, gj) {
+					t.Error("same-layout redistribute lost data")
+					return
+				}
+			}
+		}
+	})
+	if res.Msgs != 0 {
+		t.Errorf("same-layout redistribute sent %d messages, want 0", res.Msgs)
+	}
+}
+
+func TestRowOpAndColOp(t *testing.T) {
+	const nx, ny = 8, 8
+	reverse := func(row []float64) {
+		for i, j := 0, len(row)-1; i < j; i, j = i+1, j-1 {
+			row[i], row[j] = row[j], row[i]
+		}
+	}
+	// Sequential reference: reverse rows then reverse columns.
+	ref := array.New2D[float64](nx, ny)
+	ref.Fill(func(i, j int) float64 { return float64(i*100 + j) })
+	for i := 0; i < nx; i++ {
+		reverse(ref.Row(i))
+	}
+	for j := 0; j < ny; j++ {
+		col := ref.Col(j, nil)
+		reverse(col)
+		ref.SetCol(j, col)
+	}
+
+	var got *array.Dense2D[float64]
+	run(t, 4, func(p *spmd.Proc) {
+		g := New2D[float64](p, nx, ny, Rows(4), 0)
+		g.Fill(func(i, j int) float64 { return float64(i*100 + j) })
+		g.RowOp(func(gi int, row []float64) { reverse(row) })
+		gc := g.Redistribute(Cols(4))
+		gc.ColOp(func(gj int, col []float64) { reverse(col) })
+		full := GatherGrid(gc, 0)
+		if p.Rank() == 0 {
+			got = full
+		}
+	})
+	for k := range ref.Data {
+		if got.Data[k] != ref.Data[k] {
+			t.Fatalf("row+col op mismatch at %d: %g vs %g", k, got.Data[k], ref.Data[k])
+		}
+	}
+}
+
+func TestRowOpRequiresRowDistribution(t *testing.T) {
+	_, err := spmd.NewWorld(4, machine.IBMSP()).Run(func(p *spmd.Proc) {
+		g := New2D[float64](p, 8, 8, Cols(4), 0)
+		g.RowOp(func(int, []float64) {})
+	})
+	if err == nil {
+		t.Error("RowOp on column distribution should panic")
+	}
+	_, err = spmd.NewWorld(4, machine.IBMSP()).Run(func(p *spmd.Proc) {
+		g := New2D[float64](p, 8, 8, Rows(4), 0)
+		g.ColOp(func(int, []float64) {})
+	})
+	if err == nil {
+		t.Error("ColOp on row distribution should panic")
+	}
+}
+
+func TestAssignAndInterior(t *testing.T) {
+	const nx, ny = 9, 7
+	run(t, 3, func(p *spmd.Proc) {
+		g := New2D[float64](p, nx, ny, Rows(3), 1)
+		g.Fill(func(i, j int) float64 { return 1 })
+		h := New2D[float64](p, nx, ny, Rows(3), 1)
+		h.Fill(func(i, j int) float64 { return 0 })
+		g.ExchangeBoundary()
+		ix0, ix1 := h.InteriorX()
+		iy0, iy1 := h.InteriorY()
+		h.AssignRegion(ix0, ix1, iy0, iy1, 4, func(gi, gj int) float64 {
+			return g.At(gi-1, gj) + g.At(gi+1, gj) + g.At(gi, gj-1) + g.At(gi, gj+1)
+		})
+		x0, x1 := h.OwnedX()
+		y0, y1 := h.OwnedY()
+		for gi := x0; gi < x1; gi++ {
+			for gj := y0; gj < y1; gj++ {
+				want := 4.0
+				if gi == 0 || gi == nx-1 || gj == 0 || gj == ny-1 {
+					want = 0 // boundary untouched
+				}
+				if h.At(gi, gj) != want {
+					t.Errorf("rank %d: (%d,%d) = %g, want %g", p.Rank(), gi, gj, h.At(gi, gj), want)
+				}
+			}
+		}
+	})
+}
+
+func TestInteriorIntersection(t *testing.T) {
+	// First and last processes clip at the global boundary.
+	run(t, 4, func(p *spmd.Proc) {
+		g := New2D[float64](p, 8, 8, Rows(4), 1)
+		lo, hi := g.InteriorX()
+		x0, x1 := g.OwnedX()
+		wantLo, wantHi := x0, x1
+		if p.Rank() == 0 {
+			wantLo = 1
+		}
+		if p.Rank() == 3 {
+			wantHi = 7
+		}
+		if lo != wantLo || hi != wantHi {
+			t.Errorf("rank %d: InteriorX = [%d,%d), want [%d,%d)", p.Rank(), lo, hi, wantLo, wantHi)
+		}
+	})
+}
+
+func TestCopyFrom(t *testing.T) {
+	run(t, 4, func(p *spmd.Proc) {
+		a := New2D[float64](p, 8, 8, Blocks(2, 2), 1)
+		a.Fill(func(i, j int) float64 { return float64(i * j) })
+		b := New2D[float64](p, 8, 8, Blocks(2, 2), 1)
+		b.CopyFrom(a)
+		x0, x1 := b.OwnedX()
+		y0, y1 := b.OwnedY()
+		for gi := x0; gi < x1; gi++ {
+			for gj := y0; gj < y1; gj++ {
+				if b.At(gi, gj) != a.At(gi, gj) {
+					t.Errorf("CopyFrom mismatch at (%d,%d)", gi, gj)
+				}
+			}
+		}
+	})
+}
+
+func TestOutOfRangeAccessPanics(t *testing.T) {
+	_, err := spmd.NewWorld(2, machine.IBMSP()).Run(func(p *spmd.Proc) {
+		g := New2D[float64](p, 8, 8, Rows(2), 1)
+		g.At(7, 7) // rank 0 owns rows [0,4): row 7 is out of halo reach
+	})
+	if err == nil {
+		t.Error("out-of-section access should panic")
+	}
+}
+
+func TestOwns(t *testing.T) {
+	run(t, 2, func(p *spmd.Proc) {
+		g := New2D[float64](p, 4, 4, Rows(2), 1)
+		owned := 0
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				if g.Owns(i, j) {
+					owned++
+				}
+			}
+		}
+		if owned != 8 {
+			t.Errorf("rank %d owns %d points, want 8", p.Rank(), owned)
+		}
+	})
+}
+
+func TestGlobalVariable(t *testing.T) {
+	run(t, 5, func(p *spmd.Proc) {
+		dm := NewGlobal(p, 1.0)
+		if dm.Get() != 1.0 {
+			t.Error("initial value lost")
+		}
+		v := dm.SetReduced(float64(p.Rank()), func(a, b float64) float64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+		if v != 4 || dm.Get() != 4 {
+			t.Errorf("rank %d: reduced max = %g, want 4", p.Rank(), v)
+		}
+		v = dm.SetBcast(2, float64(p.Rank()*100))
+		if v != 200 {
+			t.Errorf("rank %d: broadcast = %g, want 200", p.Rank(), v)
+		}
+	})
+}

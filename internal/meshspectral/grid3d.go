@@ -1,0 +1,226 @@
+package meshspectral
+
+import (
+	"fmt"
+
+	"repro/internal/array"
+	"repro/internal/collective"
+	"repro/internal/spmd"
+)
+
+// Grid3D is one process's slab of a distributed NX×NY×NZ grid. The grid
+// is decomposed along the first (i) dimension into N contiguous slabs —
+// the decomposition used by the paper's three-dimensional mesh archetype
+// applications (the electromagnetics code of §3.7.2). Ghost planes of
+// width H sit on both sides of the slab.
+type Grid3D[T any] struct {
+	p          spmd.Comm
+	NX, NY, NZ int
+	H          int
+	perX       bool
+
+	ix0, ix1 int
+	loc      *array.Dense3D[T]
+}
+
+// New3D creates this process's slab of an NX×NY×NZ grid with ghost width
+// halo.
+func New3D[T any](p spmd.Comm, nx, ny, nz, halo int) *Grid3D[T] {
+	if halo < 0 {
+		panic("meshspectral: negative halo")
+	}
+	g := &Grid3D[T]{p: p, NX: nx, NY: ny, NZ: nz, H: halo}
+	g.ix0, g.ix1 = blockRange(nx, p.N(), p.Rank())
+	g.loc = array.New3D[T](g.ix1-g.ix0+2*halo, ny, nz)
+	return g
+}
+
+// SetPeriodic configures periodic wrap-around along the decomposed
+// dimension.
+func (g *Grid3D[T]) SetPeriodic(x bool) { g.perX = x }
+
+// Proc returns the owning process.
+func (g *Grid3D[T]) Proc() spmd.Comm { return g.p }
+
+// OwnedX returns the owned global i-range [lo, hi).
+func (g *Grid3D[T]) OwnedX() (int, int) { return g.ix0, g.ix1 }
+
+// InteriorX returns the intersection of the owned i-range with the global
+// interior [1, NX-1).
+func (g *Grid3D[T]) InteriorX() (int, int) {
+	lo, hi := g.ix0, g.ix1
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > g.NX-1 {
+		hi = g.NX - 1
+	}
+	return lo, hi
+}
+
+func (g *Grid3D[T]) check(gi, gj, gk int) int {
+	li := gi - g.ix0 + g.H
+	if li < 0 || li >= g.loc.NX || gj < 0 || gj >= g.NY || gk < 0 || gk >= g.NZ {
+		panic(fmt.Sprintf("meshspectral: access (%d,%d,%d) outside slab [%d,%d) (halo %d) of %dx%dx%d",
+			gi, gj, gk, g.ix0, g.ix1, g.H, g.NX, g.NY, g.NZ))
+	}
+	return li
+}
+
+// At returns the value at global point (gi, gj, gk); gi may reach into
+// the ghost planes.
+func (g *Grid3D[T]) At(gi, gj, gk int) T {
+	return g.loc.At(g.check(gi, gj, gk), gj, gk)
+}
+
+// Set assigns the value at global point (gi, gj, gk).
+func (g *Grid3D[T]) Set(gi, gj, gk int, v T) {
+	g.loc.Set(g.check(gi, gj, gk), gj, gk, v)
+}
+
+// Fill sets every owned point to f(gi, gj, gk) (initialization; not
+// charged).
+func (g *Grid3D[T]) Fill(f func(gi, gj, gk int) T) {
+	for gi := g.ix0; gi < g.ix1; gi++ {
+		for j := 0; j < g.NY; j++ {
+			for k := 0; k < g.NZ; k++ {
+				g.loc.Set(gi-g.ix0+g.H, j, k, f(gi, j, k))
+			}
+		}
+	}
+}
+
+// AssignRegion performs a grid operation over the intersection of the
+// owned slab with [x0,x1)×[y0,y1)×[z0,z1): each point is set to f. f must
+// not read this grid at points other than (gi, gj, gk) itself (the
+// archetype's disjointness rule; same-point in-place updates are safe).
+func (g *Grid3D[T]) AssignRegion(x0, x1, y0, y1, z0, z1 int, flopsPerPoint float64, f func(gi, gj, gk int) T) {
+	if x0 < g.ix0 {
+		x0 = g.ix0
+	}
+	if x1 > g.ix1 {
+		x1 = g.ix1
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if y1 > g.NY {
+		y1 = g.NY
+	}
+	if z0 < 0 {
+		z0 = 0
+	}
+	if z1 > g.NZ {
+		z1 = g.NZ
+	}
+	for gi := x0; gi < x1; gi++ {
+		li := gi - g.ix0 + g.H
+		for j := y0; j < y1; j++ {
+			for k := z0; k < z1; k++ {
+				g.loc.Set(li, j, k, f(gi, j, k))
+			}
+		}
+	}
+	if x1 > x0 && y1 > y0 && z1 > z0 {
+		g.p.Flops(flopsPerPoint * float64((x1-x0)*(y1-y0)*(z1-z0)))
+	}
+}
+
+// Assign performs a grid operation over the whole owned slab.
+func (g *Grid3D[T]) Assign(flopsPerPoint float64, f func(gi, gj, gk int) T) {
+	g.AssignRegion(g.ix0, g.ix1, 0, g.NY, 0, g.NZ, flopsPerPoint, f)
+}
+
+func (g *Grid3D[T]) elemWords() float64 {
+	var probe [1]T
+	return float64(spmd.BytesOf(probe[:])) / 8
+}
+
+// ExchangeBoundary refreshes the ghost planes with the neighbouring
+// slabs' boundary planes.
+func (g *Grid3D[T]) ExchangeBoundary() {
+	if g.H == 0 {
+		return
+	}
+	p := g.p
+	n := p.N()
+	rank := p.Rank()
+	up, down := rank-1, rank+1
+	if g.perX {
+		up = (up + n) % n
+		down = down % n
+	} else {
+		if up < 0 {
+			up = -1
+		}
+		if down >= n {
+			down = -1
+		}
+	}
+	H := g.H
+	lnx := g.ix1 - g.ix0
+	plane := g.NY * g.NZ
+	words := g.elemWords()
+	pack := func(l0 int) []T {
+		out := make([]T, 0, H*plane)
+		for l := l0; l < l0+H; l++ {
+			out = append(out, g.loc.Plane(l)...)
+		}
+		return out
+	}
+	unpack := func(buf []T, l0 int) {
+		for h := 0; h < H; h++ {
+			copy(g.loc.Plane(l0+h), buf[h*plane:(h+1)*plane])
+		}
+	}
+	if up >= 0 {
+		buf := pack(H)
+		p.MemWords(float64(len(buf)) * words)
+		p.Send(up, tagHalo3Lo, buf, spmd.BytesOf(buf))
+	}
+	if down >= 0 {
+		buf := pack(lnx)
+		p.MemWords(float64(len(buf)) * words)
+		p.Send(down, tagHalo3Hi, buf, spmd.BytesOf(buf))
+	}
+	if down >= 0 {
+		buf := spmd.Recv[[]T](p, down, tagHalo3Lo)
+		unpack(buf, lnx+H)
+		p.MemWords(float64(len(buf)) * words)
+	}
+	if up >= 0 {
+		buf := spmd.Recv[[]T](p, up, tagHalo3Hi)
+		unpack(buf, 0)
+		p.MemWords(float64(len(buf)) * words)
+	}
+}
+
+// slab3 is a contiguous range of i-planes in transit during gather.
+type slab3[T any] struct {
+	X0, X1 int
+	Data   []T
+}
+
+// VBytes implements spmd.Sized.
+func (s slab3[T]) VBytes() int { return 16 + spmd.BytesOf(s.Data) }
+
+// GatherGrid3 collects the slabs into a full dense array at root (nil
+// elsewhere).
+func GatherGrid3[T any](g *Grid3D[T], root int) *array.Dense3D[T] {
+	p := g.p
+	mine := make([]T, 0, (g.ix1-g.ix0)*g.NY*g.NZ)
+	for gi := g.ix0; gi < g.ix1; gi++ {
+		mine = append(mine, g.loc.Plane(gi-g.ix0+g.H)...)
+	}
+	p.MemWords(float64(len(mine)) * g.elemWords())
+	blocks := collective.Gather(p, root, slab3[T]{g.ix0, g.ix1, mine})
+	if p.Rank() != root {
+		return nil
+	}
+	full := array.New3D[T](g.NX, g.NY, g.NZ)
+	plane := g.NY * g.NZ
+	for _, b := range blocks {
+		copy(full.Data[b.X0*plane:b.X1*plane], b.Data)
+	}
+	return full
+}

@@ -1,0 +1,131 @@
+package meshspectral
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/machine"
+	"repro/internal/spmd"
+)
+
+func TestScatterGatherRoundtrip(t *testing.T) {
+	full := array.New2D[float64](11, 7)
+	full.Fill(func(i, j int) float64 { return float64(i)*13 + float64(j) })
+	for _, l := range []Layout{Rows(6), Cols(6), Blocks(2, 3)} {
+		var back *array.Dense2D[float64]
+		run(t, 6, func(p *spmd.Proc) {
+			var src *array.Dense2D[float64]
+			if p.Rank() == 0 {
+				src = full
+			}
+			g := ScatterGrid(p, src, 0, l, 1)
+			out := GatherGrid(g, 0)
+			if p.Rank() == 0 {
+				back = out
+			}
+		})
+		for k := range full.Data {
+			if back.Data[k] != full.Data[k] {
+				t.Fatalf("layout %v: roundtrip mismatch at %d", l, k)
+			}
+		}
+	}
+}
+
+func TestBinaryIORoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := array.New2D[float64](5, 6)
+	want.Fill(func(i, j int) float64 { return float64(i*10+j) * 0.5 })
+	run(t, 3, func(p *spmd.Proc) {
+		var src *array.Dense2D[float64]
+		if p.Rank() == 0 {
+			src = want
+		}
+		g := ScatterGrid(p, src, 0, Rows(3), 0)
+		if err := WriteBinary(g, 0, &buf); err != nil {
+			t.Errorf("WriteBinary: %v", err)
+		}
+	})
+	var back *array.Dense2D[float64]
+	run(t, 3, func(p *spmd.Proc) {
+		var r *bytes.Reader
+		if p.Rank() == 0 {
+			r = bytes.NewReader(buf.Bytes())
+		}
+		g, err := ReadBinary(p, 0, r, Cols(3), 0)
+		if err != nil {
+			t.Errorf("ReadBinary: %v", err)
+			return
+		}
+		full := GatherGrid(g, 0)
+		if p.Rank() == 0 {
+			back = full
+		}
+	})
+	if back == nil {
+		t.Fatal("no grid read back")
+	}
+	for k := range want.Data {
+		if back.Data[k] != want.Data[k] {
+			t.Fatalf("binary roundtrip mismatch at %d", k)
+		}
+	}
+}
+
+func TestReadBinaryBadInput(t *testing.T) {
+	_, err := spmd.NewWorld(2, machine.IBMSP()).Run(func(p *spmd.Proc) {
+		var r io.Reader
+		if p.Rank() == 0 {
+			r = strings.NewReader("short")
+		}
+		if _, err := ReadBinary(p, 0, r, Rows(2), 0); err == nil {
+			t.Error("truncated input should error")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	a := array.New2D[float64](2, 3)
+	a.Fill(func(i, j int) float64 { return float64(i*3 + j) })
+	var buf bytes.Buffer
+	if err := WritePGM(a, &buf, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P5\n3 2\n255\n")) {
+		t.Fatalf("bad PGM header: %q", out[:12])
+	}
+	pix := out[len("P5\n3 2\n255\n"):]
+	if len(pix) != 6 {
+		t.Fatalf("want 6 pixels, got %d", len(pix))
+	}
+	if pix[0] != 0 || pix[5] != 255 {
+		t.Errorf("pixel scaling wrong: %v", pix)
+	}
+}
+
+func TestWritePGMAutoRange(t *testing.T) {
+	a := array.New2D[float64](1, 2)
+	a.Set(0, 0, -3)
+	a.Set(0, 1, 7)
+	var buf bytes.Buffer
+	if err := WritePGM(a, &buf, 0, 0); err != nil { // lo >= hi: auto range
+		t.Fatal(err)
+	}
+	pix := buf.Bytes()[len("P5\n2 1\n255\n"):]
+	if pix[0] != 0 || pix[1] != 255 {
+		t.Errorf("auto-range scaling wrong: %v", pix)
+	}
+	// Constant data must not divide by zero.
+	b := array.New2D[float64](1, 1)
+	var buf2 bytes.Buffer
+	if err := WritePGM(b, &buf2, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}

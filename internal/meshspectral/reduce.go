@@ -1,0 +1,43 @@
+package meshspectral
+
+import "repro/internal/collective"
+
+// Reduce2D performs a grid reduction operation (§3.1: "combine all values
+// in a grid into a single value"): fold runs over this process's owned
+// points in row-major order, then the partial results are combined with
+// the recursive-doubling all-reduce, whose §3.2 postcondition — every
+// process has access to the result — makes the returned value
+// copy-consistent. combine must be associative (or acceptably treated as
+// such, per the paper's floating-point caveat); the reduction tree order
+// is fixed by rank, so all processes return the identical value.
+// flopsPerPoint is charged for each owned point.
+func Reduce2D[T, A any](g *Grid2D[T], init A, fold func(acc A, gi, gj int, v T) A, combine func(a, b A) A, flopsPerPoint float64) A {
+	acc := init
+	for gi := g.ix0; gi < g.ix1; gi++ {
+		row := g.loc.Row(gi - g.ix0 + g.H)
+		for gj := g.iy0; gj < g.iy1; gj++ {
+			acc = fold(acc, gi, gj, row[gj-g.iy0+g.H])
+		}
+	}
+	if pts := (g.ix1 - g.ix0) * (g.iy1 - g.iy0); pts > 0 {
+		g.p.Flops(flopsPerPoint * float64(pts))
+	}
+	return collective.AllReduce(g.p, acc, combine)
+}
+
+// Reduce3D is the 3D form of Reduce2D over a slab-decomposed grid.
+func Reduce3D[T, A any](g *Grid3D[T], init A, fold func(acc A, gi, gj, gk int, v T) A, combine func(a, b A) A, flopsPerPoint float64) A {
+	acc := init
+	for gi := g.ix0; gi < g.ix1; gi++ {
+		li := gi - g.ix0 + g.H
+		for j := 0; j < g.NY; j++ {
+			for k := 0; k < g.NZ; k++ {
+				acc = fold(acc, gi, j, k, g.loc.At(li, j, k))
+			}
+		}
+	}
+	if pts := (g.ix1 - g.ix0) * g.NY * g.NZ; pts > 0 {
+		g.p.Flops(flopsPerPoint * float64(pts))
+	}
+	return collective.AllReduce(g.p, acc, combine)
+}

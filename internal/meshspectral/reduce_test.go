@@ -1,0 +1,135 @@
+package meshspectral
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/spmd"
+)
+
+func TestReduce2DSum(t *testing.T) {
+	const nx, ny = 9, 7
+	want := 0.0
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			want += float64(i*ny + j)
+		}
+	}
+	for _, l := range testLayouts6() {
+		results := make([]float64, 6)
+		run(t, 6, func(p *spmd.Proc) {
+			g := New2D[float64](p, nx, ny, l, 0)
+			g.Fill(func(i, j int) float64 { return float64(i*ny + j) })
+			results[p.Rank()] = Reduce2D(g, 0.0,
+				func(acc float64, gi, gj int, v float64) float64 { return acc + v },
+				func(a, b float64) float64 { return a + b }, 1)
+		})
+		for r, v := range results {
+			if v != want {
+				t.Fatalf("layout %v rank %d: sum %g, want %g", l, r, v, want)
+			}
+			if v != results[0] {
+				t.Fatalf("layout %v: ranks disagree", l)
+			}
+		}
+	}
+}
+
+func TestReduce2DArgMax(t *testing.T) {
+	// A non-scalar accumulator: find the point with the largest value.
+	type argmax struct {
+		I, J int
+		V    float64
+	}
+	run(t, 4, func(p *spmd.Proc) {
+		g := New2D[float64](p, 8, 8, Blocks(2, 2), 0)
+		g.Fill(func(i, j int) float64 { return math.Sin(float64(i)*7 + float64(j)*3) })
+		got := Reduce2D(g, argmax{V: math.Inf(-1)},
+			func(acc argmax, gi, gj int, v float64) argmax {
+				if v > acc.V {
+					return argmax{gi, gj, v}
+				}
+				return acc
+			},
+			func(a, b argmax) argmax {
+				if b.V > a.V {
+					return b
+				}
+				return a
+			}, 2)
+		// Verify against a direct scan.
+		want := argmax{V: math.Inf(-1)}
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				if v := math.Sin(float64(i)*7 + float64(j)*3); v > want.V {
+					want = argmax{i, j, v}
+				}
+			}
+		}
+		if got != want {
+			t.Errorf("rank %d: argmax %+v, want %+v", p.Rank(), got, want)
+		}
+	})
+}
+
+func TestReduce3DMax(t *testing.T) {
+	run(t, 3, func(p *spmd.Proc) {
+		g := New3D[float64](p, 6, 4, 5, 0)
+		g.Fill(func(i, j, k int) float64 { return float64(i*100 + j*10 + k) })
+		got := Reduce3D(g, math.Inf(-1),
+			func(acc float64, gi, gj, gk int, v float64) float64 { return math.Max(acc, v) },
+			math.Max, 1)
+		if got != 534 {
+			t.Errorf("max = %g, want 534", got)
+		}
+	})
+}
+
+func TestReduce2DEmptySections(t *testing.T) {
+	run(t, 6, func(p *spmd.Proc) {
+		g := New2D[float64](p, 2, 2, Rows(6), 0)
+		g.Fill(func(i, j int) float64 { return 1 })
+		sum := Reduce2D(g, 0.0,
+			func(acc float64, gi, gj int, v float64) float64 { return acc + v },
+			func(a, b float64) float64 { return a + b }, 1)
+		if sum != 4 {
+			t.Errorf("sum over mostly-empty sections = %g, want 4", sum)
+		}
+	})
+}
+
+// TestRedistributeChainProperty drives random layout chains over random
+// grid shapes — the regression net for the empty-intersection deadlock
+// class.
+func TestRedistributeChainProperty(t *testing.T) {
+	f := func(nxRaw, nyRaw, seed uint8) bool {
+		nx := int(nxRaw)%12 + 1
+		ny := int(nyRaw)%12 + 1
+		const procs = 6
+		layouts := []Layout{Rows(procs), Cols(procs), Blocks(2, 3), Blocks(3, 2)}
+		ok := true
+		_, err := spmd.NewWorld(procs, machine.IBMSP()).Run(func(p *spmd.Proc) {
+			g := New2D[float64](p, nx, ny, layouts[int(seed)%len(layouts)], 0)
+			g.Fill(func(i, j int) float64 { return float64(i*1000 + j) })
+			cur := g
+			for s := 1; s <= 3; s++ {
+				cur = cur.Redistribute(layouts[(int(seed)+s)%len(layouts)])
+			}
+			x0, x1 := cur.OwnedX()
+			y0, y1 := cur.OwnedY()
+			for gi := x0; gi < x1; gi++ {
+				for gj := y0; gj < y1; gj++ {
+					if cur.At(gi, gj) != float64(gi*1000+gj) {
+						ok = false
+					}
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

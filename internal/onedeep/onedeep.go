@@ -1,0 +1,225 @@
+// Package onedeep implements the paper's one-deep divide-and-conquer
+// archetype (§2): a single level of split → solve → merge across N
+// processes, instead of the traditional recursive tree.
+//
+// The structure follows §2.2 exactly:
+//
+//  1. Split problem P into N subproblems. Parameters for the split are
+//     computed from a small sample of the data; once known, each process
+//     partitions its data independently and an all-to-all redistribution
+//     delivers the pieces.
+//  2. Solve the subproblems independently with a sequential algorithm.
+//  3. Merge the subsolutions: compute repartitioning parameters from
+//     samples, repartition (all-to-all), and locally merge. The total
+//     solution is the concatenation of the local results.
+//
+// Either phase may be degenerate (§2.2): mergesort and the skyline problem
+// use a degenerate split (the initial distribution is the split), quicksort
+// a degenerate merge (concatenation).
+//
+// Both program versions of the paper's method are provided: RunV1 is the
+// initial archetype-based version (Figure 4 — parfor loops over logical
+// processes, executable sequentially or concurrently with identical
+// results), and RunSPMD is the transformed message-passing version
+// (Figure 5). Package-level tests assert their equivalence, which is the
+// paper's semantics-preservation claim.
+//
+// The traditional recursive parallelization (Figure 1) is provided by
+// Recursive as the baseline that Figure 6 compares against.
+package onedeep
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/spmd"
+)
+
+// ParamStrategy selects how exchange parameters (splitters) are computed
+// and distributed — the alternatives enumerated in §2.3.
+type ParamStrategy int
+
+const (
+	// Centralized gathers samples at process 0, runs Plan there once,
+	// and broadcasts the result ("one master process ... and make its
+	// results available").
+	Centralized ParamStrategy = iota
+	// Replicated all-gathers the samples and runs Plan redundantly on
+	// every process ("all processes perform the same computation
+	// concurrently").
+	Replicated
+)
+
+// String returns the strategy name.
+func (s ParamStrategy) String() string {
+	switch s {
+	case Centralized:
+		return "centralized"
+	case Replicated:
+		return "replicated"
+	default:
+		return fmt.Sprintf("ParamStrategy(%d)", int(s))
+	}
+}
+
+// Exchange describes one data-exchange phase (the split or the merge) over
+// local data of type T with parameters of type P.
+//
+// The phase runs as: Sample locally → combine samples into global
+// parameters with Plan → Partition locally into N parts → all-to-all
+// redistribution → Combine the received parts into the new local value.
+type Exchange[T, P any] struct {
+	// Sample extracts this process's contribution to the parameter
+	// computation from its local data (e.g. local splitter candidates,
+	// local extrema). It should be cheap — "a small sample of the
+	// problem data" (§2.2).
+	Sample func(m core.Meter, local T) P
+	// Plan combines the per-process samples, ordered by rank, into the
+	// global parameters (e.g. the N-1 splitters of §2.5.2).
+	Plan func(m core.Meter, samples []P) P
+	// Partition cuts local data into n parts; part i is delivered to
+	// process i.
+	Partition func(m core.Meter, local T, params P, n int) []T
+	// Combine merges the n received parts (indexed by source rank) into
+	// the process's new local value (e.g. the multi-way merge of sorted
+	// sublists).
+	Combine func(m core.Meter, parts []T) T
+	// Strategy selects parameter distribution; the zero value is
+	// Centralized.
+	Strategy ParamStrategy
+}
+
+// Spec is a complete one-deep divide-and-conquer algorithm: local problem
+// data of type D, local solution data of type S, with split parameters PS
+// and merge parameters PM. A nil Split or Merge marks that phase
+// degenerate.
+type Spec[D, S, PS, PM any] struct {
+	Name  string
+	Split *Exchange[D, PS]
+	// Solve solves one subproblem sequentially — the only part of the
+	// program the paper's application developer writes from scratch.
+	Solve func(m core.Meter, local D) S
+	Merge *Exchange[S, PM]
+}
+
+func (s *Spec[D, S, PS, PM]) validate() {
+	if s.Solve == nil {
+		panic(fmt.Sprintf("onedeep: spec %q has no Solve", s.Name))
+	}
+	validateExchange(s.Name, "split", s.Split)
+	validateExchange(s.Name, "merge", s.Merge)
+}
+
+func validateExchange[T, P any](name, phase string, e *Exchange[T, P]) {
+	if e == nil {
+		return
+	}
+	if e.Sample == nil || e.Plan == nil || e.Partition == nil || e.Combine == nil {
+		panic(fmt.Sprintf("onedeep: spec %q %s exchange must define Sample, Plan, Partition and Combine", name, phase))
+	}
+}
+
+// RunV1 executes the initial archetype-based version of the algorithm
+// (Figure 4): logical processes are parfor iterations over index i, with
+// the exchanges expressed as shared-memory transposes. mode selects
+// sequential (debugging) or concurrent execution; deterministic
+// applications give identical results in both, and identical results to
+// RunSPMD — the archetype's transformation-correctness property.
+//
+// inputs[i] is logical process i's local data; the result is indexed the
+// same way. Costs are not metered (pass the result to application-level
+// cost accounting if needed): version 1 exists for algorithm development
+// and debugging, not measurement.
+func RunV1[D, S, PS, PM any](mode core.Mode, spec *Spec[D, S, PS, PM], inputs []D) []S {
+	spec.validate()
+	n := len(inputs)
+	data := make([]D, n)
+	copy(data, inputs)
+
+	if spec.Split != nil {
+		data = exchangeV1(mode, spec.Split, data)
+	}
+
+	sols := make([]S, n)
+	core.ParFor(mode, n, func(i int) {
+		sols[i] = spec.Solve(core.Nop, data[i])
+	})
+
+	if spec.Merge != nil {
+		sols = exchangeV1(mode, spec.Merge, sols)
+	}
+	return sols
+}
+
+func exchangeV1[T, P any](mode core.Mode, e *Exchange[T, P], data []T) []T {
+	n := len(data)
+	samples := make([]P, n)
+	core.ParFor(mode, n, func(i int) {
+		samples[i] = e.Sample(core.Nop, data[i])
+	})
+	params := e.Plan(core.Nop, samples)
+
+	parts := make([][]T, n)
+	core.ParFor(mode, n, func(i int) {
+		parts[i] = e.Partition(core.Nop, data[i], params, n)
+		if len(parts[i]) != n {
+			panic(fmt.Sprintf("onedeep: Partition returned %d parts for %d processes", len(parts[i]), n))
+		}
+	})
+
+	out := make([]T, n)
+	core.ParFor(mode, n, func(i int) {
+		recv := make([]T, n)
+		for src := 0; src < n; src++ {
+			recv[src] = parts[src][i]
+		}
+		out[i] = e.Combine(core.Nop, recv)
+	})
+	return out
+}
+
+// RunSPMD executes the transformed message-passing version of the
+// algorithm (Figure 5) as process p's body: split exchange (if any), local
+// solve, merge exchange (if any). It returns the process's local piece of
+// the total solution; the total solution is the rank-order concatenation.
+func RunSPMD[D, S, PS, PM any](p spmd.Comm, spec *Spec[D, S, PS, PM], local D) S {
+	spec.validate()
+	if spec.Split != nil {
+		local = exchangeSPMD(p, spec.Split, local)
+	}
+	sol := spec.Solve(p, local)
+	if spec.Merge != nil {
+		sol = exchangeSPMD(p, spec.Merge, sol)
+	}
+	return sol
+}
+
+func exchangeSPMD[T, P any](p spmd.Comm, e *Exchange[T, P], local T) T {
+	n := p.N()
+	sample := e.Sample(p, local)
+
+	// Compute and distribute the global parameters (§2.3, §2.4: either
+	// gather+plan+broadcast, or all-gather with replicated planning).
+	var params P
+	switch e.Strategy {
+	case Centralized:
+		all := collective.Gather(p, 0, sample)
+		if p.Rank() == 0 {
+			params = e.Plan(p, all)
+		}
+		params = collective.Broadcast(p, 0, params)
+	case Replicated:
+		all := collective.AllGather(p, sample)
+		params = e.Plan(p, all)
+	default:
+		panic(fmt.Sprintf("onedeep: invalid ParamStrategy %d", int(e.Strategy)))
+	}
+
+	parts := e.Partition(p, local, params, n)
+	if len(parts) != n {
+		panic(fmt.Sprintf("onedeep: Partition returned %d parts for %d processes", len(parts), n))
+	}
+	recv := collective.AllToAll(p, parts)
+	return e.Combine(p, recv)
+}

@@ -1,0 +1,121 @@
+package onedeep
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/spmd"
+)
+
+// Tags for the recursive skeleton's tree protocol.
+const (
+	tagDistribute = collective.TagUser + iota
+	tagCollect
+)
+
+// Recursive is the traditional recursive divide-and-conquer skeleton
+// (Figure 1): the problem splits into two subproblems per level, a new
+// process takes one of them, leaves solve sequentially, and subsolutions
+// merge back up the tree. It exists as the baseline whose inefficiencies —
+// serial split/merge at the top of the tree and full-data transfers —
+// motivate the one-deep archetype; Figure 6 plots both.
+type Recursive[D, S any] struct {
+	Name string
+	// Threshold is the size at or below which Base solves directly
+	// during sequential recursion.
+	Threshold int
+	// Size reports the problem size used against Threshold.
+	Size func(d D) int
+	// Split divides a problem into two halves.
+	Split func(m core.Meter, d D) (D, D)
+	// Base solves a problem of size <= Threshold directly.
+	Base func(m core.Meter, d D) S
+	// Merge combines two subsolutions.
+	Merge func(m core.Meter, a, b S) S
+}
+
+func (r *Recursive[D, S]) validate() {
+	if r.Threshold < 1 {
+		panic(fmt.Sprintf("onedeep: recursive %q needs Threshold >= 1", r.Name))
+	}
+	if r.Size == nil || r.Split == nil || r.Base == nil || r.Merge == nil {
+		panic(fmt.Sprintf("onedeep: recursive %q must define Size, Split, Base and Merge", r.Name))
+	}
+}
+
+// SolveSeq runs the plain sequential recursion — the "original sequential
+// algorithm" of the paper's step 1 — charging its work to m.
+func (r *Recursive[D, S]) SolveSeq(m core.Meter, d D) S {
+	r.validate()
+	return r.solveSeq(m, d)
+}
+
+func (r *Recursive[D, S]) solveSeq(m core.Meter, d D) S {
+	if r.Size(d) <= r.Threshold {
+		return r.Base(m, d)
+	}
+	a, b := r.Split(m, d)
+	return r.Merge(m, r.solveSeq(m, a), r.solveSeq(m, b))
+}
+
+// RunSPMD executes the traditional parallelization (Figure 1) as process
+// p's body. The world size must be a power of two. Process 0 holds the
+// whole problem; at each tree level the owner of a rank range splits its
+// data and ships one half to the range's midpoint rank; leaves solve with
+// the sequential recursion; subsolutions merge back up the same tree.
+// The final solution is returned at rank 0 (zero value elsewhere).
+//
+// The pattern's two inefficiencies (§2.1.1) are faithfully reproduced:
+// splitting inspects and transfers all the data down the tree, and
+// the number of active processes varies over the run (all N busy only
+// during the solve phase).
+func (r *Recursive[D, S]) RunSPMD(p spmd.Comm, root D) S {
+	r.validate()
+	n, rank := p.N(), p.Rank()
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("onedeep: recursive %q requires a power-of-two world, got %d", r.Name, n))
+	}
+
+	lo, hi := 0, n
+	var d D
+	if rank == 0 {
+		d = root
+	}
+	parent := -1
+	var children []int // midpoints this process shipped halves to, in descent order
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		switch {
+		case rank == lo:
+			dl, dr := r.Split(p, d)
+			p.Send(mid, tagDistribute, dr, spmd.BytesOf(dr))
+			d = dl
+			children = append(children, mid)
+			hi = mid
+		case rank == mid:
+			d = spmd.Recv[D](p, lo, tagDistribute)
+			parent = lo
+			lo = mid
+		case rank < mid:
+			hi = mid
+		default:
+			lo = mid
+		}
+	}
+
+	s := r.solveSeq(p, d)
+
+	// Merge back up: children were split off shallowest-first, so merge
+	// deepest-first.
+	for i := len(children) - 1; i >= 0; i-- {
+		rs := spmd.Recv[S](p, children[i], tagCollect)
+		s = r.Merge(p, s, rs)
+	}
+	if parent >= 0 {
+		p.Send(parent, tagCollect, s, spmd.BytesOf(s))
+		var zero S
+		return zero
+	}
+	return s
+}

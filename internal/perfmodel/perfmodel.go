@@ -1,0 +1,189 @@
+// Package perfmodel provides closed-form performance models for
+// archetype applications — the paper's §1.1 claim that "archetypes may
+// also be helpful in developing performance models for classes of
+// programs with common structure" (the companion technical report it
+// cites is Rifkin & Massingill's performance analysis for mesh and
+// mesh-spectral applications).
+//
+// Because an archetype fixes the communication structure, a program's
+// time decomposes into a handful of closed-form terms: per-point compute
+// over the local section, boundary-exchange cost from the section's
+// perimeter, collective costs from the process count. The models here
+// predict the virtual makespans of the simulator within a documented
+// tolerance (asserted by tests), so they can guide data-distribution
+// choices (§3.6.3) without running anything.
+package perfmodel
+
+import (
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/meshspectral"
+)
+
+// msgTime is the end-to-end time of one b-byte message.
+func msgTime(m *machine.Model, b int) float64 { return m.MsgTime(b) }
+
+// ReduceRounds returns the number of message rounds a recursive-doubling
+// all-reduce takes for n processes (including the fold/unfold steps for
+// non-powers of two).
+func ReduceRounds(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	pof2, logp := 1, 0
+	for pof2*2 <= n {
+		pof2 *= 2
+		logp++
+	}
+	if pof2 == n {
+		return logp
+	}
+	return logp + 2
+}
+
+// AllReduceTime predicts the recursive-doubling all-reduce of a payload
+// of b bytes across n processes.
+func AllReduceTime(m *machine.Model, n, b int) float64 {
+	return float64(ReduceRounds(n)) * msgTime(m, b+8)
+}
+
+// BroadcastTime predicts a binomial broadcast of b bytes to n processes.
+func BroadcastTime(m *machine.Model, n, b int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(n))) * msgTime(m, b)
+}
+
+// GatherTime predicts a linear gather of b-byte items at a root from n
+// processes. Senders transmit concurrently (links are independent in the
+// machine model), so the root pays one transit plus n-1 receive
+// overheads.
+func GatherTime(m *machine.Model, n, b int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return m.SendOverhead + m.Latency + float64(b)/m.Bandwidth + float64(n-1)*m.RecvOverhead
+}
+
+// AllToAllTime predicts a pairwise all-to-all of b bytes per pair across
+// n processes: n-1 serialized sends, one transit, n-1 retired receives.
+func AllToAllTime(m *machine.Model, n, b int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return float64(n-1)*(m.SendOverhead+m.RecvOverhead) + m.Latency + float64(b)/m.Bandwidth
+}
+
+// MeshParams describes one step of a mesh-archetype computation for
+// prediction.
+type MeshParams struct {
+	NX, NY int
+	Layout meshspectral.Layout
+	// Halo is the ghost width; ElemBytes the element size.
+	Halo, ElemBytes int
+	// FlopsPerPoint covers the grid operation(s) per step; ScanFlops any
+	// additional per-point pass (e.g. the Poisson diffmax scan).
+	FlopsPerPoint, ScanFlops float64
+	// CopyWordsPerPoint covers per-point data movement (e.g. the
+	// new-to-old copy), in 8-byte words.
+	CopyWordsPerPoint float64
+	// Reduce adds one scalar all-reduce per step.
+	Reduce bool
+}
+
+// localSection returns the largest local block dimensions under the
+// layout.
+func (pr *MeshParams) localSection() (int, int) {
+	lx := (pr.NX + pr.Layout.PX - 1) / pr.Layout.PX
+	ly := (pr.NY + pr.Layout.PY - 1) / pr.Layout.PY
+	return lx, ly
+}
+
+// ExchangeTime predicts the two-phase boundary exchange for the given
+// parameters.
+func ExchangeTime(m *machine.Model, pr *MeshParams) float64 {
+	if pr.Halo == 0 {
+		return 0
+	}
+	lx, ly := pr.localSection()
+	t := 0.0
+	words := float64(pr.ElemBytes) / 8
+	// Per phase: both sends are issued (2 overheads), the two transits
+	// overlap (one latency + serialization on the critical path), both
+	// receives are retired, and each face is packed and unpacked.
+	phase := func(faceElems int) float64 {
+		b := float64(faceElems * pr.ElemBytes)
+		return 2*(m.SendOverhead+m.RecvOverhead) + m.Latency + b/m.Bandwidth +
+			4*float64(faceElems)*words*m.MemTime
+	}
+	if pr.Layout.PX > 1 {
+		t += phase(pr.Halo * ly)
+	}
+	if pr.Layout.PY > 1 {
+		t += phase(pr.Halo * (lx + 2*pr.Halo))
+	}
+	return t
+}
+
+// MeshStep predicts the virtual time of one mesh-archetype step.
+func MeshStep(m *machine.Model, pr *MeshParams) float64 {
+	lx, ly := pr.localSection()
+	pts := float64(lx * ly)
+	t := pts * (pr.FlopsPerPoint + pr.ScanFlops) * m.FlopTime
+	t += pts * pr.CopyWordsPerPoint * m.MemTime
+	t += ExchangeTime(m, pr)
+	if pr.Reduce {
+		t += AllReduceTime(m, pr.Layout.PX*pr.Layout.PY, 8)
+	}
+	return t
+}
+
+// PoissonStep predicts one Jacobi iteration of the §3.6 solver.
+func PoissonStep(m *machine.Model, nx, ny int, l meshspectral.Layout) float64 {
+	pr := &MeshParams{
+		NX: nx, NY: ny, Layout: l,
+		Halo: 1, ElemBytes: 8,
+		FlopsPerPoint:     7,
+		ScanFlops:         2,
+		CopyWordsPerPoint: 1,
+		Reduce:            true,
+	}
+	return MeshStep(m, pr)
+}
+
+// Poisson predicts the full fixed-step Poisson solve.
+func Poisson(m *machine.Model, nx, ny, steps int, l meshspectral.Layout) float64 {
+	return float64(steps) * PoissonStep(m, nx, ny, l)
+}
+
+// OneDeepSortParams describes the one-deep mergesort for prediction.
+type OneDeepSortParams struct {
+	N, Procs    int
+	SampleCount int // samples per process (sortapp uses 32)
+}
+
+// OneDeepSort predicts the one-deep mergesort makespan: local sort,
+// splitter planning (gather + plan + broadcast), partitioning, the
+// all-to-all redistribution, and the k-way merge.
+func OneDeepSort(m *machine.Model, pr OneDeepSortParams) float64 {
+	n, p := float64(pr.N), float64(pr.Procs)
+	local := n / p
+	t := local * math.Log2(local+2) * m.CmpTime // local sort comparisons
+	t += local / 2 * math.Log2(local+2) / 2 * m.MemTime
+	if pr.Procs == 1 {
+		// Degenerate exchange still runs: one self-copy plus merge.
+		return t + local*m.CmpTime
+	}
+	samples := pr.SampleCount * 4 // bytes per sample block (int32)
+	t += GatherTime(m, pr.Procs, samples)
+	all := float64(pr.SampleCount * pr.Procs)
+	t += all * math.Log2(all+2) * m.CmpTime // plan: sort the samples
+	t += BroadcastTime(m, pr.Procs, 4*(pr.Procs-1))
+	t += (p - 1) * math.Log2(local+2) * m.CmpTime  // partition (binary searches)
+	t += AllToAllTime(m, pr.Procs, int(local/p)*4) // redistribution
+	t += local * math.Log2(p) * m.CmpTime          // k-way merge comparisons
+	t += local / 2 * m.MemTime                     // merge movement
+	return t
+}

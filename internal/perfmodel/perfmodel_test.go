@@ -1,0 +1,181 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/meshspectral"
+	"repro/internal/onedeep"
+	"repro/internal/poisson"
+	"repro/internal/sortapp"
+	"repro/internal/spmd"
+)
+
+// within asserts prediction and measurement agree within tol (relative).
+func within(t *testing.T, label string, predicted, measured, tol float64) {
+	t.Helper()
+	if measured <= 0 {
+		t.Fatalf("%s: measurement %g not positive", label, measured)
+	}
+	rel := math.Abs(predicted-measured) / measured
+	if rel > tol {
+		t.Errorf("%s: predicted %.4g, measured %.4g (%.0f%% off, tol %.0f%%)",
+			label, predicted, measured, 100*rel, 100*tol)
+	}
+}
+
+func TestReduceRounds(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 4: 2, 8: 3, 16: 4, 3: 3, 5: 4, 12: 5, 18: 6}
+	for n, want := range cases {
+		if got := ReduceRounds(n); got != want {
+			t.Errorf("ReduceRounds(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestAllReducePrediction(t *testing.T) {
+	m := machine.IBMSP()
+	for _, n := range []int{2, 4, 8, 16, 13} {
+		res, err := core.Simulate(n, m, func(p *spmd.Proc) {
+			collective.AllReduce(p, float64(p.Rank()), math.Max)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		within(t, "allreduce", AllReduceTime(m, n, 8), res.Makespan, 0.35)
+	}
+}
+
+func TestBroadcastPrediction(t *testing.T) {
+	m := machine.IBMSP()
+	payload := make([]float64, 128)
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		res, err := core.Simulate(n, m, func(p *spmd.Proc) {
+			collective.Broadcast(p, 0, payload)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		within(t, "broadcast", BroadcastTime(m, n, 1024), res.Makespan, 0.35)
+	}
+}
+
+func TestGatherPrediction(t *testing.T) {
+	m := machine.IBMSP()
+	payload := make([]float64, 64)
+	for _, n := range []int{4, 16, 32} {
+		res, err := core.Simulate(n, m, func(p *spmd.Proc) {
+			collective.Gather(p, 0, payload)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		within(t, "gather", GatherTime(m, n, 512), res.Makespan, 0.5)
+	}
+}
+
+func TestAllToAllPrediction(t *testing.T) {
+	m := machine.IBMSP()
+	for _, n := range []int{4, 8, 16} {
+		res, err := core.Simulate(n, m, func(p *spmd.Proc) {
+			parts := make([][]float64, n)
+			for i := range parts {
+				parts[i] = make([]float64, 32)
+			}
+			collective.AllToAll(p, parts)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		within(t, "alltoall", AllToAllTime(m, n, 256), res.Makespan, 0.35)
+	}
+}
+
+func TestPoissonPrediction(t *testing.T) {
+	m := machine.IBMSP()
+	const nx, steps = 96, 30
+	for _, tc := range []struct {
+		n int
+		l meshspectral.Layout
+	}{
+		{4, meshspectral.Blocks(2, 2)},
+		{4, meshspectral.Rows(4)},
+		{16, meshspectral.Blocks(4, 4)},
+		{16, meshspectral.Rows(16)},
+	} {
+		pr := poisson.Manufactured(nx, nx, 0, steps)
+		res, err := core.Simulate(tc.n, m, func(p *spmd.Proc) {
+			poisson.SolveSPMD(p, pr, tc.l)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		within(t, "poisson "+tc.l.String(), Poisson(m, nx, nx, steps, tc.l), res.Makespan, 0.25)
+	}
+}
+
+func TestPoissonModelGuidesLayoutChoice(t *testing.T) {
+	// The model's purpose (§3.6.3): choose a distribution without
+	// running. Check that the model ranks rows-vs-blocks the same way
+	// the simulator does on a latency-dominated case.
+	m := machine.IBMSP()
+	const nx, steps, procs = 64, 20, 16
+	layouts := []meshspectral.Layout{meshspectral.Rows(procs), meshspectral.Blocks(4, 4)}
+	var measured, predicted [2]float64
+	for i, l := range layouts {
+		pr := poisson.Manufactured(nx, nx, 0, steps)
+		res, err := core.Simulate(procs, m, func(p *spmd.Proc) {
+			poisson.SolveSPMD(p, pr, l)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured[i] = res.Makespan
+		predicted[i] = Poisson(m, nx, nx, steps, l)
+	}
+	if (measured[0] < measured[1]) != (predicted[0] < predicted[1]) {
+		t.Errorf("model ranks layouts differently than simulation: measured %v predicted %v",
+			measured, predicted)
+	}
+}
+
+func TestOneDeepSortPrediction(t *testing.T) {
+	m := machine.IntelDelta()
+	const n = 1 << 17
+	data := sortapp.RandomInts(n, 21)
+	for _, procs := range []int{4, 16, 32} {
+		spec := sortapp.OneDeepMergesort(onedeep.Centralized)
+		blocks := sortapp.BlockDistribute(data, procs)
+		res, err := core.Simulate(procs, m, func(p *spmd.Proc) {
+			onedeep.RunSPMD(p, spec, blocks[p.Rank()])
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := OneDeepSort(m, OneDeepSortParams{N: n, Procs: procs, SampleCount: 32})
+		within(t, "one-deep sort", pred, res.Makespan, 0.35)
+	}
+}
+
+func TestExchangeScalesWithPerimeter(t *testing.T) {
+	m := machine.IBMSP()
+	small := &MeshParams{NX: 64, NY: 64, Layout: meshspectral.Blocks(4, 4), Halo: 1, ElemBytes: 8}
+	large := &MeshParams{NX: 256, NY: 256, Layout: meshspectral.Blocks(4, 4), Halo: 1, ElemBytes: 8}
+	ts, tl := ExchangeTime(m, small), ExchangeTime(m, large)
+	if tl <= ts {
+		t.Error("exchange time should grow with section perimeter")
+	}
+	if tl > 4*ts+1e-9 {
+		t.Errorf("exchange should grow ~linearly with edge length: %g vs %g", tl, ts)
+	}
+	if ExchangeTime(m, &MeshParams{NX: 64, NY: 64, Layout: meshspectral.Rows(1), Halo: 1, ElemBytes: 8}) != 0 {
+		t.Error("single process should need no exchange")
+	}
+	none := &MeshParams{NX: 64, NY: 64, Layout: meshspectral.Blocks(4, 4), Halo: 0, ElemBytes: 8}
+	if ExchangeTime(m, none) != 0 {
+		t.Error("halo 0 should need no exchange")
+	}
+}

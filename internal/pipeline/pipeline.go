@@ -1,0 +1,153 @@
+// Package pipeline demonstrates archetype composition — the paper's
+// future-work direction of "task-parallel compositions of data-parallel
+// computations" (§ Conclusions; also the group-communication archetype of
+// the authors' companion work).
+//
+// A stream of 2D frames flows through a two-stage pipeline. The world is
+// partitioned into two equal process groups: stage A performs the row
+// FFTs of each frame (a data-parallel mesh-spectral row operation over
+// its group) and ships its blocks to stage B, which performs the
+// within-group rows→columns redistribution and the column FFTs, then
+// gathers the transformed frame. Because the stages run in different
+// groups, frame k+1's row FFTs overlap frame k's column FFTs — task
+// parallelism between data-parallel archetype computations.
+//
+// Lockstep mode disables the overlap (stage A waits for an
+// acknowledgement per frame) so the benefit of composition is measurable:
+// the overlapped makespan must beat the lockstep one for any stream
+// longer than one frame.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/array"
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/fft"
+	"repro/internal/machine"
+	"repro/internal/meshspectral"
+	"repro/internal/spmd"
+)
+
+// Mode selects whether the two stages overlap across frames.
+type Mode int
+
+const (
+	// Overlapped lets stage A run ahead of stage B — the composed,
+	// task-parallel execution.
+	Overlapped Mode = iota
+	// Lockstep serializes frames across the stages (stage A waits for a
+	// per-frame acknowledgement); the baseline that quantifies overlap.
+	Lockstep
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Overlapped:
+		return "overlapped"
+	case Lockstep:
+		return "lockstep"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+const (
+	tagBlock = collective.TagUser + 60
+	tagAck   = collective.TagUser + 61
+)
+
+// Fill provides frame data: the value of frame f at grid point (i, j).
+type Fill func(frame, i, j int) complex128
+
+// FFTStream runs a stream of frames×(n×n) 2D FFTs through the two-stage
+// pipeline as world process p's body. The world size must be even; the
+// first half is stage A, the second stage B. The transformed frames,
+// gathered, are returned at stage B's root (world rank N/2); every other
+// process returns nil.
+func FFTStream(p *spmd.Proc, n, frames int, mode Mode, fill Fill) []*array.Dense2D[complex128] {
+	if p.N()%2 != 0 || p.N() < 2 {
+		panic(fmt.Sprintf("pipeline: world size %d must be even and positive", p.N()))
+	}
+	g, stage := spmd.Partition(p, p.N()/2, p.N()/2)
+	if stage == 0 {
+		runStageA(p, g, n, frames, mode, fill)
+		return nil
+	}
+	return runStageB(p, g, n, frames, mode)
+}
+
+// partner returns the world rank of the same group-rank process in the
+// other stage.
+func partner(p *spmd.Proc, g *spmd.Group, stage int) int {
+	if stage == 0 {
+		return g.Rank() + g.N()
+	}
+	return g.Rank()
+}
+
+// runStageA computes row FFTs per frame and ships blocks to stage B.
+func runStageA(p *spmd.Proc, g *spmd.Group, n, frames int, mode Mode, fill Fill) {
+	dst := partner(p, g, 0)
+	for f := 0; f < frames; f++ {
+		grid := meshspectral.New2D[complex128](g, n, n, meshspectral.Rows(g.N()), 0)
+		grid.Fill(func(gi, gj int) complex128 { return fill(f, gi, gj) })
+		grid.RowOp(func(gi int, row []complex128) {
+			fft.Transform(g, row, false)
+		})
+		block := grid.LocalDense()
+		p.Send(dst, tagBlock, block.Data, spmd.BytesOf(block.Data))
+		if mode == Lockstep {
+			p.Recv(dst, tagAck)
+		}
+	}
+}
+
+// runStageB receives row-transformed blocks, performs the column FFTs via
+// a within-group redistribution, and gathers each frame at the group
+// root.
+func runStageB(p *spmd.Proc, g *spmd.Group, n, frames int, mode Mode) []*array.Dense2D[complex128] {
+	src := partner(p, g, 1)
+	var out []*array.Dense2D[complex128]
+	for f := 0; f < frames; f++ {
+		data := spmd.Recv[[]complex128](p, src, tagBlock)
+		grid := meshspectral.New2D[complex128](g, n, n, meshspectral.Rows(g.N()), 0)
+		x0, _ := grid.OwnedX()
+		grid.Fill(func(gi, gj int) complex128 { return data[(gi-x0)*n+gj] })
+		g.MemWords(float64(len(data)) * 2)
+
+		cols := grid.Redistribute(meshspectral.Cols(g.N()))
+		cols.ColOp(func(gj int, col []complex128) {
+			fft.Transform(g, col, false)
+		})
+		full := meshspectral.GatherGrid(cols, 0)
+		if g.Rank() == 0 {
+			out = append(out, full)
+		}
+		if mode == Lockstep {
+			p.Send(src, tagAck, nil, 0)
+		}
+	}
+	if g.Rank() != 0 {
+		return nil
+	}
+	return out
+}
+
+// Makespan runs the stream on a fresh simulated world and reports the
+// virtual makespan along with the transformed frames (from stage B's
+// root).
+func Makespan(nprocs, n, frames int, mode Mode, model *machine.Model, fill Fill) (float64, []*array.Dense2D[complex128], error) {
+	var out []*array.Dense2D[complex128]
+	res, err := core.Simulate(nprocs, model, func(p *spmd.Proc) {
+		if r := FFTStream(p, n, frames, mode, fill); r != nil {
+			out = r
+		}
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.Makespan, out, nil
+}

@@ -1,0 +1,107 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/core"
+	"repro/internal/fft"
+	"repro/internal/machine"
+)
+
+func testFill(frame, i, j int) complex128 {
+	return complex(math.Sin(float64(frame+1)*0.3*float64(i)), math.Cos(0.2*float64(j)))
+}
+
+// seqFrames computes the oracle: each frame transformed by the
+// sequential 2D FFT.
+func seqFrames(n, frames int) []*array.Dense2D[complex128] {
+	out := make([]*array.Dense2D[complex128], frames)
+	for f := 0; f < frames; f++ {
+		a := array.New2D[complex128](n, n)
+		a.Fill(func(i, j int) complex128 { return testFill(f, i, j) })
+		fft.TwoDSeq(core.Nop, a, false)
+		out[f] = a
+	}
+	return out
+}
+
+func TestPipelineCorrectness(t *testing.T) {
+	const n, frames = 16, 3
+	want := seqFrames(n, frames)
+	for _, procs := range []int{2, 4, 8} {
+		for _, mode := range []Mode{Overlapped, Lockstep} {
+			_, got, err := Makespan(procs, n, frames, mode, machine.IBMSP(), testFill)
+			if err != nil {
+				t.Fatalf("procs=%d mode=%v: %v", procs, mode, err)
+			}
+			if len(got) != frames {
+				t.Fatalf("procs=%d mode=%v: got %d frames, want %d", procs, mode, len(got), frames)
+			}
+			for f := range want {
+				for k := range want[f].Data {
+					if got[f].Data[k] != want[f].Data[k] {
+						t.Fatalf("procs=%d mode=%v frame %d: differs at %d (not bit-identical)",
+							procs, mode, f, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOverlapBeatsLockstep(t *testing.T) {
+	// The point of composition: with more than one frame in flight, the
+	// overlapped pipeline must finish sooner than the lockstep one.
+	const n, frames, procs = 64, 6, 8
+	over, _, err := Makespan(procs, n, frames, Overlapped, machine.IBMSP(), testFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock, _, err := Makespan(procs, n, frames, Lockstep, machine.IBMSP(), testFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over >= lock {
+		t.Errorf("overlapped %g should beat lockstep %g", over, lock)
+	}
+	// And the saving should be substantial for a 6-frame stream —
+	// ideally approaching 2x for balanced stages; demand at least 20%.
+	if over > 0.8*lock {
+		t.Errorf("overlap saved only %.1f%%, expected more", 100*(1-over/lock))
+	}
+}
+
+func TestSingleFrameModesEquivalent(t *testing.T) {
+	// With one frame there is nothing to overlap; the two modes should
+	// cost about the same (lockstep adds only the final ack).
+	const n, procs = 32, 4
+	over, _, err := Makespan(procs, n, 1, Overlapped, machine.IBMSP(), testFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock, _, err := Makespan(procs, n, 1, Lockstep, machine.IBMSP(), testFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lock < over || lock > over*1.1 {
+		t.Errorf("single-frame: lockstep %g vs overlapped %g", lock, over)
+	}
+}
+
+func TestOddWorldRejected(t *testing.T) {
+	_, _, err := Makespan(3, 8, 1, Overlapped, machine.IBMSP(), testFill)
+	if err == nil {
+		t.Error("odd world size should be rejected")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Overlapped.String() != "overlapped" || Lockstep.String() != "lockstep" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode should render")
+	}
+}

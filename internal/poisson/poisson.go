@@ -1,0 +1,235 @@
+// Package poisson implements the Poisson-solver example of §3.6: a
+// numerical solution of ∇²u = f on the unit square with Dirichlet
+// boundary condition u = g, by discretization and Jacobi iteration.
+//
+// The computation is the paper's exactly: two copies of u (uk for the
+// current iteration, ukp for the next), a grid f of right-hand-side
+// values, a grid operation computing ukp from uk's neighbours (preceded
+// by a boundary exchange), a max-reduction computing the global variable
+// diffmax used for loop control (kept copy-consistent via the reduction's
+// postcondition), and a copy of new values onto old (Figures 13 and 14).
+//
+// Three versions are provided per the paper's method: SolveSeq (the
+// original sequential program), SolveV1 (Figure 13 — the forall form),
+// and SolveSPMD (Figure 14 — the message-passing form over a generic
+// block distribution). All three produce bit-identical fields and
+// iteration counts: the stencil arithmetic is per-point identical and the
+// max-reduction is exact regardless of association order.
+package poisson
+
+import (
+	"math"
+
+	"repro/internal/array"
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/meshspectral"
+	"repro/internal/spmd"
+)
+
+// Problem describes a Poisson instance on the unit square, discretized on
+// an NX×NY grid (including boundary points).
+type Problem struct {
+	NX, NY int
+	// F is the right-hand side f(x, y) of ∇²u = f.
+	F func(x, y float64) float64
+	// G is the Dirichlet boundary value g(x, y).
+	G func(x, y float64) float64
+	// Tolerance stops iteration when max |u_{k+1}-u_k| falls below it.
+	Tolerance float64
+	// MaxIter bounds the iteration count (0 means no bound).
+	MaxIter int
+}
+
+// Hx and Hy return the grid spacings.
+func (pr *Problem) Hx() float64 { return 1 / float64(pr.NX-1) }
+
+// Hy returns the y spacing.
+func (pr *Problem) Hy() float64 { return 1 / float64(pr.NY-1) }
+
+// XY returns the coordinates of grid point (i, j).
+func (pr *Problem) XY(i, j int) (float64, float64) {
+	return float64(i) * pr.Hx(), float64(j) * pr.Hy()
+}
+
+// flopsPerPoint is the per-point cost of one Jacobi update (the 5-point
+// stencil plus the h²f term).
+const flopsPerPoint = 7
+
+// update computes the Jacobi step at one point. h2f is h²·f at the point.
+func update(up, down, left, right, h2f float64) float64 {
+	return (up + down + left + right - h2f) * 0.25
+}
+
+// Result reports a solve.
+type Result struct {
+	Iterations int
+	DiffMax    float64
+}
+
+// SolveSeq runs the sequential Jacobi iteration, charging m, and returns
+// the solution grid and convergence information — the "straightforward"
+// sequential program of §3.6.1.
+func SolveSeq(m core.Meter, pr *Problem) (*array.Dense2D[float64], Result) {
+	h2 := pr.Hx() * pr.Hy()
+	uk := array.New2D[float64](pr.NX, pr.NY)
+	f := array.New2D[float64](pr.NX, pr.NY)
+	initDense(pr, uk, f)
+	ukp := uk.Clone()
+
+	res := Result{DiffMax: math.Inf(1)}
+	for res.DiffMax > pr.Tolerance && (pr.MaxIter == 0 || res.Iterations < pr.MaxIter) {
+		diff := 0.0
+		for i := 1; i < pr.NX-1; i++ {
+			for j := 1; j < pr.NY-1; j++ {
+				v := update(uk.At(i-1, j), uk.At(i+1, j), uk.At(i, j-1), uk.At(i, j+1), h2*f.At(i, j))
+				ukp.Set(i, j, v)
+				diff = math.Max(diff, math.Abs(v-uk.At(i, j)))
+			}
+		}
+		m.Flops(float64((pr.NX - 2) * (pr.NY - 2) * (flopsPerPoint + 2)))
+		uk, ukp = ukp, uk
+		res.DiffMax = diff
+		res.Iterations++
+	}
+	return uk, res
+}
+
+// SolveV1 is the initial archetype-based version (Figure 13): the grid
+// operation and the difference computation are forall loops over rows;
+// the reduction is an ordinary max fold. mode selects sequential or
+// concurrent execution with identical results.
+func SolveV1(mode core.Mode, pr *Problem) (*array.Dense2D[float64], Result) {
+	h2 := pr.Hx() * pr.Hy()
+	uk := array.New2D[float64](pr.NX, pr.NY)
+	f := array.New2D[float64](pr.NX, pr.NY)
+	initDense(pr, uk, f)
+	ukp := uk.Clone()
+	rowDiff := make([]float64, pr.NX)
+
+	res := Result{DiffMax: math.Inf(1)}
+	for res.DiffMax > pr.Tolerance && (pr.MaxIter == 0 || res.Iterations < pr.MaxIter) {
+		core.ParFor(mode, pr.NX-2, func(r int) {
+			i := r + 1
+			d := 0.0
+			for j := 1; j < pr.NY-1; j++ {
+				v := update(uk.At(i-1, j), uk.At(i+1, j), uk.At(i, j-1), uk.At(i, j+1), h2*f.At(i, j))
+				ukp.Set(i, j, v)
+				d = math.Max(d, math.Abs(v-uk.At(i, j)))
+			}
+			rowDiff[i] = d
+		})
+		diff := 0.0
+		for i := 1; i < pr.NX-1; i++ {
+			diff = math.Max(diff, rowDiff[i])
+		}
+		uk, ukp = ukp, uk
+		res.DiffMax = diff
+		res.Iterations++
+	}
+	return uk, res
+}
+
+// SolveSPMD is the message-passing version (Figure 14) as process p's
+// body, over the given block layout. Each iteration performs a boundary
+// exchange, the grid operation on the intersection of the local section
+// with the interior, a recursive-doubling max-reduction establishing the
+// copy-consistent global diffmax, and the new-to-old copy. It returns the
+// distributed solution and convergence information (identical on every
+// process).
+func SolveSPMD(p spmd.Comm, pr *Problem, l meshspectral.Layout) (*meshspectral.Grid2D[float64], Result) {
+	h2 := pr.Hx() * pr.Hy()
+	uk := meshspectral.New2D[float64](p, pr.NX, pr.NY, l, 1)
+	ukp := meshspectral.New2D[float64](p, pr.NX, pr.NY, l, 1)
+	f := meshspectral.New2D[float64](p, pr.NX, pr.NY, l, 1)
+	f.Fill(func(gi, gj int) float64 {
+		x, y := pr.XY(gi, gj)
+		return pr.F(x, y)
+	})
+	init := func(gi, gj int) float64 {
+		if gi == 0 || gi == pr.NX-1 || gj == 0 || gj == pr.NY-1 {
+			x, y := pr.XY(gi, gj)
+			return pr.G(x, y)
+		}
+		return 0
+	}
+	uk.Fill(init)
+	ukp.Fill(init)
+
+	ix0, ix1 := uk.InteriorX()
+	iy0, iy1 := uk.InteriorY()
+	diffmax := meshspectral.NewGlobal(p, math.Inf(1))
+
+	res := Result{DiffMax: math.Inf(1)}
+	for res.DiffMax > pr.Tolerance && (pr.MaxIter == 0 || res.Iterations < pr.MaxIter) {
+		uk.ExchangeBoundary()
+		ukp.AssignRegion(ix0, ix1, iy0, iy1, flopsPerPoint, func(gi, gj int) float64 {
+			return update(uk.At(gi-1, gj), uk.At(gi+1, gj), uk.At(gi, gj-1), uk.At(gi, gj+1), h2*f.At(gi, gj))
+		})
+		local := 0.0
+		for gi := ix0; gi < ix1; gi++ {
+			for gj := iy0; gj < iy1; gj++ {
+				local = math.Max(local, math.Abs(ukp.At(gi, gj)-uk.At(gi, gj)))
+			}
+		}
+		if ix1 > ix0 && iy1 > iy0 {
+			p.Flops(float64(2 * (ix1 - ix0) * (iy1 - iy0)))
+		}
+		res.DiffMax = diffmax.SetReduced(local, math.Max)
+		uk.CopyFrom(ukp)
+		res.Iterations++
+	}
+	return uk, res
+}
+
+// initDense fills a dense u with boundary values of G (interior zero) and
+// f with F values.
+func initDense(pr *Problem, u, f *array.Dense2D[float64]) {
+	u.Fill(func(i, j int) float64 {
+		if i == 0 || i == pr.NX-1 || j == 0 || j == pr.NY-1 {
+			x, y := pr.XY(i, j)
+			return pr.G(x, y)
+		}
+		return 0
+	})
+	f.Fill(func(i, j int) float64 {
+		x, y := pr.XY(i, j)
+		return pr.F(x, y)
+	})
+}
+
+// Manufactured returns a problem with the exact solution
+// u*(x,y) = sin(πx)·sin(πy), i.e. f = -2π²·u* and g = 0, so the computed
+// solution can be validated against the analytic one.
+func Manufactured(nx, ny int, tol float64, maxIter int) *Problem {
+	return &Problem{
+		NX: nx, NY: ny,
+		F: func(x, y float64) float64 {
+			return -2 * math.Pi * math.Pi * math.Sin(math.Pi*x) * math.Sin(math.Pi*y)
+		},
+		G:         func(x, y float64) float64 { return 0 },
+		Tolerance: tol,
+		MaxIter:   maxIter,
+	}
+}
+
+// Exact returns the manufactured problem's analytic solution at (x, y).
+func Exact(x, y float64) float64 {
+	return math.Sin(math.Pi*x) * math.Sin(math.Pi*y)
+}
+
+// MaxError gathers the distributed solution at root and returns the
+// maximum absolute error against the manufactured analytic solution
+// (meaningful at root only; uses an all-reduce so every process gets it).
+func MaxError(g *meshspectral.Grid2D[float64], pr *Problem) float64 {
+	x0, x1 := g.OwnedX()
+	y0, y1 := g.OwnedY()
+	local := 0.0
+	for gi := x0; gi < x1; gi++ {
+		for gj := y0; gj < y1; gj++ {
+			x, y := pr.XY(gi, gj)
+			local = math.Max(local, math.Abs(g.At(gi, gj)-Exact(x, y)))
+		}
+	}
+	return collective.AllReduce(g.Proc(), local, math.Max)
+}

@@ -1,0 +1,299 @@
+// Package sortapp implements the paper's sorting applications: the
+// one-deep mergesort developed in §2.5 (Figures 4 and 5), the one-deep
+// quicksort of §2.6.2 (non-trivial split, degenerate merge), and the
+// traditional recursive parallel mergesort (Figure 1) that Figure 6 uses
+// as the baseline.
+//
+// The sequential algorithms here really sort; their virtual cost is the
+// count of comparison-exchange steps actually performed, charged to a
+// core.Meter, so the simulated times respond to real algorithmic behaviour
+// (e.g. presorted inputs are cheaper).
+package sortapp
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// MergeSort sorts a into a new slice using bottom-up mergesort — the
+// paper's sequential mergesort — charging the comparisons and element
+// moves performed to m. The input is not modified.
+func MergeSort(m core.Meter, a []int32) []int32 {
+	n := len(a)
+	out := make([]int32, n)
+	copy(out, a)
+	if n < 2 {
+		return out
+	}
+	buf := make([]int32, n)
+	src, dst := out, buf
+	var cmps, moves int64
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := min(lo+width, n)
+			hi := min(lo+2*width, n)
+			c := mergeInto(dst[lo:hi], src[lo:mid], src[mid:hi])
+			cmps += c
+			moves += int64(hi - lo)
+		}
+		src, dst = dst, src
+	}
+	m.Cmps(float64(cmps))
+	m.MemWords(float64(moves) / 2) // int32: two elements per word
+	if &src[0] != &out[0] {
+		copy(out, src)
+	}
+	return out
+}
+
+// mergeInto merges sorted runs a and b into dst (len(dst) == len(a)+len(b))
+// and returns the number of comparisons performed.
+func mergeInto(dst, a, b []int32) int64 {
+	i, j, k := 0, 0, 0
+	var cmps int64
+	for i < len(a) && j < len(b) {
+		cmps++
+		if b[j] < a[i] {
+			dst[k] = b[j]
+			j++
+		} else {
+			dst[k] = a[i]
+			i++
+		}
+		k++
+	}
+	k += copy(dst[k:], a[i:])
+	copy(dst[k:], b[j:])
+	return cmps
+}
+
+// Merge merges two sorted slices into a new sorted slice, charging m.
+func Merge(m core.Meter, a, b []int32) []int32 {
+	dst := make([]int32, len(a)+len(b))
+	cmps := mergeInto(dst, a, b)
+	m.Cmps(float64(cmps))
+	m.MemWords(float64(len(dst)) / 2)
+	return dst
+}
+
+// QuickSort sorts a in place using median-of-three quicksort with an
+// insertion-sort tail for small ranges, charging the work performed to m.
+func QuickSort(m core.Meter, a []int32) {
+	var cmps int64
+	quicksort(a, &cmps)
+	m.Cmps(float64(cmps))
+}
+
+const insertionCutoff = 16
+
+func quicksort(a []int32, cmps *int64) {
+	for len(a) > insertionCutoff {
+		p := partition(a, cmps)
+		// Recurse into the smaller half to bound stack depth.
+		if p < len(a)-p-1 {
+			quicksort(a[:p], cmps)
+			a = a[p+1:]
+		} else {
+			quicksort(a[p+1:], cmps)
+			a = a[:p]
+		}
+	}
+	insertionSort(a, cmps)
+}
+
+func insertionSort(a []int32, cmps *int64) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 {
+			*cmps++
+			if a[j] <= v {
+				break
+			}
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// partition uses the median of first, middle and last elements as pivot
+// and returns the pivot's final index.
+func partition(a []int32, cmps *int64) int {
+	hi := len(a) - 1
+	mid := hi / 2
+	*cmps += 3
+	if a[mid] < a[0] {
+		a[mid], a[0] = a[0], a[mid]
+	}
+	if a[hi] < a[0] {
+		a[hi], a[0] = a[0], a[hi]
+	}
+	if a[hi] < a[mid] {
+		a[hi], a[mid] = a[mid], a[hi]
+	}
+	pivot := a[mid]
+	a[mid], a[hi-1] = a[hi-1], a[mid]
+	i := 0
+	for j := 0; j < hi-1; j++ {
+		*cmps++
+		if a[j] < pivot {
+			a[i], a[j] = a[j], a[i]
+			i++
+		}
+	}
+	a[i], a[hi-1] = a[hi-1], a[i]
+	return i
+}
+
+// KWayMerge merges k sorted lists into one sorted slice with a binary
+// heap of list heads, charging ~log2(k) comparisons per output element.
+func KWayMerge(m core.Meter, lists [][]int32) []int32 {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]int32, 0, total)
+	// heap of (value, list index); pos tracks each list's cursor.
+	type head struct {
+		v    int32
+		list int
+	}
+	var cmps int64
+	heap := make([]head, 0, len(lists))
+	pos := make([]int, len(lists))
+	less := func(a, b head) bool {
+		cmps++
+		if a.v != b.v {
+			return a.v < b.v
+		}
+		return a.list < b.list // tie-break for stable, deterministic output
+	}
+	up := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !less(heap[i], heap[parent]) {
+				break
+			}
+			heap[i], heap[parent] = heap[parent], heap[i]
+			i = parent
+		}
+	}
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < len(heap) && less(heap[l], heap[smallest]) {
+				smallest = l
+			}
+			if r < len(heap) && less(heap[r], heap[smallest]) {
+				smallest = r
+			}
+			if smallest == i {
+				return
+			}
+			heap[i], heap[smallest] = heap[smallest], heap[i]
+			i = smallest
+		}
+	}
+	for li, l := range lists {
+		if len(l) > 0 {
+			heap = append(heap, head{l[0], li})
+			pos[li] = 1
+			up(len(heap) - 1)
+		}
+	}
+	for len(heap) > 0 {
+		h := heap[0]
+		out = append(out, h.v)
+		li := h.list
+		if pos[li] < len(lists[li]) {
+			heap[0] = head{lists[li][pos[li]], li}
+			pos[li]++
+		} else {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		if len(heap) > 0 {
+			down(0)
+		}
+	}
+	m.Cmps(float64(cmps))
+	m.MemWords(float64(total) / 2)
+	return out
+}
+
+// Concat concatenates parts into a new slice, charging copy cost.
+func Concat(m core.Meter, parts [][]int32) []int32 {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]int32, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	m.MemWords(float64(total) / 2)
+	return out
+}
+
+// IsSorted reports whether a is in ascending order.
+func IsSorted(a []int32) bool {
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsGloballySorted reports whether the rank-order concatenation of parts
+// is sorted: each part sorted, and part boundaries in order.
+func IsGloballySorted(parts [][]int32) bool {
+	var last int32
+	have := false
+	for _, p := range parts {
+		if !IsSorted(p) {
+			return false
+		}
+		if len(p) == 0 {
+			continue
+		}
+		if have && p[0] < last {
+			return false
+		}
+		last = p[len(p)-1]
+		have = true
+	}
+	return true
+}
+
+// RandomInts returns n pseudo-random int32 values from the given seed
+// (deterministic across runs).
+func RandomInts(n int, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(rng.Uint32())
+	}
+	return out
+}
+
+// BlockDistribute splits data into n contiguous blocks as evenly as
+// possible (the paper's assumed initial distribution).
+func BlockDistribute(data []int32, n int) [][]int32 {
+	parts := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(data) / n
+		hi := (i + 1) * len(data) / n
+		parts[i] = data[lo:hi]
+	}
+	return parts
+}
+
+// searchGreater returns the first index in sorted a whose value exceeds s.
+func searchGreater(a []int32, s int32) int {
+	return sort.Search(len(a), func(i int) bool { return a[i] > s })
+}

@@ -1,0 +1,261 @@
+package sortapp
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+func sortedCopy(a []int32) []int32 {
+	out := make([]int32, len(a))
+	copy(out, a)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+var awkwardInputs = [][]int32{
+	nil,
+	{},
+	{5},
+	{2, 1},
+	{1, 2},
+	{3, 3, 3, 3},
+	{5, 4, 3, 2, 1},
+	{1, 2, 3, 4, 5},
+	{0, -1, 1, -2, 2},
+	RandomInts(1000, 7),
+	RandomInts(1023, 8), // non-power-of-two
+	RandomInts(1024, 9),
+}
+
+func TestMergeSortMatchesStdlib(t *testing.T) {
+	for i, in := range awkwardInputs {
+		orig := make([]int32, len(in))
+		copy(orig, in)
+		got := MergeSort(core.Nop, in)
+		if !reflect.DeepEqual(got, sortedCopy(orig)) {
+			t.Errorf("case %d: MergeSort wrong", i)
+		}
+		if len(in) > 0 && !reflect.DeepEqual(in, orig) {
+			t.Errorf("case %d: MergeSort mutated its input", i)
+		}
+	}
+}
+
+func TestQuickSortMatchesStdlib(t *testing.T) {
+	for i, in := range awkwardInputs {
+		a := make([]int32, len(in))
+		copy(a, in)
+		QuickSort(core.Nop, a)
+		if !reflect.DeepEqual(a, sortedCopy(in)) {
+			t.Errorf("case %d: QuickSort wrong", i)
+		}
+	}
+}
+
+func TestSortPropertyQuick(t *testing.T) {
+	f := func(a []int32) bool {
+		want := sortedCopy(a)
+		ms := MergeSort(core.Nop, a)
+		qs := make([]int32, len(a))
+		copy(qs, a)
+		QuickSort(core.Nop, qs)
+		return reflect.DeepEqual(ms, want) && reflect.DeepEqual(qs, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeSortChargesNLogN(t *testing.T) {
+	m := machine.IBMSP()
+	n := 1 << 14
+	tally := core.NewTally(m)
+	MergeSort(tally, RandomInts(n, 3))
+	// Comparisons should be within [n/2 log n, n log n] roughly; the
+	// charge should therefore be within a factor of a few of
+	// n log2 n CmpTime.
+	ideal := float64(n) * 14 * m.CmpTime
+	if tally.Seconds < ideal/4 || tally.Seconds > 4*ideal {
+		t.Errorf("mergesort charge %g not within 4x of n log n estimate %g", tally.Seconds, ideal)
+	}
+}
+
+func TestMergeSortCheaperOnPresorted(t *testing.T) {
+	m := machine.IBMSP()
+	n := 1 << 14
+	random := RandomInts(n, 3)
+	presorted := sortedCopy(random)
+	tr, tp := core.NewTally(m), core.NewTally(m)
+	MergeSort(tr, random)
+	MergeSort(tp, presorted)
+	if tp.Seconds >= tr.Seconds {
+		t.Errorf("presorted input should charge fewer comparisons: %g vs %g", tp.Seconds, tr.Seconds)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := []int32{1, 3, 5}
+	b := []int32{2, 3, 4, 6}
+	got := Merge(core.Nop, a, b)
+	want := []int32{1, 2, 3, 3, 4, 5, 6}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Merge = %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(Merge(core.Nop, nil, b), b) {
+		t.Error("Merge with empty left failed")
+	}
+	if !reflect.DeepEqual(Merge(core.Nop, a, nil), a) {
+		t.Error("Merge with empty right failed")
+	}
+}
+
+func TestKWayMerge(t *testing.T) {
+	cases := [][][]int32{
+		{},
+		{{1, 2, 3}},
+		{{1, 4}, {2, 5}, {3, 6}},
+		{{}, {1}, {}, {0, 2}},
+		{{5, 5, 5}, {5, 5}},
+	}
+	for i, lists := range cases {
+		var all []int32
+		for _, l := range lists {
+			all = append(all, l...)
+		}
+		got := KWayMerge(core.Nop, lists)
+		if !reflect.DeepEqual(got, sortedCopy(all)) {
+			t.Errorf("case %d: KWayMerge = %v", i, got)
+		}
+	}
+}
+
+func TestKWayMergePropertyQuick(t *testing.T) {
+	f := func(raw [][]int32) bool {
+		lists := make([][]int32, len(raw))
+		var all []int32
+		for i, l := range raw {
+			lists[i] = sortedCopy(l)
+			all = append(all, l...)
+		}
+		return reflect.DeepEqual(KWayMerge(core.Nop, lists), sortedCopy(all))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	got := Concat(core.Nop, [][]int32{{1, 2}, nil, {3}})
+	if !reflect.DeepEqual(got, []int32{1, 2, 3}) {
+		t.Errorf("Concat = %v", got)
+	}
+}
+
+func TestIsSortedAndGloballySorted(t *testing.T) {
+	if !IsSorted(nil) || !IsSorted([]int32{1}) || !IsSorted([]int32{1, 1, 2}) {
+		t.Error("IsSorted false negatives")
+	}
+	if IsSorted([]int32{2, 1}) {
+		t.Error("IsSorted false positive")
+	}
+	if !IsGloballySorted([][]int32{{1, 2}, {}, {2, 3}}) {
+		t.Error("IsGloballySorted false negative")
+	}
+	if IsGloballySorted([][]int32{{1, 5}, {4, 6}}) {
+		t.Error("IsGloballySorted should reject overlapping parts")
+	}
+	if IsGloballySorted([][]int32{{2, 1}}) {
+		t.Error("IsGloballySorted should reject unsorted part")
+	}
+}
+
+func TestBlockDistribute(t *testing.T) {
+	data := RandomInts(10, 1)
+	parts := BlockDistribute(data, 3)
+	if len(parts) != 3 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	var back []int32
+	for _, p := range parts {
+		back = append(back, p...)
+	}
+	if !reflect.DeepEqual(back, data) {
+		t.Error("concatenated blocks != original")
+	}
+	// Sizes must differ by at most 1.
+	for _, p := range parts {
+		if len(p) < 3 || len(p) > 4 {
+			t.Errorf("uneven block size %d", len(p))
+		}
+	}
+}
+
+func TestRandomIntsDeterministic(t *testing.T) {
+	a := RandomInts(100, 42)
+	b := RandomInts(100, 42)
+	c := RandomInts(100, 43)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed should give same data")
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds should give different data")
+	}
+}
+
+func TestPartitionSorted(t *testing.T) {
+	a := []int32{1, 2, 3, 4, 5, 6, 7, 8}
+	parts := partitionSorted(core.Nop, a, []int32{3, 6}, 3)
+	want := [][]int32{{1, 2, 3}, {4, 5, 6}, {7, 8}}
+	if !reflect.DeepEqual(parts, want) {
+		t.Errorf("partitionSorted = %v, want %v", parts, want)
+	}
+	// Splitter below all data: first part empty.
+	parts = partitionSorted(core.Nop, a, []int32{0, 100}, 3)
+	if len(parts[0]) != 0 || len(parts[1]) != 8 || len(parts[2]) != 0 {
+		t.Errorf("extreme splitters: %v", parts)
+	}
+}
+
+func TestPartitionUnsortedPreservesMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		nparts := rng.Intn(8) + 1
+		data := RandomInts(n, int64(trial))
+		pivots := sortedCopy(RandomInts(nparts-1, int64(trial+1000)))
+		parts := partitionUnsorted(core.Nop, data, pivots, nparts)
+		var all []int32
+		for b, p := range parts {
+			for _, v := range p {
+				// Bucket invariant: pivots[b-1] < v <= pivots[b].
+				if b > 0 && v <= pivots[b-1] {
+					t.Fatalf("trial %d: value %d too small for bucket %d", trial, v, b)
+				}
+				if b < len(pivots) && v > pivots[b] {
+					t.Fatalf("trial %d: value %d too large for bucket %d", trial, v, b)
+				}
+			}
+			all = append(all, p...)
+		}
+		if !reflect.DeepEqual(sortedCopy(all), sortedCopy(data)) {
+			t.Fatalf("trial %d: multiset not preserved", trial)
+		}
+	}
+}
+
+func TestPlanSplittersSortedAndBounded(t *testing.T) {
+	samples := [][]int32{{5, 1, 9}, {2, 8}, {7}}
+	sp := planSplitters(core.Nop, samples, 3)
+	if len(sp) != 2 {
+		t.Fatalf("want 2 splitters, got %d", len(sp))
+	}
+	if !IsSorted(sp) {
+		t.Errorf("splitters not sorted: %v", sp)
+	}
+}

@@ -1,0 +1,201 @@
+package sortapp
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/onedeep"
+)
+
+// regularSamples picks k elements of a at regular positions — the "small
+// sample of the problem data" from which split/merge parameters are
+// computed (§2.2). Works on sorted or unsorted data.
+func regularSamples(m core.Meter, a []int32, k int) []int32 {
+	out := make([]int32, 0, k)
+	for i := 0; i < k; i++ {
+		idx := (i + 1) * len(a) / (k + 1)
+		if idx >= len(a) {
+			idx = len(a) - 1
+		}
+		if idx >= 0 {
+			out = append(out, a[idx])
+		}
+	}
+	m.MemWords(float64(len(out)) / 2)
+	return out
+}
+
+// planSplitters combines per-process samples into n-1 global splitters by
+// sorting all samples and picking regularly spaced elements — the
+// regular-sampling strategy (cf. Shi & Schaeffer, cited by the paper).
+func planSplitters(m core.Meter, samples [][]int32, n int) []int32 {
+	all := Concat(m, samples)
+	sorted := MergeSort(m, all)
+	splitters := make([]int32, 0, n-1)
+	for i := 1; i < n; i++ {
+		idx := i*len(sorted)/n - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if len(sorted) > 0 {
+			splitters = append(splitters, sorted[idx])
+		}
+	}
+	return splitters
+}
+
+// partitionSorted cuts a sorted list into n contiguous pieces at the
+// splitters ("elements with values at most s_i belong to the i-th list",
+// §2.5.2), via binary search — ~(n-1)·log2(len) comparisons.
+func partitionSorted(m core.Meter, a []int32, splitters []int32, n int) [][]int32 {
+	parts := make([][]int32, n)
+	lo := 0
+	cmps := 0.0
+	for i := 0; i < n-1; i++ {
+		var hi int
+		if i < len(splitters) {
+			hi = lo + searchGreater(a[lo:], splitters[i])
+			cmps += math.Log2(float64(len(a) - lo + 2))
+		} else {
+			hi = len(a)
+		}
+		parts[i] = a[lo:hi]
+		lo = hi
+	}
+	parts[n-1] = a[lo:]
+	m.Cmps(cmps)
+	return parts
+}
+
+// partitionUnsorted buckets unsorted data by the n-1 pivots: each element
+// binary-searches its bucket (~log2 n comparisons per element).
+func partitionUnsorted(m core.Meter, a []int32, pivots []int32, n int) [][]int32 {
+	parts := make([][]int32, n)
+	if n == 1 {
+		parts[0] = a
+		return parts
+	}
+	counts := make([]int, n)
+	buckets := make([]int, len(a))
+	var cmps int64
+	for i, v := range a {
+		lo, hi := 0, len(pivots)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			cmps++
+			if v <= pivots[mid] {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		buckets[i] = lo
+		counts[lo]++
+	}
+	for b := 0; b < n; b++ {
+		parts[b] = make([]int32, 0, counts[b])
+	}
+	for i, v := range a {
+		parts[buckets[i]] = append(parts[buckets[i]], v)
+	}
+	m.Cmps(float64(cmps))
+	m.MemWords(float64(len(a)) / 2)
+	return parts
+}
+
+// OneDeepMergesort returns the one-deep mergesort of §2.5: degenerate
+// split (the initial distribution is the split), local sequential sort,
+// and a merge phase that computes splitters from samples, repartitions
+// all-to-all, and k-way-merges locally. strategy selects how splitters
+// are computed and distributed.
+func OneDeepMergesort(strategy onedeep.ParamStrategy) *onedeep.Spec[[]int32, []int32, []int32, []int32] {
+	return &onedeep.Spec[[]int32, []int32, []int32, []int32]{
+		Name:  "one-deep mergesort",
+		Split: nil, // degenerate: data arrives distributed
+		Solve: func(m core.Meter, local []int32) []int32 {
+			return MergeSort(m, local)
+		},
+		Merge: &onedeep.Exchange[[]int32, []int32]{
+			Strategy: strategy,
+			Sample: func(m core.Meter, local []int32) []int32 {
+				// n samples per process would need n, which Sample
+				// doesn't receive; a fixed modest sample count works
+				// for any process count (splitter quality degrades
+				// gracefully).
+				return regularSamples(m, local, sampleCount)
+			},
+			Plan: func(m core.Meter, samples [][]int32) []int32 {
+				return planSplitters(m, samples, len(samples))
+			},
+			Partition: func(m core.Meter, local []int32, splitters []int32, n int) [][]int32 {
+				return partitionSorted(m, local, splitters, n)
+			},
+			Combine: func(m core.Meter, parts [][]int32) []int32 {
+				return KWayMerge(m, parts)
+			},
+		},
+	}
+}
+
+// sampleCount is the number of sample elements each process contributes to
+// splitter computation.
+const sampleCount = 32
+
+// OneDeepQuicksort returns the one-deep quicksort of §2.6.2: a non-trivial
+// split phase that selects pivots and redistributes raw data so process i
+// holds exactly the elements between pivot i-1 and pivot i, a local
+// sequential sort, and a degenerate merge (the sorted result is the
+// rank-order concatenation of the local lists).
+func OneDeepQuicksort(strategy onedeep.ParamStrategy) *onedeep.Spec[[]int32, []int32, []int32, []int32] {
+	return &onedeep.Spec[[]int32, []int32, []int32, []int32]{
+		Name: "one-deep quicksort",
+		Split: &onedeep.Exchange[[]int32, []int32]{
+			Strategy: strategy,
+			Sample: func(m core.Meter, local []int32) []int32 {
+				return regularSamples(m, local, sampleCount)
+			},
+			Plan: func(m core.Meter, samples [][]int32) []int32 {
+				return planSplitters(m, samples, len(samples))
+			},
+			Partition: func(m core.Meter, local []int32, pivots []int32, n int) [][]int32 {
+				return partitionUnsorted(m, local, pivots, n)
+			},
+			Combine: func(m core.Meter, parts [][]int32) []int32 {
+				return Concat(m, parts)
+			},
+		},
+		Solve: func(m core.Meter, local []int32) []int32 {
+			out := make([]int32, len(local))
+			copy(out, local)
+			QuickSort(m, out)
+			return out
+		},
+		Merge: nil, // degenerate: concatenation
+	}
+}
+
+// TraditionalMergesort returns the traditional recursive mergesort
+// parallelized per Figure 1 — the Figure 6 baseline. threshold is the
+// sequential base-case size.
+func TraditionalMergesort(threshold int) *onedeep.Recursive[[]int32, []int32] {
+	return &onedeep.Recursive[[]int32, []int32]{
+		Name:      "traditional mergesort",
+		Threshold: threshold,
+		Size:      func(d []int32) int { return len(d) },
+		Split: func(m core.Meter, d []int32) ([]int32, []int32) {
+			mid := len(d) / 2
+			return d[:mid], d[mid:]
+		},
+		Base: func(m core.Meter, d []int32) []int32 {
+			out := make([]int32, len(d))
+			copy(out, d)
+			var cmps int64
+			insertionSort(out, &cmps)
+			m.Cmps(float64(cmps))
+			return out
+		},
+		Merge: func(m core.Meter, a, b []int32) []int32 {
+			return Merge(m, a, b)
+		},
+	}
+}

@@ -1,0 +1,231 @@
+package sortapp
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/onedeep"
+	"repro/internal/spmd"
+)
+
+// runOneDeepSPMD runs the given spec over nprocs simulated processes on
+// block-distributed data and returns the concatenated result.
+func runOneDeepSPMD(t *testing.T, spec *onedeep.Spec[[]int32, []int32, []int32, []int32], data []int32, nprocs int) [][]int32 {
+	t.Helper()
+	blocks := BlockDistribute(data, nprocs)
+	outs := make([][]int32, nprocs)
+	w := spmd.NewWorld(nprocs, machine.IntelDelta())
+	_, err := w.Run(func(p *spmd.Proc) {
+		outs[p.Rank()] = onedeep.RunSPMD(p, spec, blocks[p.Rank()])
+	})
+	if err != nil {
+		t.Fatalf("SPMD run failed: %v", err)
+	}
+	return outs
+}
+
+func concatAll(parts [][]int32) []int32 {
+	var all []int32
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	return all
+}
+
+func TestOneDeepMergesortAllWorldSizes(t *testing.T) {
+	data := RandomInts(5000, 11)
+	want := sortedCopy(data)
+	for _, n := range []int{1, 2, 3, 5, 8, 16} {
+		for _, strat := range []onedeep.ParamStrategy{onedeep.Centralized, onedeep.Replicated} {
+			outs := runOneDeepSPMD(t, OneDeepMergesort(strat), data, n)
+			if !IsGloballySorted(outs) {
+				t.Fatalf("n=%d strat=%v: output not globally sorted", n, strat)
+			}
+			if got := concatAll(outs); !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d strat=%v: wrong multiset or order", n, strat)
+			}
+		}
+	}
+}
+
+func TestOneDeepQuicksortAllWorldSizes(t *testing.T) {
+	data := RandomInts(5000, 12)
+	want := sortedCopy(data)
+	for _, n := range []int{1, 2, 3, 5, 8, 16} {
+		outs := runOneDeepSPMD(t, OneDeepQuicksort(onedeep.Centralized), data, n)
+		if !IsGloballySorted(outs) {
+			t.Fatalf("n=%d: output not globally sorted", n)
+		}
+		if got := concatAll(outs); !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: wrong result", n)
+		}
+	}
+}
+
+func TestOneDeepPostcondition(t *testing.T) {
+	// "After the algorithm terminates, process i has a sorted list whose
+	// elements are larger than the elements of process i-1's list" (§2.5.2)
+	data := RandomInts(4000, 13)
+	outs := runOneDeepSPMD(t, OneDeepMergesort(onedeep.Centralized), data, 8)
+	for i := 1; i < len(outs); i++ {
+		if len(outs[i-1]) == 0 || len(outs[i]) == 0 {
+			continue
+		}
+		if outs[i][0] < outs[i-1][len(outs[i-1])-1] {
+			t.Fatalf("process %d's first element precedes process %d's last", i, i-1)
+		}
+	}
+}
+
+func TestV1MatchesSPMD(t *testing.T) {
+	// The paper's semantics-preservation claim: version 1 (parfor) and
+	// version 2 (SPMD) give identical results, in both ParFor modes.
+	data := RandomInts(3000, 14)
+	for _, nlogical := range []int{1, 4, 7} {
+		blocks := BlockDistribute(data, nlogical)
+		for _, spec := range []*onedeep.Spec[[]int32, []int32, []int32, []int32]{
+			OneDeepMergesort(onedeep.Centralized),
+			OneDeepQuicksort(onedeep.Centralized),
+		} {
+			seqOut := onedeep.RunV1(core.Sequential, spec, blocks)
+			conOut := onedeep.RunV1(core.Concurrent, spec, blocks)
+			if !reflect.DeepEqual(seqOut, conOut) {
+				t.Fatalf("%s n=%d: sequential and concurrent V1 differ", spec.Name, nlogical)
+			}
+			spmdOut := runOneDeepSPMD(t, spec, data, nlogical)
+			if !reflect.DeepEqual(seqOut, spmdOut) {
+				t.Fatalf("%s n=%d: V1 and SPMD differ", spec.Name, nlogical)
+			}
+		}
+	}
+}
+
+func TestCentralizedAndReplicatedAgree(t *testing.T) {
+	data := RandomInts(2000, 15)
+	a := runOneDeepSPMD(t, OneDeepMergesort(onedeep.Centralized), data, 6)
+	b := runOneDeepSPMD(t, OneDeepMergesort(onedeep.Replicated), data, 6)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("parameter strategies changed the result")
+	}
+}
+
+func TestTraditionalMergesortSeq(t *testing.T) {
+	r := TraditionalMergesort(16)
+	for i, in := range awkwardInputs {
+		got := r.SolveSeq(core.Nop, in)
+		if !reflect.DeepEqual(got, sortedCopy(in)) {
+			t.Errorf("case %d: SolveSeq wrong", i)
+		}
+	}
+}
+
+func TestTraditionalMergesortSPMD(t *testing.T) {
+	data := RandomInts(4096, 16)
+	want := sortedCopy(data)
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		r := TraditionalMergesort(16)
+		var got []int32
+		w := spmd.NewWorld(n, machine.IntelDelta())
+		_, err := w.Run(func(p *spmd.Proc) {
+			out := r.RunSPMD(p, data)
+			if p.Rank() == 0 {
+				got = out
+			} else if out != nil {
+				t.Errorf("non-root rank %d returned non-nil", p.Rank())
+			}
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: traditional SPMD sort wrong", n)
+		}
+	}
+}
+
+func TestTraditionalRejectsNonPowerOfTwo(t *testing.T) {
+	r := TraditionalMergesort(16)
+	w := spmd.NewWorld(3, machine.IntelDelta())
+	_, err := w.Run(func(p *spmd.Proc) { r.RunSPMD(p, RandomInts(100, 1)) })
+	if err == nil {
+		t.Error("expected power-of-two requirement to be enforced")
+	}
+}
+
+func TestOneDeepBeatsTraditionalOnDelta(t *testing.T) {
+	// The paper's Figure 6 headline: one-deep mergesort speeds up far
+	// better than the traditional parallelization. Shape assertion at a
+	// modest size so the test stays fast.
+	const n = 1 << 17
+	data := RandomInts(n, 99)
+	model := machine.IntelDelta()
+	seq := core.NewTally(model)
+	MergeSort(seq, data)
+
+	const procs = 16
+	spec := OneDeepMergesort(onedeep.Centralized)
+	blocks := BlockDistribute(data, procs)
+	w := spmd.NewWorld(procs, model)
+	resOne, err := w.Run(func(p *spmd.Proc) {
+		onedeep.RunSPMD(p, spec, blocks[p.Rank()])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := TraditionalMergesort(32)
+	w2 := spmd.NewWorld(procs, model)
+	resTrad, err := w2.Run(func(p *spmd.Proc) { r.RunSPMD(p, data) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	spOne := seq.Seconds / resOne.Makespan
+	spTrad := seq.Seconds / resTrad.Makespan
+	if spOne <= spTrad {
+		t.Errorf("one-deep speedup %.2f should exceed traditional %.2f", spOne, spTrad)
+	}
+	if spOne < 6 {
+		t.Errorf("one-deep speedup %.2f at 16 procs implausibly low", spOne)
+	}
+}
+
+func TestOneDeepFewerElementsThanProcs(t *testing.T) {
+	// Empty local blocks everywhere possible: the exchanges must still
+	// terminate and the result must still be the sorted input.
+	for _, n := range []int{0, 1, 3, 7} {
+		data := RandomInts(n, 55)
+		want := sortedCopy(data)
+		for _, spec := range []*onedeep.Spec[[]int32, []int32, []int32, []int32]{
+			OneDeepMergesort(onedeep.Centralized),
+			OneDeepQuicksort(onedeep.Replicated),
+		} {
+			outs := runOneDeepSPMD(t, spec, data, 8)
+			got := concatAll(outs)
+			if len(got) != len(want) || (len(got) > 0 && !reflect.DeepEqual(got, want)) {
+				t.Fatalf("%s with %d elements on 8 procs: got %v want %v", spec.Name, n, got, want)
+			}
+		}
+	}
+}
+
+func TestOneDeepDeterministicMakespan(t *testing.T) {
+	data := RandomInts(2000, 17)
+	spec := OneDeepMergesort(onedeep.Centralized)
+	blocks := BlockDistribute(data, 8)
+	var first float64
+	for trial := 0; trial < 5; trial++ {
+		w := spmd.NewWorld(8, machine.IntelDelta())
+		res, err := w.Run(func(p *spmd.Proc) {
+			onedeep.RunSPMD(p, spec, blocks[p.Rank()])
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial == 0 {
+			first = res.Makespan
+		} else if res.Makespan != first {
+			t.Fatalf("makespan varies across runs: %g vs %g", res.Makespan, first)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package spmd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGroupRankMapping(t *testing.T) {
+	w := NewWorld(6, testModel())
+	_, err := w.Run(func(p *Proc) {
+		g := NewGroup(p, []int{1, 3, 5, 0, 2, 4}) // unsorted on purpose
+		if g.N() != 6 {
+			t.Errorf("group N = %d", g.N())
+		}
+		if g.Rank() != p.Rank() {
+			t.Errorf("full-world group rank %d != world rank %d", g.Rank(), p.Rank())
+		}
+		if g.WorldRank(g.Rank()) != p.Rank() {
+			t.Error("WorldRank roundtrip broken")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupSubsetCommunication(t *testing.T) {
+	// Odd ranks form a group and ring-pass a token among themselves.
+	w := NewWorld(6, testModel())
+	_, err := w.Run(func(p *Proc) {
+		if p.Rank()%2 == 0 {
+			return // not a member; does nothing
+		}
+		g := NewGroup(p, []int{1, 3, 5})
+		next := (g.Rank() + 1) % g.N()
+		prev := (g.Rank() - 1 + g.N()) % g.N()
+		g.Send(next, 50, g.Rank()*10, 8)
+		got := Recv[int](g, prev, 50)
+		if got != prev*10 {
+			t.Errorf("group rank %d got %d, want %d", g.Rank(), got, prev*10)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	w := NewWorld(7, testModel())
+	_, err := w.Run(func(p *Proc) {
+		g, idx := Partition(p, 3, 4)
+		switch {
+		case p.Rank() < 3:
+			if idx != 0 || g.N() != 3 || g.Rank() != p.Rank() {
+				t.Errorf("rank %d: group %d size %d grank %d", p.Rank(), idx, g.N(), g.Rank())
+			}
+		default:
+			if idx != 1 || g.N() != 4 || g.Rank() != p.Rank()-3 {
+				t.Errorf("rank %d: group %d size %d grank %d", p.Rank(), idx, g.N(), g.Rank())
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	w := NewWorld(4, testModel())
+	if _, err := w.Run(func(p *Proc) { Partition(p, 2, 3) }); err == nil {
+		t.Error("mismatched sizes should panic")
+	}
+	w2 := NewWorld(4, testModel())
+	if _, err := w2.Run(func(p *Proc) { Partition(p, 4, 0) }); err == nil {
+		t.Error("zero size should panic")
+	}
+}
+
+func TestGroupValidation(t *testing.T) {
+	w := NewWorld(4, testModel())
+	if _, err := w.Run(func(p *Proc) { NewGroup(p, []int{0, 9}) }); err == nil {
+		t.Error("out-of-world rank should panic")
+	}
+	w2 := NewWorld(4, testModel())
+	if _, err := w2.Run(func(p *Proc) { NewGroup(p, []int{0, 0, 1, 2, 3}) }); err == nil {
+		t.Error("duplicate rank should panic")
+	}
+	w3 := NewWorld(4, testModel())
+	_, err := w3.Run(func(p *Proc) {
+		if p.Rank() == 3 {
+			NewGroup(p, []int{0, 1, 2}) // 3 is not a member
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "not a member") {
+		t.Errorf("non-member construction should panic, got %v", err)
+	}
+}
+
+func TestGroupInheritsMetering(t *testing.T) {
+	w := NewWorld(2, testModel())
+	res, err := w.Run(func(p *Proc) {
+		g := NewGroup(p, []int{0, 1})
+		g.Flops(1000) // charges the underlying process clock
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 1000*testModel().FlopTime {
+		t.Errorf("makespan = %g", res.Makespan)
+	}
+}
+
+func TestDisjointGroupsIndependent(t *testing.T) {
+	// Two disjoint groups run different-length computations; neither
+	// blocks the other, and messages stay within groups.
+	w := NewWorld(6, testModel())
+	res, err := w.Run(func(p *Proc) {
+		g, idx := Partition(p, 3, 3)
+		if idx == 0 {
+			g.Charge(1e-3)
+		} else {
+			g.Charge(5e-3)
+		}
+		// Ring within the group.
+		g.Send((g.Rank()+1)%g.N(), 60, idx, 8)
+		got := Recv[int](g, (g.Rank()-1+g.N())%g.N(), 60)
+		if got != idx {
+			t.Errorf("cross-group message leak: got %d in group %d", got, idx)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Makespan is the slow group's, not the sum.
+	if res.Makespan > 6e-3 {
+		t.Errorf("groups appear serialized: makespan %g", res.Makespan)
+	}
+}

@@ -1,0 +1,70 @@
+package spmd
+
+// Sized is implemented by application payload types that know their own
+// wire size for cost accounting.
+type Sized interface {
+	VBytes() int
+}
+
+// BytesOf estimates the wire size of common payload types for cost
+// accounting. Types not covered here should implement Sized. Unknown types
+// are priced at one word, which under-counts — implement Sized for any
+// payload whose size matters to an experiment.
+func BytesOf(v any) int {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case Sized:
+		return x.VBytes()
+	case []byte:
+		return len(x)
+	case []int32:
+		return 4 * len(x)
+	case []uint32:
+		return 4 * len(x)
+	case []int64:
+		return 8 * len(x)
+	case []int:
+		return 8 * len(x)
+	case []float32:
+		return 4 * len(x)
+	case []float64:
+		return 8 * len(x)
+	case []complex64:
+		return 8 * len(x)
+	case []complex128:
+		return 16 * len(x)
+	case [][]float64:
+		n := 0
+		for _, row := range x {
+			n += 8 * len(row)
+		}
+		return n
+	case [][3]float64:
+		return 24 * len(x)
+	case [][4]float64:
+		return 32 * len(x)
+	case [][]complex128:
+		n := 0
+		for _, row := range x {
+			n += 16 * len(row)
+		}
+		return n
+	case bool, int8, uint8:
+		return 1
+	case int16, uint16:
+		return 2
+	case int32, uint32, float32:
+		return 4
+	case int, int64, uint64, float64, uintptr:
+		return 8
+	case complex64:
+		return 8
+	case complex128:
+		return 16
+	case string:
+		return len(x)
+	default:
+		return 8
+	}
+}

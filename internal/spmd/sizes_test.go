@@ -1,0 +1,45 @@
+package spmd
+
+import "testing"
+
+type sizedThing struct{ n int }
+
+func (s sizedThing) VBytes() int { return s.n }
+
+func TestBytesOf(t *testing.T) {
+	cases := []struct {
+		in   any
+		want int
+	}{
+		{nil, 0},
+		{[]byte{1, 2, 3}, 3},
+		{[]int32{1, 2}, 8},
+		{[]uint32{1}, 4},
+		{[]int64{1, 2, 3}, 24},
+		{[]int{1}, 8},
+		{[]float32{1, 2}, 8},
+		{[]float64{1, 2}, 16},
+		{[]complex64{1}, 8},
+		{[]complex128{1, 2}, 32},
+		{[][]float64{{1, 2}, {3}}, 24},
+		{[][]complex128{{1}, {2, 3}}, 48},
+		{true, 1},
+		{int8(1), 1},
+		{uint16(1), 2},
+		{int32(1), 4},
+		{float32(1), 4},
+		{int(1), 8},
+		{int64(1), 8},
+		{float64(1), 8},
+		{complex64(1), 8},
+		{complex128(1), 16},
+		{"abcd", 4},
+		{sizedThing{42}, 42},
+		{struct{ X int }{1}, 8}, // unknown type: one-word estimate
+	}
+	for _, tc := range cases {
+		if got := BytesOf(tc.in); got != tc.want {
+			t.Errorf("BytesOf(%T %v) = %d, want %d", tc.in, tc.in, got, tc.want)
+		}
+	}
+}

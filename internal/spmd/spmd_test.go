@@ -1,0 +1,250 @@
+package spmd
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// testModel returns a model with simple round numbers so expected virtual
+// times can be computed by hand.
+func testModel() *machine.Model {
+	return &machine.Model{
+		Name: "test", FlopTime: 1e-9, CmpTime: 1e-9, MemTime: 1e-9,
+		Latency: 10e-6, Bandwidth: 1e6, SendOverhead: 1e-6, RecvOverhead: 1e-6,
+	}
+}
+
+func TestPingTiming(t *testing.T) {
+	w := NewWorld(2, testModel())
+	res, err := w.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 7, []byte("hi"), 1000)
+		} else {
+			got := Recv[[]byte](p, 0, 7)
+			if string(got) != "hi" {
+				t.Errorf("payload = %q", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Receiver clock: send overhead 1us + latency 10us + 1000B/1MBps=1ms + recv 1us.
+	want := 1e-6 + 10e-6 + 1e-3 + 1e-6
+	if math.Abs(res.Clocks[1]-want) > 1e-12 {
+		t.Errorf("receiver clock = %g, want %g", res.Clocks[1], want)
+	}
+	// Sender only pays its overhead.
+	if math.Abs(res.Clocks[0]-1e-6) > 1e-15 {
+		t.Errorf("sender clock = %g, want 1e-6", res.Clocks[0])
+	}
+	if res.Msgs != 1 || res.Bytes != 1000 {
+		t.Errorf("stats = %d msgs %d bytes, want 1/1000", res.Msgs, res.Bytes)
+	}
+}
+
+func TestRecvWaitsForBusyReceiver(t *testing.T) {
+	// If the receiver is already past the arrival time, it pays only
+	// receive overhead.
+	w := NewWorld(2, testModel())
+	res, err := w.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 1, nil, 0)
+		} else {
+			p.Charge(1.0) // busy for a full virtual second
+			p.Recv(0, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 + 1e-6
+	if math.Abs(res.Clocks[1]-want) > 1e-9 {
+		t.Errorf("busy receiver clock = %g, want %g", res.Clocks[1], want)
+	}
+}
+
+func TestComputeCharges(t *testing.T) {
+	m := testModel()
+	w := NewWorld(1, m)
+	res, err := w.Run(func(p *Proc) {
+		p.Flops(100)
+		p.Cmps(50)
+		p.MemWords(10)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100*m.FlopTime + 50*m.CmpTime + 10*m.MemTime
+	if math.Abs(res.Makespan-want) > 1e-15 {
+		t.Errorf("makespan = %g, want %g", res.Makespan, want)
+	}
+}
+
+func TestPagingMultiplier(t *testing.T) {
+	m := testModel()
+	m.MemPerProc = 1000
+	m.PagingFactor = 4
+	w := NewWorld(1, m)
+	res, err := w.Run(func(p *Proc) {
+		p.SetResident(500) // under capacity: no paging
+		p.Charge(1)
+		p.SetResident(2000) // over capacity: 4x
+		p.Charge(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-5) > 1e-12 {
+		t.Errorf("makespan = %g, want 5 (1 + 4)", res.Makespan)
+	}
+}
+
+func TestSelfSendIsCopy(t *testing.T) {
+	m := testModel()
+	w := NewWorld(1, m)
+	res, err := w.Run(func(p *Proc) {
+		p.Send(0, 3, []float64{1, 2}, 16)
+		v := Recv[[]float64](p, 0, 3)
+		if len(v) != 2 || v[0] != 1 {
+			t.Errorf("self-send payload corrupted: %v", v)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cost is 2 words of copy, no latency, no overheads.
+	if math.Abs(res.Makespan-2*m.MemTime) > 1e-15 {
+		t.Errorf("self-send makespan = %g, want %g", res.Makespan, 2*m.MemTime)
+	}
+	if res.Msgs != 0 {
+		t.Errorf("self-send should not count as a message, got %d", res.Msgs)
+	}
+}
+
+func TestDeterministicMakespan(t *testing.T) {
+	// The same program must yield bit-identical makespans run after run,
+	// regardless of goroutine scheduling: this is what makes the figure
+	// reproductions stable.
+	prog := func(p *Proc) {
+		n := p.N()
+		next := (p.Rank() + 1) % n
+		prev := (p.Rank() - 1 + n) % n
+		for round := 0; round < 5; round++ {
+			p.Flops(float64(1000 * (p.Rank() + 1)))
+			p.Send(next, 9, p.Rank(), 8)
+			Recv[int](p, prev, 9)
+		}
+	}
+	var first float64
+	for trial := 0; trial < 10; trial++ {
+		res, err := NewWorld(7, testModel()).Run(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial == 0 {
+			first = res.Makespan
+		} else if res.Makespan != first {
+			t.Fatalf("trial %d makespan %g != first %g", trial, res.Makespan, first)
+		}
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	w := NewWorld(3, testModel())
+	_, err := w.Run(func(p *Proc) {
+		if p.Rank() == 1 {
+			panic("boom")
+		}
+	})
+	if err == nil {
+		t.Fatal("expected error from panicking process")
+	}
+	if !strings.Contains(err.Error(), "process 1") || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("error should name process and cause: %v", err)
+	}
+}
+
+func TestTagMismatchPanics(t *testing.T) {
+	w := NewWorld(2, testModel())
+	_, err := w.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 5, nil, 0)
+		} else {
+			p.Recv(0, 6)
+		}
+	})
+	if err == nil {
+		t.Fatal("expected tag mismatch to panic")
+	}
+}
+
+func TestInvalidRankPanics(t *testing.T) {
+	w := NewWorld(2, testModel())
+	if _, err := w.Run(func(p *Proc) { p.Send(5, 0, nil, 0) }); err == nil {
+		t.Error("send to invalid rank should fail")
+	}
+	w2 := NewWorld(2, testModel())
+	if _, err := w2.Run(func(p *Proc) { p.Recv(-1, 0) }); err == nil {
+		t.Error("recv from invalid rank should fail")
+	}
+}
+
+func TestWorldValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWorld with n=0 should panic")
+		}
+	}()
+	NewWorld(0, testModel())
+}
+
+func TestIdleOnlyMovesForward(t *testing.T) {
+	w := NewWorld(1, testModel())
+	res, err := w.Run(func(p *Proc) {
+		p.Charge(2)
+		p.Idle(1) // in the past: no effect
+		p.Idle(3) // future: advances
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 3 {
+		t.Errorf("makespan = %g, want 3", res.Makespan)
+	}
+}
+
+func TestNegativeChargePanics(t *testing.T) {
+	w := NewWorld(1, testModel())
+	if _, err := w.Run(func(p *Proc) { p.Charge(-1) }); err == nil {
+		t.Error("negative charge should panic")
+	}
+}
+
+func TestManyProcsExchange(t *testing.T) {
+	// Smoke test at the scale of the paper's largest figure (100 procs).
+	const n = 100
+	w := NewWorld(n, testModel())
+	res, err := w.Run(func(p *Proc) {
+		// Everyone sends its rank to everyone else, then sums receipts.
+		for k := 1; k < n; k++ {
+			p.Send((p.Rank()+k)%n, 11, p.Rank(), 8)
+		}
+		sum := p.Rank()
+		for k := 1; k < n; k++ {
+			sum += Recv[int](p, (p.Rank()-k+n)%n, 11)
+		}
+		if sum != n*(n-1)/2 {
+			panic("wrong sum")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Msgs != n*(n-1) {
+		t.Errorf("msgs = %d, want %d", res.Msgs, n*(n-1))
+	}
+}

@@ -1,0 +1,192 @@
+package swirl
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/meshspectral"
+	"repro/internal/spmd"
+)
+
+func TestStepZSpectralSingleMode(t *testing.T) {
+	// A pure Fourier mode decays by exactly exp(-ν kz² dt).
+	const n = 32
+	nu, dt := 0.01, 0.05
+	row := make([]complex128, n)
+	for j := range row {
+		row[j] = cmplx.Exp(complex(0, 2*math.Pi*float64(j)/n))
+	}
+	orig := append([]complex128(nil), row...)
+	stepZSpectral(core.Nop, row, nu, dt)
+	decay := math.Exp(-nu * 4 * math.Pi * math.Pi * dt)
+	for j := range row {
+		want := orig[j] * complex(decay, 0)
+		if cmplx.Abs(row[j]-want) > 1e-10 {
+			t.Fatalf("mode decay wrong at %d: %v vs %v", j, row[j], want)
+		}
+	}
+}
+
+func TestStepZSpectralConstantModeUnchanged(t *testing.T) {
+	row := []complex128{3, 3, 3, 3, 3, 3, 3, 3}
+	stepZSpectral(core.Nop, row, 0.1, 0.1)
+	for j, v := range row {
+		if cmplx.Abs(v-3) > 1e-12 {
+			t.Fatalf("DC mode changed at %d: %v", j, v)
+		}
+	}
+}
+
+func TestStepRFDBoundariesPinned(t *testing.T) {
+	const n = 17
+	col := make([]complex128, n)
+	buf := make([]complex128, n)
+	for i := range col {
+		col[i] = complex(float64(i), 0)
+	}
+	stepRFD(core.Nop, col, buf, 0.01, 0.001, 1.0/(n-1))
+	if buf[0] != 0 || buf[n-1] != 0 {
+		t.Errorf("boundaries not pinned: %v %v", buf[0], buf[n-1])
+	}
+}
+
+func TestStepRFDDecaysEnergy(t *testing.T) {
+	// Radial diffusion with pinned ends must not increase the energy of
+	// a smooth profile (stable explicit step).
+	const n = 33
+	dr := 1.0 / (n - 1)
+	pm := DefaultParams(n, 8)
+	col := make([]complex128, n)
+	for i := 1; i < n-1; i++ {
+		r := float64(i) * dr
+		col[i] = complex(math.Sin(math.Pi*r)*r, 0)
+	}
+	buf := make([]complex128, n)
+	e0 := 0.0
+	for _, v := range col {
+		e0 += real(v) * real(v)
+	}
+	for step := 0; step < 50; step++ {
+		stepRFD(core.Nop, col, buf, pm.Nu, pm.Dt, dr)
+		copy(col, buf)
+	}
+	e1 := 0.0
+	for _, v := range col {
+		e1 += real(v) * real(v)
+	}
+	if e1 >= e0 {
+		t.Errorf("radial diffusion grew energy: %g -> %g", e0, e1)
+	}
+}
+
+func TestUnforcedDecay(t *testing.T) {
+	pm := DefaultParams(17, 16)
+	pm.Amp = 0
+	s := NewSeq(pm)
+	// Seed with the forcing shape.
+	s.U.Fill(func(i, j int) complex128 {
+		forced := DefaultParams(17, 16)
+		return complex(forced.forcing(i, j), 0)
+	})
+	e0 := KineticEnergy(s.U)
+	s.Run(core.Nop, 30)
+	e1 := KineticEnergy(s.U)
+	if e1 >= e0 {
+		t.Errorf("unforced flow should decay: %g -> %g", e0, e1)
+	}
+	if e1 <= 0 {
+		t.Errorf("energy went non-positive: %g", e1)
+	}
+}
+
+func TestForcedSpinUp(t *testing.T) {
+	pm := DefaultParams(17, 16)
+	s := NewSeq(pm)
+	s.Run(core.Nop, 30)
+	if e := KineticEnergy(s.U); e <= 0 {
+		t.Errorf("forced flow failed to spin up: energy %g", e)
+	}
+	// The field stays essentially real.
+	for k, v := range s.U.Data {
+		if math.Abs(imag(v)) > 1e-10 {
+			t.Fatalf("imaginary residue at %d: %g", k, imag(v))
+		}
+	}
+	// Boundaries pinned.
+	for j := 0; j < pm.NZ; j++ {
+		if s.U.At(0, j) != 0 || s.U.At(pm.NR-1, j) != 0 {
+			t.Fatal("boundary rings not pinned at zero")
+		}
+	}
+}
+
+func TestSPMDMatchesSeqBitIdentical(t *testing.T) {
+	pm := DefaultParams(17, 16)
+	const steps = 8
+	seq := NewSeq(pm)
+	seq.Run(core.Nop, steps)
+
+	for _, n := range []int{1, 2, 4} {
+		var got *array.Dense2D[complex128]
+		_, err := spmd.NewWorld(n, machine.IBMSP()).Run(func(p *spmd.Proc) {
+			s := NewSPMD(p, pm)
+			s.Run(steps)
+			full := meshspectral.GatherGrid(s.U, 0)
+			if p.Rank() == 0 {
+				got = full
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range seq.U.Data {
+			if got.Data[k] != seq.U.Data[k] {
+				t.Fatalf("n=%d: field differs at %d (not bit-identical)", n, k)
+			}
+		}
+	}
+}
+
+func TestPagingModelEngages(t *testing.T) {
+	// Identical work must take longer on a paged machine when the
+	// resident set exceeds capacity — the Figure 18 mechanism.
+	pm := DefaultParams(17, 16)
+	runOn := func(m *machine.Model) float64 {
+		res, err := spmd.NewWorld(2, m).Run(func(p *spmd.Proc) {
+			s := NewSPMD(p, pm)
+			s.Run(3)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	normal := runOn(machine.IBMSP())
+	paged := runOn(machine.IBMSPPaged(pm.ResidentBytes(2)/2, 4))
+	if paged <= normal*1.5 {
+		t.Errorf("paging model had no effect: %g vs %g", paged, normal)
+	}
+}
+
+func TestAzimuthalVelocityExtract(t *testing.T) {
+	u := array.New2D[complex128](2, 2)
+	u.Set(1, 0, complex(2.5, 1e-13))
+	v := AzimuthalVelocity(u)
+	if v.At(1, 0) != 2.5 || v.At(0, 0) != 0 {
+		t.Error("extraction wrong")
+	}
+}
+
+func TestResidentBytes(t *testing.T) {
+	pm := DefaultParams(65, 64)
+	if pm.ResidentBytes(1) != 2*16*65*64 {
+		t.Errorf("ResidentBytes(1) = %g", pm.ResidentBytes(1))
+	}
+	if pm.ResidentBytes(4) != pm.ResidentBytes(1)/4 {
+		t.Error("resident set should scale with 1/P")
+	}
+}
