@@ -7,9 +7,14 @@
 //	archbench -fig 6            # one figure
 //	archbench -all              # everything
 //	archbench -fig 16 -scale 0.5 -maxprocs 36 -dir /tmp
+//	archbench -fig 12 -backend real   # run at hardware speed
 //
 // Table figures print speedup tables; image figures (19, 20, 21) write
 // PGM files into -dir. -scale shrinks the workloads for quick runs.
+// -backend selects the execution substrate: "sim" (the default
+// virtual-time simulator, deterministic paper-shaped curves) or "real"
+// (goroutines over native channels, wall-clock makespans). Sweeps run
+// concurrently through the internal/sched worker pool on either backend.
 package main
 
 import (
@@ -17,7 +22,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/figures"
 )
@@ -31,6 +38,7 @@ func main() {
 		maxProcs = flag.Int("maxprocs", 0, "cap the simulated processor sweep (0 = figure default)")
 		dir      = flag.String("dir", ".", "output directory for image figures")
 		csvOut   = flag.Bool("csv", false, "also write <dir>/fig<ID>.csv for table figures")
+		backName = flag.String("backend", "sim", "execution backend: "+strings.Join(backend.Names(), ", "))
 	)
 	flag.Parse()
 
@@ -41,7 +49,13 @@ func main() {
 		return
 	}
 
-	opts := figures.Options{Out: os.Stdout, Dir: *dir, Scale: *scale, MaxProcs: *maxProcs}
+	back, ok := backend.ByName(*backName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "archbench: unknown backend %q (have: %s)\n", *backName, strings.Join(backend.Names(), ", "))
+		os.Exit(2)
+	}
+
+	opts := figures.Options{Out: os.Stdout, Dir: *dir, Scale: *scale, MaxProcs: *maxProcs, Backend: back}
 	run := func(f figures.Figure) {
 		res, err := f.Run(opts)
 		if err != nil {

@@ -7,6 +7,12 @@
 //	archdemo -app mergesort -procs 16
 //	archdemo -app poisson -procs 9 -size 65
 //	archdemo -app fdtd -machine ibm-sp
+//	archdemo -app fft -backend real   # run at hardware speed
+//
+// -backend selects the execution substrate: "sim" prices the run on the
+// machine model's virtual clock; "real" runs the processes as goroutines
+// over native channels and reports wall-clock time. The computational
+// result (and its verification) is identical on both.
 package main
 
 import (
@@ -14,8 +20,10 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 
 	"repro/internal/airshed"
+	"repro/internal/backend"
 	"repro/internal/cfd"
 	"repro/internal/closest"
 	"repro/internal/collective"
@@ -36,7 +44,7 @@ import (
 type app struct {
 	name string
 	desc string
-	run  func(m *machine.Model, procs, size int) error
+	run  func(r backend.Runner, m *machine.Model, procs, size int) error
 }
 
 func apps() []app {
@@ -62,6 +70,7 @@ func main() {
 		procs = flag.Int("procs", 8, "simulated process count")
 		size  = flag.Int("size", 0, "problem size (0 = per-app default)")
 		mach  = flag.String("machine", "ibm-sp", "machine profile: intel-delta, ibm-sp, workstations, smp")
+		back  = flag.String("backend", "sim", "execution backend: "+strings.Join(backend.Names(), ", "))
 	)
 	flag.Parse()
 
@@ -76,9 +85,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "archdemo: unknown machine %q\n", *mach)
 		os.Exit(2)
 	}
+	runner, ok := backend.ByName(*back)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "archdemo: unknown backend %q (have: %s)\n", *back, strings.Join(backend.Names(), ", "))
+		os.Exit(2)
+	}
 	for _, a := range apps() {
 		if a.name == *name {
-			if err := a.run(model, *procs, *size); err != nil {
+			if err := a.run(runner, model, *procs, *size); err != nil {
 				fmt.Fprintf(os.Stderr, "archdemo: %v\n", err)
 				os.Exit(1)
 			}
@@ -96,18 +110,22 @@ func defSize(size, def int) int {
 	return size
 }
 
-func report(model *machine.Model, procs int, res *spmd.Result, what string) {
-	fmt.Printf("%s on %d simulated %s processes: %.4fs virtual, %d msgs, %.2f MB\n",
-		what, procs, model.Name, res.Makespan, res.Msgs, float64(res.Bytes)/1e6)
+func report(r backend.Runner, model *machine.Model, procs int, res *spmd.Result, what string) {
+	unit := "virtual"
+	if !r.Virtual() {
+		unit = "wall-clock"
+	}
+	fmt.Printf("%s on %d %s processes (%s backend): %.4fs %s, %d msgs, %.2f MB\n",
+		what, procs, model.Name, r.Name(), res.Makespan, unit, res.Msgs, float64(res.Bytes)/1e6)
 }
 
-func runMergesort(m *machine.Model, procs, size int) error {
+func runMergesort(r backend.Runner, m *machine.Model, procs, size int) error {
 	n := defSize(size, 1<<19)
 	data := sortapp.RandomInts(n, 1)
 	spec := sortapp.OneDeepMergesort(onedeep.Centralized)
 	blocks := sortapp.BlockDistribute(data, procs)
 	outs := make([][]int32, procs)
-	res, err := core.Simulate(procs, m, func(p *spmd.Proc) {
+	res, err := core.Run(r, procs, m, func(p *spmd.Proc) {
 		outs[p.Rank()] = onedeep.RunSPMD(p, spec, blocks[p.Rank()])
 	})
 	if err != nil {
@@ -116,17 +134,17 @@ func runMergesort(m *machine.Model, procs, size int) error {
 	if !sortapp.IsGloballySorted(outs) {
 		return fmt.Errorf("mergesort: output not sorted")
 	}
-	report(m, procs, res, fmt.Sprintf("one-deep mergesort of %d int32 (verified sorted)", n))
+	report(r, m, procs, res, fmt.Sprintf("one-deep mergesort of %d int32 (verified sorted)", n))
 	return nil
 }
 
-func runQuicksort(m *machine.Model, procs, size int) error {
+func runQuicksort(r backend.Runner, m *machine.Model, procs, size int) error {
 	n := defSize(size, 1<<19)
 	data := sortapp.RandomInts(n, 2)
 	spec := sortapp.OneDeepQuicksort(onedeep.Centralized)
 	blocks := sortapp.BlockDistribute(data, procs)
 	outs := make([][]int32, procs)
-	res, err := core.Simulate(procs, m, func(p *spmd.Proc) {
+	res, err := core.Run(r, procs, m, func(p *spmd.Proc) {
 		outs[p.Rank()] = onedeep.RunSPMD(p, spec, blocks[p.Rank()])
 	})
 	if err != nil {
@@ -135,11 +153,11 @@ func runQuicksort(m *machine.Model, procs, size int) error {
 	if !sortapp.IsGloballySorted(outs) {
 		return fmt.Errorf("quicksort: output not sorted")
 	}
-	report(m, procs, res, fmt.Sprintf("one-deep quicksort of %d int32 (verified sorted)", n))
+	report(r, m, procs, res, fmt.Sprintf("one-deep quicksort of %d int32 (verified sorted)", n))
 	return nil
 }
 
-func runSkyline(m *machine.Model, procs, size int) error {
+func runSkyline(r backend.Runner, m *machine.Model, procs, size int) error {
 	n := defSize(size, 2000)
 	bs := skyline.RandomBuildings(n, 3, 5000)
 	want := skyline.Compute(core.Nop, bs)
@@ -149,7 +167,7 @@ func runSkyline(m *machine.Model, procs, size int) error {
 		blocks[i] = bs[i*n/procs : (i+1)*n/procs]
 	}
 	outs := make([]skyline.Skyline, procs)
-	res, err := core.Simulate(procs, m, func(p *spmd.Proc) {
+	res, err := core.Run(r, procs, m, func(p *spmd.Proc) {
 		outs[p.Rank()] = onedeep.RunSPMD(p, spec, blocks[p.Rank()])
 	})
 	if err != nil {
@@ -158,11 +176,11 @@ func runSkyline(m *machine.Model, procs, size int) error {
 	if !skyline.Equal(skyline.Assemble(outs), want) {
 		return fmt.Errorf("skyline: parallel result differs from sequential")
 	}
-	report(m, procs, res, fmt.Sprintf("skyline of %d buildings (%d points, verified)", n, len(want)))
+	report(r, m, procs, res, fmt.Sprintf("skyline of %d buildings (%d points, verified)", n, len(want)))
 	return nil
 }
 
-func runHull(m *machine.Model, procs, size int) error {
+func runHull(r backend.Runner, m *machine.Model, procs, size int) error {
 	n := defSize(size, 50000)
 	pts := hull.RandomPoints(n, 4, 1000)
 	outs := make([]hull.Pts, procs)
@@ -170,7 +188,7 @@ func runHull(m *machine.Model, procs, size int) error {
 	for i := range blocks {
 		blocks[i] = pts[i*n/procs : (i+1)*n/procs]
 	}
-	res, err := core.Simulate(procs, m, func(p *spmd.Proc) {
+	res, err := core.Run(r, procs, m, func(p *spmd.Proc) {
 		outs[p.Rank()] = hull.OneDeepSPMD(p, blocks[p.Rank()])
 	})
 	if err != nil {
@@ -184,11 +202,11 @@ func runHull(m *machine.Model, procs, size int) error {
 	if total != len(want) {
 		return fmt.Errorf("hull: %d vertices, sequential found %d", total, len(want))
 	}
-	report(m, procs, res, fmt.Sprintf("convex hull of %d points (%d vertices, verified)", n, total))
+	report(r, m, procs, res, fmt.Sprintf("convex hull of %d points (%d vertices, verified)", n, total))
 	return nil
 }
 
-func runClosest(m *machine.Model, procs, size int) error {
+func runClosest(r backend.Runner, m *machine.Model, procs, size int) error {
 	n := defSize(size, 50000)
 	pts := closest.RandomPoints(n, 5, 1000)
 	want := closest.DivideAndConquer(core.Nop, pts)
@@ -197,7 +215,7 @@ func runClosest(m *machine.Model, procs, size int) error {
 		blocks[i] = pts[i*n/procs : (i+1)*n/procs]
 	}
 	pairs := make([]closest.Pair, procs)
-	res, err := core.Simulate(procs, m, func(p *spmd.Proc) {
+	res, err := core.Run(r, procs, m, func(p *spmd.Proc) {
 		pairs[p.Rank()] = closest.OneDeepSPMD(p, blocks[p.Rank()])
 	})
 	if err != nil {
@@ -206,17 +224,17 @@ func runClosest(m *machine.Model, procs, size int) error {
 	if pairs[0].Dist2 != want.Dist2 {
 		return fmt.Errorf("closest: %g != sequential %g", pairs[0].Dist2, want.Dist2)
 	}
-	report(m, procs, res, fmt.Sprintf("closest pair of %d points (dist %.5f, verified)", n, math.Sqrt(pairs[0].Dist2)))
+	report(r, m, procs, res, fmt.Sprintf("closest pair of %d points (dist %.5f, verified)", n, math.Sqrt(pairs[0].Dist2)))
 	return nil
 }
 
-func runFFT(m *machine.Model, procs, size int) error {
+func runFFT(r backend.Runner, m *machine.Model, procs, size int) error {
 	n := defSize(size, 256)
 	if n&(n-1) != 0 {
 		return fmt.Errorf("fft: size must be a power of two")
 	}
 	var errMax float64
-	res, err := core.Simulate(procs, m, func(p *spmd.Proc) {
+	res, err := core.Run(r, procs, m, func(p *spmd.Proc) {
 		g := meshspectral.New2D[complex128](p, n, n, meshspectral.Rows(p.N()), 0)
 		g.Fill(func(i, j int) complex128 {
 			return complex(math.Sin(float64(i)*0.11)+math.Cos(float64(j)*0.23), 0)
@@ -241,16 +259,16 @@ func runFFT(m *machine.Model, procs, size int) error {
 	if errMax > 1e-9 {
 		return fmt.Errorf("fft: roundtrip error %g", errMax)
 	}
-	report(m, procs, res, fmt.Sprintf("2D FFT %dx%d forward+inverse (roundtrip error %.1e)", n, n, errMax))
+	report(r, m, procs, res, fmt.Sprintf("2D FFT %dx%d forward+inverse (roundtrip error %.1e)", n, n, errMax))
 	return nil
 }
 
-func runPoisson(m *machine.Model, procs, size int) error {
+func runPoisson(r backend.Runner, m *machine.Model, procs, size int) error {
 	n := defSize(size, 65)
 	pr := poisson.Manufactured(n, n, 1e-7, 20000)
 	var iters int
 	var errMax float64
-	res, err := core.Simulate(procs, m, func(p *spmd.Proc) {
+	res, err := core.Run(r, procs, m, func(p *spmd.Proc) {
 		g, r := poisson.SolveSPMD(p, pr, meshspectral.NearSquare(p.N()))
 		e := poisson.MaxError(g, pr)
 		if p.Rank() == 0 {
@@ -260,15 +278,15 @@ func runPoisson(m *machine.Model, procs, size int) error {
 	if err != nil {
 		return err
 	}
-	report(m, procs, res, fmt.Sprintf("Poisson %dx%d, %d Jacobi iterations, max error %.2e", n, n, iters, errMax))
+	report(r, m, procs, res, fmt.Sprintf("Poisson %dx%d, %d Jacobi iterations, max error %.2e", n, n, iters, errMax))
 	return nil
 }
 
-func runCFD(m *machine.Model, procs, size int) error {
+func runCFD(r backend.Runner, m *machine.Model, procs, size int) error {
 	n := defSize(size, 128)
 	pm := cfd.DefaultParams(n, n/2)
 	var t float64
-	res, err := core.Simulate(procs, m, func(p *spmd.Proc) {
+	res, err := core.Run(r, procs, m, func(p *spmd.Proc) {
 		s := cfd.NewSPMD(p, pm, meshspectral.NearSquare(p.N()))
 		tt := s.Run(100)
 		if p.Rank() == 0 {
@@ -278,15 +296,15 @@ func runCFD(m *machine.Model, procs, size int) error {
 	if err != nil {
 		return err
 	}
-	report(m, procs, res, fmt.Sprintf("CFD shock/interface %dx%d, 100 steps to t=%.4f", n, n/2, t))
+	report(r, m, procs, res, fmt.Sprintf("CFD shock/interface %dx%d, 100 steps to t=%.4f", n, n/2, t))
 	return nil
 }
 
-func runFDTD(m *machine.Model, procs, size int) error {
+func runFDTD(r backend.Runner, m *machine.Model, procs, size int) error {
 	n := defSize(size, 32)
 	pm := fdtd.DefaultParams(n)
 	var energy float64
-	res, err := core.Simulate(procs, m, func(p *spmd.Proc) {
+	res, err := core.Run(r, procs, m, func(p *spmd.Proc) {
 		s := fdtd.NewSPMD(p, pm)
 		s.Run(50)
 		e := s.Energy()
@@ -297,15 +315,15 @@ func runFDTD(m *machine.Model, procs, size int) error {
 	if err != nil {
 		return err
 	}
-	report(m, procs, res, fmt.Sprintf("FDTD cavity %d^3, 50 steps, energy %.4f", n, energy))
+	report(r, m, procs, res, fmt.Sprintf("FDTD cavity %d^3, 50 steps, energy %.4f", n, energy))
 	return nil
 }
 
-func runSwirl(m *machine.Model, procs, size int) error {
+func runSwirl(r backend.Runner, m *machine.Model, procs, size int) error {
 	n := defSize(size, 128)
 	pm := swirl.DefaultParams(n+1, n)
 	var energy float64
-	res, err := core.Simulate(procs, m, func(p *spmd.Proc) {
+	res, err := core.Run(r, procs, m, func(p *spmd.Proc) {
 		s := swirl.NewSPMD(p, pm)
 		s.Run(50)
 		full := meshspectral.GatherGrid(s.U, 0)
@@ -316,15 +334,15 @@ func runSwirl(m *machine.Model, procs, size int) error {
 	if err != nil {
 		return err
 	}
-	report(m, procs, res, fmt.Sprintf("swirl %dx%d, 50 steps, kinetic energy %.4f", n+1, n, energy))
+	report(r, m, procs, res, fmt.Sprintf("swirl %dx%d, 50 steps, kinetic energy %.4f", n+1, n, energy))
 	return nil
 }
 
-func runAirshed(m *machine.Model, procs, size int) error {
+func runAirshed(r backend.Runner, m *machine.Model, procs, size int) error {
 	n := defSize(size, 48)
 	pm := airshed.DefaultParams(n, n)
 	var nox float64
-	res, err := core.Simulate(procs, m, func(p *spmd.Proc) {
+	res, err := core.Run(r, procs, m, func(p *spmd.Proc) {
 		s := airshed.NewSPMD(p, pm, meshspectral.NearSquare(p.N()))
 		s.Run(100)
 		full := meshspectral.GatherGrid(s.C, 0)
@@ -335,6 +353,6 @@ func runAirshed(m *machine.Model, procs, size int) error {
 	if err != nil {
 		return err
 	}
-	report(m, procs, res, fmt.Sprintf("airshed %dx%d, 100 steps, mean NOx %.4f", n, n, nox))
+	report(r, m, procs, res, fmt.Sprintf("airshed %dx%d, 100 steps, mean NOx %.4f", n, n, nox))
 	return nil
 }

@@ -12,12 +12,25 @@
 // pair, 2D FFT, Poisson solver, compressible-flow CFD, 3D electromagnetic
 // FDTD, a spectral swirling-flow code, and an airshed smog model).
 //
+// Programs run on pluggable execution backends: the virtual-time
+// simulator prices every run on a machine model's clocks (deterministic,
+// paper-shaped curves), while the real shared-memory backend runs the
+// same program text as goroutines over native channels at hardware speed
+// with wall-clock metering. Experiment matrices (program × machine model
+// × process count × backend) are swept concurrently by a worker-pool
+// scheduler.
+//
 // Layout:
 //
 //	internal/core         the archetype method: ParFor (version-1 programs),
 //	                      SPMD experiments, speedup curves, cost metering
 //	internal/machine      LogGP-style machine models (Delta, SP, paging)
-//	internal/spmd         SPMD process runtime with virtual clocks
+//	internal/backend      pluggable execution backends: the Transport/Runner
+//	                      seam, the virtual-time simulator, and the real
+//	                      shared-memory backend (wall-clock metering)
+//	internal/sched        concurrent sweep scheduler: bounded worker pool,
+//	                      deduplicating result cache, streamed curves
+//	internal/spmd         SPMD process runtime over any backend
 //	internal/collective   broadcast/gather/scatter/all-to-all/reduce/barrier
 //	internal/onedeep      one-deep divide-and-conquer archetype + the
 //	                      traditional recursive baseline

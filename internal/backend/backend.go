@@ -1,0 +1,139 @@
+// Package backend provides pluggable execution substrates for SPMD
+// archetype programs.
+//
+// The paper's method promises that one program text runs unchanged across
+// execution strategies: sequentially for debugging, on a simulated
+// multicomputer for cost studies, and on a real machine at hardware speed.
+// This package is the seam that makes the last part true. A Transport is
+// the per-run substrate extracted from the simulator's World — it carries
+// tagged FIFO messages between ranks and owns the notion of time — and a
+// Runner is a named Transport factory, one per execution backend.
+//
+// Two backends are built in:
+//
+//   - Sim: the original virtual-time simulator. Every process carries a
+//     virtual clock advanced by compute charges and machine.Model message
+//     costs; makespans are deterministic for deterministic programs.
+//   - Real: shared-memory execution. Processes are goroutines exchanging
+//     data through native channels with no virtual pricing; the makespan
+//     is wall-clock time read from an injectable clock. Messages and
+//     bytes are still counted identically to Sim, so cost accounting is
+//     comparable across backends.
+//
+// Programs keep their communication structure and computational results on
+// either backend; only the meaning of time changes. spmd.World runs on any
+// Transport (see spmd.NewWorldOn), and internal/sched sweeps experiment
+// matrices over backends concurrently.
+package backend
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/machine"
+)
+
+// Result summarizes one run of an n-process program on a Transport.
+type Result struct {
+	// Makespan is the run's execution time in seconds: the maximum final
+	// virtual clock (Sim) or elapsed wall-clock time (Real).
+	Makespan float64
+	// Clocks holds every process's final clock reading.
+	Clocks []float64
+	// Msgs and Bytes count all point-to-point messages sent, self-sends
+	// excluded. Both backends count identically.
+	Msgs  int64
+	Bytes int64
+}
+
+// Transport is one run's execution substrate: the send/recv/clock-charge
+// operations extracted from the simulator's World. A Transport serves
+// exactly one run of an n-process program; rank-indexed methods are only
+// called from the goroutine running that rank, while distinct ranks call
+// concurrently.
+type Transport interface {
+	// Charge accounts sec seconds of modeled computation on rank
+	// (non-negative; the caller validates). Virtual-time backends advance
+	// the rank's clock, subject to the paging model; wall-clock backends
+	// discard the charge because real computation takes real time.
+	Charge(rank int, sec float64)
+	// SetResident declares rank's resident data size in bytes for the
+	// paging model (see machine.Model.MemPerProc).
+	SetResident(rank int, bytes float64)
+	// Clock returns rank's current time in seconds.
+	Clock(rank int) float64
+	// Idle advances rank's clock to at least t (no-op when time is not
+	// advanceable, i.e. wall-clock backends).
+	Idle(rank int, t float64)
+	// Send transmits (tag, data, bytes) from src to dst over the per-pair
+	// FIFO, pricing it according to the backend's notion of time.
+	Send(src, dst, tag int, data any, bytes int)
+	// Recv returns the next message from src at dst. The message must
+	// carry the given tag: tags are order checks over the per-pair FIFO,
+	// and a mismatch panics because the program's protocol is broken.
+	Recv(src, dst, tag int) any
+	// RecvAny returns the next message carrying tag from any source,
+	// along with the sender's rank. The choice among concurrently
+	// available messages depends on host scheduling.
+	RecvAny(dst, tag int) (int, any)
+	// Finish assembles the run summary after every process has returned.
+	Finish() Result
+}
+
+// Runner is a named Transport factory: one Runner per execution backend.
+// Runners are stateless and safe for concurrent use; each NewTransport
+// call yields an independent run substrate.
+type Runner interface {
+	// Name identifies the backend ("sim", "real") in flags, scheduler
+	// cache keys, and reports.
+	Name() string
+	// Virtual reports whether the backend's time is virtual (compute
+	// charges advance per-rank clocks; runs are deterministic and can be
+	// co-scheduled freely) or wall-clock (runs are measurements and must
+	// not share the host's cores with competing cells).
+	Virtual() bool
+	// NewTransport builds the substrate for one run of an n-process
+	// program priced by (or, for wall-clock backends, merely annotated
+	// with) the given machine model.
+	NewTransport(n int, m *machine.Model) Transport
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Runner{}
+)
+
+// Register makes a Runner available to ByName. It panics on a duplicate
+// name: backends are identities, not overridable configuration.
+func Register(r Runner) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[r.Name()]; dup {
+		panic("backend: duplicate runner " + r.Name())
+	}
+	registry[r.Name()] = r
+}
+
+// ByName looks up a registered backend ("sim", "real").
+func ByName(name string) (Runner, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	r, ok := registry[name]
+	return r, ok
+}
+
+// Names returns all registered backend names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Default returns the backend programs run on when none is chosen
+// explicitly: the virtual-time simulator.
+func Default() Runner { return Sim() }

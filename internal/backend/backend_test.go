@@ -1,0 +1,177 @@
+package backend_test
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/machine"
+	"repro/internal/spmd"
+)
+
+func testModel() *machine.Model {
+	return &machine.Model{
+		Name: "test", FlopTime: 1e-9, CmpTime: 1e-9, MemTime: 1e-9,
+		Latency: 10e-6, Bandwidth: 1e6, SendOverhead: 1e-6, RecvOverhead: 1e-6,
+	}
+}
+
+func TestRegistryHasBuiltins(t *testing.T) {
+	for _, name := range []string{"sim", "real"} {
+		r, ok := backend.ByName(name)
+		if !ok {
+			t.Fatalf("backend %q not registered", name)
+		}
+		if r.Name() != name {
+			t.Fatalf("backend %q reports name %q", name, r.Name())
+		}
+	}
+	if _, ok := backend.ByName("quantum"); ok {
+		t.Fatal("unknown backend resolved")
+	}
+	names := backend.Names()
+	if len(names) < 2 {
+		t.Fatalf("Names() = %v, want at least sim and real", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering sim should panic")
+		}
+	}()
+	backend.Register(backend.Sim())
+}
+
+// TestRealWallClockMetering injects a fake clock and checks the makespan
+// is exactly the clock delta between construction and Finish.
+func TestRealWallClockMetering(t *testing.T) {
+	var now atomic.Value
+	now.Store(10.0)
+	r := backend.RealWithClock(func() float64 { return now.Load().(float64) })
+	w := spmd.NewWorldOn(r, 2, testModel())
+	now.Store(13.5)
+	res, err := w.Run(func(p *spmd.Proc) {
+		if got := p.Clock(); math.Abs(got-3.5) > 1e-12 {
+			t.Errorf("mid-run clock = %g, want 3.5", got)
+		}
+		p.Charge(1e9) // discarded: real computation takes real time
+		p.Idle(1e12)  // no-op: a wall clock cannot be advanced
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-3.5) > 1e-12 {
+		t.Errorf("makespan = %g, want 3.5 (charges and idles discarded)", res.Makespan)
+	}
+	for i, c := range res.Clocks {
+		if math.Abs(c-3.5) > 1e-12 {
+			t.Errorf("clock %d = %g, want 3.5", i, c)
+		}
+	}
+}
+
+// TestRealCountsLikeSim: the real backend must count messages and bytes
+// exactly as the simulator does — cross-process sends counted, self-sends
+// not — so communication volume is comparable across backends.
+func TestRealCountsLikeSim(t *testing.T) {
+	prog := func(p *spmd.Proc) {
+		p.Send(p.Rank(), 3, "self", 64) // self-send: a copy, not a message
+		if v := spmd.Recv[string](p, p.Rank(), 3); v != "self" {
+			panic("self payload corrupted")
+		}
+		next := (p.Rank() + 1) % p.N()
+		prev := (p.Rank() - 1 + p.N()) % p.N()
+		p.Send(next, 4, p.Rank(), 1000)
+		spmd.Recv[int](p, prev, 4)
+	}
+	simRes, err := spmd.NewWorldOn(backend.Sim(), 4, testModel()).Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	realRes, err := spmd.NewWorldOn(backend.Real(), 4, testModel()).Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simRes.Msgs != 4 || simRes.Bytes != 4000 {
+		t.Fatalf("sim counted %d msgs %d bytes, want 4/4000", simRes.Msgs, simRes.Bytes)
+	}
+	if realRes.Msgs != simRes.Msgs || realRes.Bytes != simRes.Bytes {
+		t.Fatalf("real counted %d msgs %d bytes, sim counted %d/%d",
+			realRes.Msgs, realRes.Bytes, simRes.Msgs, simRes.Bytes)
+	}
+}
+
+// TestRealTagMismatchPanics: protocol checks hold on every backend.
+func TestRealTagMismatchPanics(t *testing.T) {
+	w := spmd.NewWorldOn(backend.Real(), 2, testModel())
+	_, err := w.Run(func(p *spmd.Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 5, nil, 0)
+		} else {
+			p.Recv(0, 6)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "tag") {
+		t.Fatalf("want tag mismatch error, got %v", err)
+	}
+}
+
+// TestRealRecvAny: the nondeterministic receive works over native
+// channels too.
+func TestRealRecvAny(t *testing.T) {
+	const n = 4
+	var sum int64
+	w := spmd.NewWorldOn(backend.Real(), n, testModel())
+	_, err := w.Run(func(p *spmd.Proc) {
+		if p.Rank() == 0 {
+			for i := 1; i < n; i++ {
+				src, v := p.RecvAny(9)
+				if src != v.(int) {
+					panic("sender mismatch")
+				}
+				atomic.AddInt64(&sum, int64(v.(int)))
+			}
+		} else {
+			p.Send(0, 9, p.Rank(), 8)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 1+2+3 {
+		t.Fatalf("sum = %d, want 6", sum)
+	}
+}
+
+// TestSimViaRunnerMatchesNewWorld: NewWorldOn(Sim) is byte-for-byte the
+// old NewWorld.
+func TestSimViaRunnerMatchesNewWorld(t *testing.T) {
+	prog := func(p *spmd.Proc) {
+		p.Flops(1000)
+		if p.Rank() == 0 {
+			p.Send(1, 1, []float64{1, 2, 3}, 24)
+		} else if p.Rank() == 1 {
+			p.Recv(0, 1)
+		}
+	}
+	a, err := spmd.NewWorld(2, testModel()).Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spmd.NewWorldOn(backend.Sim(), 2, testModel()).Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Msgs != b.Msgs || a.Bytes != b.Bytes {
+		t.Fatalf("sim-by-name differs: %+v vs %+v", a, b)
+	}
+}

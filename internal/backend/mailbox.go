@@ -1,0 +1,96 @@
+package backend
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// pairBuffer is the per-(src,dst) channel capacity. Archetype communication
+// patterns (collectives, boundary exchange, all-to-all) keep at most a
+// handful of outstanding messages per ordered pair; the buffer merely lets
+// everyone complete a send phase before the matching receive phase begins.
+const pairBuffer = 32
+
+type message struct {
+	tag   int
+	data  any
+	bytes int
+	// avail is the virtual time at which the message is available at the
+	// receiver. Wall-clock transports leave it zero.
+	avail float64
+}
+
+// mailbox is the rank-to-rank FIFO fabric and message/byte accounting
+// shared by every transport: backends differ in how they price messages,
+// not in how they carry them.
+type mailbox struct {
+	n int
+	// mail[src*n+dst] is the FIFO channel from src to dst.
+	mail []chan message
+
+	mu         sync.Mutex
+	totalMsgs  int64
+	totalBytes int64
+}
+
+func newMailbox(n int) *mailbox {
+	mb := &mailbox{n: n, mail: make([]chan message, n*n)}
+	for i := range mb.mail {
+		mb.mail[i] = make(chan message, pairBuffer)
+	}
+	return mb
+}
+
+// count records one cross-process message of the given size.
+func (mb *mailbox) count(bytes int) {
+	mb.mu.Lock()
+	mb.totalMsgs++
+	mb.totalBytes += int64(bytes)
+	mb.mu.Unlock()
+}
+
+// totals returns the accumulated message and byte counts.
+func (mb *mailbox) totals() (msgs, bytes int64) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.totalMsgs, mb.totalBytes
+}
+
+// push enqueues a message on the src→dst FIFO.
+func (mb *mailbox) push(src, dst int, m message) {
+	mb.mail[src*mb.n+dst] <- m
+}
+
+// pop dequeues the next message on the src→dst FIFO, panicking when its
+// tag differs from the expected one (a broken communication protocol).
+func (mb *mailbox) pop(src, dst, tag int) message {
+	msg := <-mb.mail[src*mb.n+dst]
+	if msg.tag != tag {
+		panic(fmt.Sprintf("backend: process %d expected tag %d from %d, got %d", dst, tag, src, msg.tag))
+	}
+	return msg
+}
+
+// popAny dequeues the next message for dst from any source, returning the
+// sender's rank. The choice among concurrently available messages depends
+// on host scheduling.
+func (mb *mailbox) popAny(dst, tag int) (int, message) {
+	cases := make([]reflect.SelectCase, mb.n)
+	for src := 0; src < mb.n; src++ {
+		cases[src] = reflect.SelectCase{
+			Dir:  reflect.SelectRecv,
+			Chan: reflect.ValueOf(mb.mail[src*mb.n+dst]),
+		}
+	}
+	chosen, val, ok := reflect.Select(cases)
+	if !ok {
+		panic("backend: mailbox closed") // cannot happen: mailboxes are never closed
+	}
+	msg := val.Interface().(message)
+	if msg.tag != tag {
+		panic(fmt.Sprintf("backend: process %d expected tag %d from any source, got %d from %d",
+			dst, tag, msg.tag, chosen))
+	}
+	return chosen, msg
+}

@@ -1,0 +1,113 @@
+package backend_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/meshspectral"
+	"repro/internal/onedeep"
+	"repro/internal/poisson"
+	"repro/internal/sortapp"
+	"repro/internal/spmd"
+
+	"repro/internal/fft"
+)
+
+// TestBackendParity is the reproduction's cross-backend contract: the
+// same deterministic archetype program, run on the virtual-time simulator
+// and on the real shared-memory backend, must produce bit-identical
+// computational results and identical message/byte counts at every
+// process count. Only the meaning of time differs between backends.
+func TestBackendParity(t *testing.T) {
+	model := machine.IBMSP()
+	// Each case returns a comparable snapshot of the computation's output;
+	// the program must be deterministic (no RecvAny, no clock-dependent
+	// control flow).
+	cases := []struct {
+		name string
+		prog func(np int) (core.Program, func() any)
+	}{
+		{
+			name: "sorting/one-deep-mergesort",
+			prog: func(np int) (core.Program, func() any) {
+				data := sortapp.RandomInts(20000, 42)
+				blocks := sortapp.BlockDistribute(data, np)
+				spec := sortapp.OneDeepMergesort(onedeep.Centralized)
+				outs := make([][]int32, np)
+				return func(p *spmd.Proc) {
+					outs[p.Rank()] = onedeep.RunSPMD(p, spec, blocks[p.Rank()])
+				}, func() any { return outs }
+			},
+		},
+		{
+			name: "fft/2d-forward",
+			prog: func(np int) (core.Program, func() any) {
+				const n = 32
+				var out []complex128
+				return func(p *spmd.Proc) {
+					g := meshspectral.New2D[complex128](p, n, n, meshspectral.Rows(p.N()), 0)
+					g.Fill(func(i, j int) complex128 {
+						return complex(math.Sin(float64(i)*0.11), math.Cos(float64(j)*0.23))
+					})
+					f := fft.TwoDSPMD(p, g, false)
+					full := meshspectral.GatherGrid(f, 0)
+					if p.Rank() == 0 {
+						out = full.Data
+					}
+				}, func() any { return out }
+			},
+		},
+		{
+			name: "poisson/jacobi",
+			prog: func(np int) (core.Program, func() any) {
+				pr := poisson.Manufactured(25, 25, 1e-6, 2000)
+				var grid []float64
+				var iters int
+				return func(p *spmd.Proc) {
+						g, r := poisson.SolveSPMD(p, pr, meshspectral.NearSquare(p.N()))
+						full := meshspectral.GatherGrid(g, 0)
+						if p.Rank() == 0 {
+							grid = full.Data
+							iters = r.Iterations
+						}
+					}, func() any {
+						return struct {
+							Grid  []float64
+							Iters int
+						}{grid, iters}
+					}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, np := range []int{1, 2, 4} {
+				simProg, simSnap := tc.prog(np)
+				simRes, err := core.Run(backend.Sim(), np, model, simProg)
+				if err != nil {
+					t.Fatalf("P=%d sim: %v", np, err)
+				}
+				realProg, realSnap := tc.prog(np)
+				realRes, err := core.Run(backend.Real(), np, model, realProg)
+				if err != nil {
+					t.Fatalf("P=%d real: %v", np, err)
+				}
+				if !reflect.DeepEqual(simSnap(), realSnap()) {
+					t.Fatalf("P=%d: computational results differ across backends", np)
+				}
+				if simRes.Msgs != realRes.Msgs || simRes.Bytes != realRes.Bytes {
+					t.Fatalf("P=%d: communication volume differs: sim %d msgs/%d bytes, real %d msgs/%d bytes",
+						np, simRes.Msgs, simRes.Bytes, realRes.Msgs, realRes.Bytes)
+				}
+				if simRes.Makespan <= 0 {
+					t.Fatalf("P=%d: sim makespan %g, want positive virtual time", np, simRes.Makespan)
+				}
+			}
+		})
+	}
+}

@@ -12,8 +12,16 @@
 //     distributed-memory message-passing machine, with communication
 //     encapsulated in the archetype's library (package collective).
 //  4. Measure: the Experiment type runs the SPMD program over a sweep of
-//     process counts on a simulated machine (package machine/spmd) and
-//     reports speedup curves in the form of the paper's figures.
+//     process counts and reports speedup curves in the form of the
+//     paper's figures.
+//
+// Step 4 runs on a pluggable execution backend (package backend): the
+// virtual-time simulator (backend.Sim, the default, deterministic
+// makespans from a machine.Model) or the real shared-memory backend
+// (backend.Real, goroutines over native channels metered by the wall
+// clock). An Experiment selects its backend via the Backend field; Run
+// and Simulate are the one-shot entry points. Sweeping a whole matrix of
+// experiments concurrently is package sched's job.
 //
 // The two archetypes the paper develops — one-deep divide and conquer and
 // mesh-spectral — live in packages onedeep and meshspectral and build on
@@ -23,8 +31,10 @@ package core
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 
+	"repro/internal/backend"
 	"repro/internal/machine"
 	"repro/internal/spmd"
 )
@@ -39,7 +49,8 @@ const (
 	// Sequential runs iterations in index order on the calling goroutine
 	// (the paper's "replace parfor with for").
 	Sequential Mode = iota
-	// Concurrent runs all iterations in their own goroutines and waits.
+	// Concurrent runs the iterations concurrently, chunked over
+	// GOMAXPROCS worker goroutines, and waits for all of them.
 	Concurrent
 )
 
@@ -56,8 +67,12 @@ func (m Mode) String() string {
 }
 
 // ParFor is the paper's parfor/forall construct: n independent iterations.
-// The iterations must be independent — writing disjoint data — which is
-// exactly the archetype precondition that makes the two modes equivalent.
+// The iterations must be independent — writing disjoint data and not
+// communicating with each other — which is exactly the archetype
+// precondition that makes the two modes equivalent. Concurrent mode chunks
+// the index space over GOMAXPROCS worker goroutines rather than spawning
+// one goroutine per iteration, so million-iteration parfors cost a handful
+// of goroutines instead of a million.
 func ParFor(m Mode, n int, body func(i int)) {
 	switch m {
 	case Sequential:
@@ -65,12 +80,25 @@ func ParFor(m Mode, n int, body func(i int)) {
 			body(i)
 		}
 	case Concurrent:
+		workers := runtime.GOMAXPROCS(0)
+		if workers > n {
+			workers = n
+		}
+		if workers <= 1 {
+			for i := 0; i < n; i++ {
+				body(i)
+			}
+			return
+		}
 		var wg sync.WaitGroup
-		wg.Add(n)
-		for i := 0; i < n; i++ {
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			lo, hi := n*w/workers, n*(w+1)/workers
 			go func() {
 				defer wg.Done()
-				body(i)
+				for i := lo; i < hi; i++ {
+					body(i)
+				}
 			}()
 		}
 		wg.Wait()
@@ -82,10 +110,16 @@ func ParFor(m Mode, n int, body func(i int)) {
 // Program is an SPMD program body: it is run once per process.
 type Program func(p *spmd.Proc)
 
+// Run executes prog on an n-process world over the given machine model on
+// the given execution backend.
+func Run(r backend.Runner, n int, m *machine.Model, prog Program) (*spmd.Result, error) {
+	return spmd.NewWorldOn(r, n, m).Run(prog)
+}
+
 // Simulate runs prog on an n-process world over the given machine model
-// and returns the run's virtual-time result.
+// on the virtual-time simulator backend and returns the run's result.
 func Simulate(n int, m *machine.Model, prog Program) (*spmd.Result, error) {
-	return spmd.NewWorld(n, m).Run(prog)
+	return Run(backend.Default(), n, m, prog)
 }
 
 // Experiment pairs a sequential baseline with an SPMD program so speedup
@@ -94,6 +128,9 @@ func Simulate(n int, m *machine.Model, prog Program) (*spmd.Result, error) {
 type Experiment struct {
 	Name  string
 	Model *machine.Model
+	// Backend is the execution backend runs go to; nil means the
+	// virtual-time simulator.
+	Backend backend.Runner
 	// Seq is the sequential algorithm, run on a 1-process world (no
 	// communication is priced except self-copies). If nil, the baseline
 	// is Par run with one process.
@@ -101,6 +138,40 @@ type Experiment struct {
 	// Par is the SPMD program; it discovers the process count via
 	// p.N().
 	Par Program
+}
+
+// Runner returns the experiment's execution backend, defaulting to the
+// virtual-time simulator.
+func (e *Experiment) Runner() backend.Runner {
+	if e.Backend != nil {
+		return e.Backend
+	}
+	return backend.Default()
+}
+
+// Baseline runs the experiment's sequential baseline — Seq, or Par with
+// one process — and returns its result.
+func (e *Experiment) Baseline() (*spmd.Result, error) {
+	seqProg := e.Seq
+	if seqProg == nil {
+		seqProg = e.Par
+	}
+	res, err := Run(e.Runner(), 1, e.Model, seqProg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %q: sequential baseline: %w", e.Name, err)
+	}
+	return res, nil
+}
+
+// Point runs the experiment's SPMD program on n processes and returns the
+// raw run result: one cell of the sweep matrix. Package sched dispatches
+// Point calls concurrently.
+func (e *Experiment) Point(n int) (*spmd.Result, error) {
+	res, err := Run(e.Runner(), n, e.Model, e.Par)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %q: %d processes: %w", e.Name, n, err)
+	}
+	return res, nil
 }
 
 // Point is one measurement of a speedup curve.
@@ -120,21 +191,19 @@ type Curve struct {
 }
 
 // Run produces the experiment's speedup curve over the given process
-// counts.
+// counts, one cell at a time on the calling goroutine. Package sched runs
+// the same cells concurrently with bounded parallelism; prefer it for
+// multi-experiment sweeps.
 func (e *Experiment) Run(procs []int) (*Curve, error) {
-	seqProg := e.Seq
-	if seqProg == nil {
-		seqProg = e.Par
-	}
-	seqRes, err := Simulate(1, e.Model, seqProg)
+	seqRes, err := e.Baseline()
 	if err != nil {
-		return nil, fmt.Errorf("experiment %q: sequential baseline: %w", e.Name, err)
+		return nil, err
 	}
 	c := &Curve{Name: e.Name, SeqTime: seqRes.Makespan}
 	for _, n := range procs {
-		res, err := Simulate(n, e.Model, e.Par)
+		res, err := e.Point(n)
 		if err != nil {
-			return nil, fmt.Errorf("experiment %q: %d processes: %w", e.Name, n, err)
+			return nil, err
 		}
 		c.Points = append(c.Points, Point{
 			Procs:   n,
@@ -176,19 +245,31 @@ func WriteTable(w io.Writer, curves ...*Curve) error {
 		return err
 	}
 	for _, c := range curves {
-		fmt.Fprintf(w, " %16s", c.Name)
+		if _, err := fmt.Fprintf(w, " %16s", c.Name); err != nil {
+			return err
+		}
 	}
-	fmt.Fprintln(w)
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
 	for i, pt := range base.Points {
-		fmt.Fprintf(w, "%8d %10.2f", pt.Procs, float64(pt.Procs))
+		if _, err := fmt.Fprintf(w, "%8d %10.2f", pt.Procs, float64(pt.Procs)); err != nil {
+			return err
+		}
 		for _, c := range curves {
+			var err error
 			if i < len(c.Points) {
-				fmt.Fprintf(w, " %16.2f", c.Points[i].Speedup)
+				_, err = fmt.Fprintf(w, " %16.2f", c.Points[i].Speedup)
 			} else {
-				fmt.Fprintf(w, " %16s", "-")
+				_, err = fmt.Fprintf(w, " %16s", "-")
+			}
+			if err != nil {
+				return err
 			}
 		}
-		fmt.Fprintln(w)
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -49,6 +50,32 @@ func TestParForModesEquivalentForIndependentBodies(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("modes disagree at %d", i)
 		}
+	}
+}
+
+func TestParForConcurrentLargeN(t *testing.T) {
+	// The chunked implementation must still visit every index exactly
+	// once at iteration counts far beyond any sane goroutine budget.
+	const n = 1 << 20
+	marks := make([]int32, n)
+	ParFor(Concurrent, n, func(i int) { atomic.AddInt32(&marks[i], 1) })
+	for i, v := range marks {
+		if v != 1 {
+			t.Fatalf("iteration %d ran %d times", i, v)
+		}
+	}
+}
+
+func TestParForFewerIterationsThanWorkers(t *testing.T) {
+	var count int64
+	ParFor(Concurrent, 1, func(i int) {
+		if i != 0 {
+			t.Errorf("iteration index %d, want 0", i)
+		}
+		atomic.AddInt64(&count, 1)
+	})
+	if count != 1 {
+		t.Fatalf("ran %d iterations, want 1", count)
 	}
 }
 
@@ -153,6 +180,32 @@ func TestWriteTable(t *testing.T) {
 	}
 	if err := WriteTable(&buf); err != nil {
 		t.Errorf("empty table should be a no-op: %v", err)
+	}
+}
+
+// errAfterWriter fails every write after the first n bytes, for testing
+// error propagation.
+type errAfterWriter struct {
+	n       int
+	written int
+}
+
+func (w *errAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		return 0, fmt.Errorf("write limit %d exceeded", w.n)
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func TestWriteTablePropagatesErrors(t *testing.T) {
+	c := &Curve{Name: "alg", Points: []Point{{Procs: 1, Speedup: 1}, {Procs: 2, Speedup: 1.9}}}
+	// A full render needs well over 40 bytes; every truncation point must
+	// surface the write error rather than dropping it.
+	for _, limit := range []int{0, 10, 20, 30, 40} {
+		if err := WriteTable(&errAfterWriter{n: limit}, c); err == nil {
+			t.Errorf("WriteTable with %d-byte writer: error dropped", limit)
+		}
 	}
 }
 

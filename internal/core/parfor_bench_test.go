@@ -1,0 +1,52 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// parForGoroutinePerIteration is the pre-chunking Concurrent
+// implementation — one goroutine per iteration — kept as the benchmark
+// baseline the chunked version is measured against.
+func parForGoroutinePerIteration(n int, body func(i int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			body(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// benchBody is a tiny iteration body: the regime where per-iteration
+// goroutine overhead dominates.
+func benchBody(sink *int64) func(int) {
+	return func(i int) {
+		atomic.AddInt64(sink, int64(i&7))
+	}
+}
+
+// BenchmarkParForChunked measures the chunked Concurrent mode at 10^6
+// iterations (a handful of worker goroutines).
+func BenchmarkParForChunked(b *testing.B) {
+	const n = 1 << 20
+	var sink int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ParFor(Concurrent, n, benchBody(&sink))
+	}
+}
+
+// BenchmarkParForGoroutinePerIteration measures the old strategy on the
+// same workload (10^6 goroutines per ParFor).
+func BenchmarkParForGoroutinePerIteration(b *testing.B) {
+	const n = 1 << 20
+	var sink int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		parForGoroutinePerIteration(n, benchBody(&sink))
+	}
+}

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/backend"
 	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/meshspectral"
 	"repro/internal/onedeep"
 	"repro/internal/poisson"
+	"repro/internal/sched"
 	"repro/internal/sortapp"
 	"repro/internal/spmd"
 )
@@ -60,35 +62,49 @@ func writeAblation(o Options, nameA, nameB string, rows []AblationRow) {
 	}
 }
 
+// ablationRows runs one A-vs-B comparison per process count through the
+// backend's scheduler on the given backend.
+func ablationRows(r backend.Runner, m *machine.Model, procs []int, progA, progB func(np int) core.Program) ([]AblationRow, error) {
+	return sched.Map(schedFor(r), len(procs), func(i int) (AblationRow, error) {
+		np := procs[i]
+		a, err := core.Run(r, np, m, progA(np))
+		if err != nil {
+			return AblationRow{}, err
+		}
+		b, err := core.Run(r, np, m, progB(np))
+		if err != nil {
+			return AblationRow{}, err
+		}
+		return AblationRow{Procs: np, A: a.Makespan, B: b.Makespan}, nil
+	})
+}
+
 // AblationReduce measures both reduction implementations.
 func AblationReduce(procs []int, reps int) ([]AblationRow, error) {
-	model := machine.IBMSP()
-	var rows []AblationRow
-	for _, np := range procs {
-		rd, err := core.Simulate(np, model, func(p *spmd.Proc) {
-			for i := 0; i < reps; i++ {
-				collective.AllReduce(p, float64(p.Rank()), math.Max)
+	return ablationReduce(backend.Default(), procs, reps)
+}
+
+func ablationReduce(r backend.Runner, procs []int, reps int) ([]AblationRow, error) {
+	return ablationRows(r, machine.IBMSP(), procs,
+		func(np int) core.Program {
+			return func(p *spmd.Proc) {
+				for i := 0; i < reps; i++ {
+					collective.AllReduce(p, float64(p.Rank()), math.Max)
+				}
+			}
+		},
+		func(np int) core.Program {
+			return func(p *spmd.Proc) {
+				for i := 0; i < reps; i++ {
+					collective.AllReduceGB(p, float64(p.Rank()), math.Max)
+				}
 			}
 		})
-		if err != nil {
-			return nil, err
-		}
-		gb, err := core.Simulate(np, model, func(p *spmd.Proc) {
-			for i := 0; i < reps; i++ {
-				collective.AllReduceGB(p, float64(p.Rank()), math.Max)
-			}
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{Procs: np, A: rd.Makespan, B: gb.Makespan})
-	}
-	return rows, nil
 }
 
 func runAblationReduce(o Options) (*Result, error) {
 	banner(o, "Ablation A1: reduction strategy (100 all-reduces)")
-	rows, err := AblationReduce(o.procs([]int{4, 8, 16, 32, 64}), 100)
+	rows, err := ablationReduce(o.backend(), o.procs([]int{4, 8, 16, 32, 64}), 100)
 	if err != nil {
 		return nil, err
 	}
@@ -99,31 +115,27 @@ func runAblationReduce(o Options) (*Result, error) {
 // AblationParams measures one-deep mergesort under both splitter
 // strategies.
 func AblationParams(n int, procs []int) ([]AblationRow, error) {
-	model := machine.IntelDelta()
+	return ablationParams(backend.Default(), n, procs)
+}
+
+func ablationParams(r backend.Runner, n int, procs []int) ([]AblationRow, error) {
 	data := sortapp.RandomInts(n, 77)
-	var rows []AblationRow
-	for _, np := range procs {
+	strat := func(np int, s onedeep.ParamStrategy) core.Program {
 		blocks := sortapp.BlockDistribute(data, np)
-		var times [2]float64
-		for i, strat := range []onedeep.ParamStrategy{onedeep.Centralized, onedeep.Replicated} {
-			spec := sortapp.OneDeepMergesort(strat)
-			res, err := core.Simulate(np, model, func(p *spmd.Proc) {
-				onedeep.RunSPMD(p, spec, blocks[p.Rank()])
-			})
-			if err != nil {
-				return nil, err
-			}
-			times[i] = res.Makespan
+		spec := sortapp.OneDeepMergesort(s)
+		return func(p *spmd.Proc) {
+			onedeep.RunSPMD(p, spec, blocks[p.Rank()])
 		}
-		rows = append(rows, AblationRow{Procs: np, A: times[0], B: times[1]})
 	}
-	return rows, nil
+	return ablationRows(r, machine.IntelDelta(), procs,
+		func(np int) core.Program { return strat(np, onedeep.Centralized) },
+		func(np int) core.Program { return strat(np, onedeep.Replicated) })
 }
 
 func runAblationParams(o Options) (*Result, error) {
 	n := o.scaleInt(1<<18, 1<<12)
 	banner(o, "Ablation A2: splitter strategy, one-deep mergesort, %d int32", n)
-	rows, err := AblationParams(n, o.procs([]int{4, 16, 64}))
+	rows, err := ablationParams(o.backend(), n, o.procs([]int{4, 16, 64}))
 	if err != nil {
 		return nil, err
 	}
@@ -134,23 +146,19 @@ func runAblationParams(o Options) (*Result, error) {
 // AblationLayout measures the Poisson solver under 1D and 2D block
 // layouts.
 func AblationLayout(n, steps int, procs []int) ([]AblationRow, error) {
-	model := machine.IBMSP()
+	return ablationLayout(backend.Default(), n, steps, procs)
+}
+
+func ablationLayout(r backend.Runner, n, steps int, procs []int) ([]AblationRow, error) {
 	pr := poisson.Manufactured(n, n, 0, steps)
-	var rows []AblationRow
-	for _, np := range procs {
-		var times [2]float64
-		for i, l := range []meshspectral.Layout{meshspectral.Rows(np), meshspectral.NearSquare(np)} {
-			res, err := core.Simulate(np, model, func(p *spmd.Proc) {
-				poisson.SolveSPMD(p, pr, l)
-			})
-			if err != nil {
-				return nil, err
-			}
-			times[i] = res.Makespan
+	layout := func(l meshspectral.Layout) core.Program {
+		return func(p *spmd.Proc) {
+			poisson.SolveSPMD(p, pr, l)
 		}
-		rows = append(rows, AblationRow{Procs: np, A: times[0], B: times[1]})
 	}
-	return rows, nil
+	return ablationRows(r, machine.IBMSP(), procs,
+		func(np int) core.Program { return layout(meshspectral.Rows(np)) },
+		func(np int) core.Program { return layout(meshspectral.NearSquare(np)) })
 }
 
 func runAblationLayout(o Options) (*Result, error) {
@@ -162,7 +170,7 @@ func runAblationLayout(o Options) (*Result, error) {
 	// the 2D decomposition wins (less boundary data, bandwidth-bound).
 	for _, n := range []int{small, large} {
 		banner(o, "Ablation A3: Poisson decomposition, %dx%d grid, %d steps", n, n, steps)
-		rows, err := AblationLayout(n, steps, o.procs([]int{16, 36, 64}))
+		rows, err := ablationLayout(o.backend(), n, steps, o.procs([]int{16, 36, 64}))
 		if err != nil {
 			return nil, err
 		}
@@ -173,33 +181,30 @@ func runAblationLayout(o Options) (*Result, error) {
 
 // AblationAllGather measures both all-gather formulations.
 func AblationAllGather(procs []int, reps int) ([]AblationRow, error) {
-	model := machine.IBMSP()
-	var rows []AblationRow
-	for _, np := range procs {
-		gb, err := core.Simulate(np, model, func(p *spmd.Proc) {
-			for i := 0; i < reps; i++ {
-				collective.AllGather(p, p.Rank())
+	return ablationAllGather(backend.Default(), procs, reps)
+}
+
+func ablationAllGather(r backend.Runner, procs []int, reps int) ([]AblationRow, error) {
+	return ablationRows(r, machine.IBMSP(), procs,
+		func(np int) core.Program {
+			return func(p *spmd.Proc) {
+				for i := 0; i < reps; i++ {
+					collective.AllGather(p, p.Rank())
+				}
+			}
+		},
+		func(np int) core.Program {
+			return func(p *spmd.Proc) {
+				for i := 0; i < reps; i++ {
+					collective.AllGatherExchange(p, p.Rank())
+				}
 			}
 		})
-		if err != nil {
-			return nil, err
-		}
-		ex, err := core.Simulate(np, model, func(p *spmd.Proc) {
-			for i := 0; i < reps; i++ {
-				collective.AllGatherExchange(p, p.Rank())
-			}
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{Procs: np, A: gb.Makespan, B: ex.Makespan})
-	}
-	return rows, nil
 }
 
 func runAblationAllGather(o Options) (*Result, error) {
 	banner(o, "Ablation A4: all-gather formulation (100 all-gathers)")
-	rows, err := AblationAllGather(o.procs([]int{4, 8, 16, 32, 64}), 100)
+	rows, err := ablationAllGather(o.backend(), o.procs([]int{4, 8, 16, 32, 64}), 100)
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,7 @@
 package figures
 
 import (
-	"fmt"
-
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/onedeep"
@@ -23,51 +22,49 @@ func init() {
 }
 
 // Fig6Curves produces the two speedup curves of Figure 6 at the given
-// element count over the given processor sweep (exported for tests and
-// benchmarks).
+// element count over the given processor sweep on the simulator backend
+// (exported for tests and benchmarks).
 func Fig6Curves(n int, procs []int) (oneDeep, traditional *core.Curve, err error) {
+	return fig6Curves(backend.Default(), n, procs)
+}
+
+// fig6Curves runs both Figure 6 sweeps concurrently through the shared
+// scheduler on the given backend.
+func fig6Curves(r backend.Runner, n int, procs []int) (oneDeep, traditional *core.Curve, err error) {
 	model := machine.IntelDelta()
 	data := sortapp.RandomInts(n, 1999)
 
 	// Sequential baseline: the sequential mergesort (as the paper's
 	// caption specifies).
-	seq := core.NewTally(model)
-	sortapp.MergeSort(seq, data)
+	seqT, err := seqTime(r, model, func(m core.Meter) { sortapp.MergeSort(m, data) })
+	if err != nil {
+		return nil, nil, err
+	}
 
 	spec := sortapp.OneDeepMergesort(onedeep.Centralized)
-	oneDeep = &core.Curve{Name: "one-deep", SeqTime: seq.Seconds}
-	traditional = &core.Curve{Name: "traditional", SeqTime: seq.Seconds}
-
-	for _, np := range procs {
+	oneDeep, err = sweepPoints(r, "one-deep", seqT, model, procs, func(np int) core.Program {
 		blocks := sortapp.BlockDistribute(data, np)
-		res, err := core.Simulate(np, model, func(p *spmd.Proc) {
+		return func(p *spmd.Proc) {
 			out := onedeep.RunSPMD(p, spec, blocks[p.Rank()])
 			if !sortapp.IsSorted(out) {
 				panic("one-deep output unsorted")
 			}
-		})
-		if err != nil {
-			return nil, nil, fmt.Errorf("fig 6 one-deep at %d procs: %w", np, err)
 		}
-		oneDeep.Points = append(oneDeep.Points, core.Point{
-			Procs: np, Time: res.Makespan, Speedup: seq.Seconds / res.Makespan,
-			Msgs: res.Msgs, Bytes: res.Bytes,
-		})
-
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	traditional, err = sweepPoints(r, "traditional", seqT, model, procs, func(np int) core.Program {
 		rec := sortapp.TraditionalMergesort(32)
-		res, err = core.Simulate(np, model, func(p *spmd.Proc) {
+		return func(p *spmd.Proc) {
 			out := rec.RunSPMD(p, data)
 			if p.Rank() == 0 && !sortapp.IsSorted(out) {
 				panic("traditional output unsorted")
 			}
-		})
-		if err != nil {
-			return nil, nil, fmt.Errorf("fig 6 traditional at %d procs: %w", np, err)
 		}
-		traditional.Points = append(traditional.Points, core.Point{
-			Procs: np, Time: res.Makespan, Speedup: seq.Seconds / res.Makespan,
-			Msgs: res.Msgs, Bytes: res.Bytes,
-		})
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return oneDeep, traditional, nil
 }
@@ -76,7 +73,7 @@ func runFig6(o Options) (*Result, error) {
 	n := o.scaleInt(1<<20, 1<<12)
 	procs := o.procs(core.PowersOfTwo(64))
 	banner(o, "Figure 6: mergesort speedups, %d int32, Intel Delta model", n)
-	oneDeep, trad, err := Fig6Curves(n, procs)
+	oneDeep, trad, err := fig6Curves(o.backend(), n, procs)
 	if err != nil {
 		return nil, err
 	}

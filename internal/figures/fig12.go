@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/array"
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/fft"
 	"repro/internal/machine"
@@ -26,39 +27,39 @@ func init() {
 }
 
 // Fig12Curve produces the Figure 12 speedup curve for an n×n complex grid
-// transformed reps times, over the given processor sweep.
+// transformed reps times, over the given processor sweep on the simulator
+// backend.
 func Fig12Curve(n, reps int, procs []int) (*core.Curve, error) {
+	return fig12Curve(backend.Default(), n, reps, procs)
+}
+
+func fig12Curve(r backend.Runner, n, reps int, procs []int) (*core.Curve, error) {
 	model := machine.IBMSP()
 	fill := func(gi, gj int) complex128 {
 		return complex(math.Sin(float64(gi)*0.37), math.Cos(float64(gj)*0.11))
 	}
 
 	// Sequential baseline: really run the sequential 2D FFT reps times.
-	seq := core.NewTally(model)
-	dense := array.New2D[complex128](n, n)
-	dense.Fill(fill)
-	for r := 0; r < reps; r++ {
-		fft.TwoDSeq(seq, dense, false)
+	seqT, err := seqTime(r, model, func(m core.Meter) {
+		dense := array.New2D[complex128](n, n)
+		dense.Fill(fill)
+		for rep := 0; rep < reps; rep++ {
+			fft.TwoDSeq(m, dense, false)
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	curve := &core.Curve{Name: "2D FFT", SeqTime: seq.Seconds}
-	for _, np := range procs {
-		res, err := core.Simulate(np, model, func(p *spmd.Proc) {
+	return sweepPoints(r, "2D FFT", seqT, model, procs, func(np int) core.Program {
+		return func(p *spmd.Proc) {
 			g := meshspectral.New2D[complex128](p, n, n, meshspectral.Rows(p.N()), 0)
 			g.Fill(fill)
-			for r := 0; r < reps; r++ {
+			for rep := 0; rep < reps; rep++ {
 				g = fft.TwoDSPMD(p, g, false)
 			}
-		})
-		if err != nil {
-			return nil, err
 		}
-		curve.Points = append(curve.Points, core.Point{
-			Procs: np, Time: res.Makespan, Speedup: seq.Seconds / res.Makespan,
-			Msgs: res.Msgs, Bytes: res.Bytes,
-		})
-	}
-	return curve, nil
+	})
 }
 
 func runFig12(o Options) (*Result, error) {
@@ -66,7 +67,7 @@ func runFig12(o Options) (*Result, error) {
 	const reps = 10
 	procs := o.procs(core.PowersOfTwo(32))
 	banner(o, "Figure 12: 2D FFT speedup, %dx%d complex grid x%d reps, IBM SP model", n, n, reps)
-	curve, err := Fig12Curve(n, reps, procs)
+	curve, err := fig12Curve(o.backend(), n, reps, procs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/meshspectral"
@@ -25,29 +26,28 @@ func init() {
 // given fixed iteration count, over the given processor sweep (near-square
 // block layouts, as §3.6.3's generic block distribution suggests).
 func Fig15Curve(n, steps int, procs []int) (*core.Curve, error) {
+	return fig15Curve(backend.Default(), n, steps, procs)
+}
+
+func fig15Curve(r backend.Runner, n, steps int, procs []int) (*core.Curve, error) {
 	model := machine.IBMSP()
 	pr := poisson.Manufactured(n, n, 0, steps) // tolerance 0: fixed step count
 
-	seq := core.NewTally(model)
-	if _, res := poisson.SolveSeq(seq, pr); res.Iterations != steps {
-		panic("fig 15: sequential solver did not run the fixed step count")
+	seqT, err := seqTime(r, model, func(m core.Meter) {
+		if _, res := poisson.SolveSeq(m, pr); res.Iterations != steps {
+			panic("fig 15: sequential solver did not run the fixed step count")
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	curve := &core.Curve{Name: "Poisson", SeqTime: seq.Seconds}
-	for _, np := range procs {
+	return sweepPoints(r, "Poisson", seqT, model, procs, func(np int) core.Program {
 		l := meshspectral.NearSquare(np)
-		res, err := core.Simulate(np, model, func(p *spmd.Proc) {
+		return func(p *spmd.Proc) {
 			poisson.SolveSPMD(p, pr, l)
-		})
-		if err != nil {
-			return nil, err
 		}
-		curve.Points = append(curve.Points, core.Point{
-			Procs: np, Time: res.Makespan, Speedup: seq.Seconds / res.Makespan,
-			Msgs: res.Msgs, Bytes: res.Bytes,
-		})
-	}
-	return curve, nil
+	})
 }
 
 func runFig15(o Options) (*Result, error) {
@@ -58,7 +58,7 @@ func runFig15(o Options) (*Result, error) {
 	}
 	procs := o.procs([]int{1, 2, 4, 9, 16, 25, 36})
 	banner(o, "Figure 15: Poisson speedup, %dx%d grid, %d steps, IBM SP model", n, n, steps)
-	curve, err := Fig15Curve(n, steps, procs)
+	curve, err := fig15Curve(o.backend(), n, steps, procs)
 	if err != nil {
 		return nil, err
 	}

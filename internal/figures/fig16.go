@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"repro/internal/backend"
 	"repro/internal/cfd"
 	"repro/internal/core"
 	"repro/internal/machine"
@@ -24,27 +25,26 @@ func init() {
 // Fig16Curve produces the Figure 16 speedup curve for an n×n grid over
 // the given steps and processor sweep.
 func Fig16Curve(n, steps int, procs []int) (*core.Curve, error) {
+	return fig16Curve(backend.Default(), n, steps, procs)
+}
+
+func fig16Curve(r backend.Runner, n, steps int, procs []int) (*core.Curve, error) {
 	model := machine.IntelDelta()
 	pm := cfd.DefaultParams(n, n)
 
-	seq := core.NewTally(model)
-	cfd.NewSeq(pm).Run(seq, steps)
-
-	curve := &core.Curve{Name: "CFD", SeqTime: seq.Seconds}
-	for _, np := range procs {
-		l := meshspectral.NearSquare(np)
-		res, err := core.Simulate(np, model, func(p *spmd.Proc) {
-			cfd.NewSPMD(p, pm, l).Run(steps)
-		})
-		if err != nil {
-			return nil, err
-		}
-		curve.Points = append(curve.Points, core.Point{
-			Procs: np, Time: res.Makespan, Speedup: seq.Seconds / res.Makespan,
-			Msgs: res.Msgs, Bytes: res.Bytes,
-		})
+	seqT, err := seqTime(r, model, func(m core.Meter) {
+		cfd.NewSeq(pm).Run(m, steps)
+	})
+	if err != nil {
+		return nil, err
 	}
-	return curve, nil
+
+	return sweepPoints(r, "CFD", seqT, model, procs, func(np int) core.Program {
+		l := meshspectral.NearSquare(np)
+		return func(p *spmd.Proc) {
+			cfd.NewSPMD(p, pm, l).Run(steps)
+		}
+	})
 }
 
 func runFig16(o Options) (*Result, error) {
@@ -52,7 +52,7 @@ func runFig16(o Options) (*Result, error) {
 	const steps = 8
 	procs := o.procs([]int{1, 4, 16, 36, 64, 100})
 	banner(o, "Figure 16: CFD speedup, %dx%d grid, %d steps, Intel Delta model", n, n, steps)
-	curve, err := Fig16Curve(n, steps, procs)
+	curve, err := fig16Curve(o.backend(), n, steps, procs)
 	if err != nil {
 		return nil, err
 	}

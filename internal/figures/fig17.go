@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/fdtd"
 	"repro/internal/machine"
@@ -26,37 +27,34 @@ func init() {
 // given steps and processor sweep. Every step computes the global field
 // energy, like the paper's scattering monitoring.
 func Fig17Curve(n, steps int, procs []int) (*core.Curve, error) {
+	return fig17Curve(backend.Default(), n, steps, procs)
+}
+
+func fig17Curve(r backend.Runner, n, steps int, procs []int) (*core.Curve, error) {
 	model := machine.IBMSP()
 	pm := fdtd.DefaultParams(n)
 
-	seq := core.NewTally(model)
-	{
+	seqT, err := seqTime(r, model, func(m core.Meter) {
 		s := fdtd.NewSeq(pm)
 		for i := 0; i < steps; i++ {
-			s.Step(seq)
+			s.Step(m)
 			s.Energy()
-			seq.Flops(6 * float64(n) * float64(n) * float64(n))
+			m.Flops(6 * float64(n) * float64(n) * float64(n))
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	curve := &core.Curve{Name: "FDTD", SeqTime: seq.Seconds}
-	for _, np := range procs {
-		res, err := core.Simulate(np, model, func(p *spmd.Proc) {
+	return sweepPoints(r, "FDTD", seqT, model, procs, func(np int) core.Program {
+		return func(p *spmd.Proc) {
 			s := fdtd.NewSPMD(p, pm)
 			for i := 0; i < steps; i++ {
 				s.Step()
 				s.Energy()
 			}
-		})
-		if err != nil {
-			return nil, err
 		}
-		curve.Points = append(curve.Points, core.Point{
-			Procs: np, Time: res.Makespan, Speedup: seq.Seconds / res.Makespan,
-			Msgs: res.Msgs, Bytes: res.Bytes,
-		})
-	}
-	return curve, nil
+	})
 }
 
 func runFig17(o Options) (*Result, error) {
@@ -64,7 +62,7 @@ func runFig17(o Options) (*Result, error) {
 	const steps = 50
 	procs := o.procs([]int{1, 2, 4, 8, 12, 14, 16, 18})
 	banner(o, "Figure 17: FDTD speedup, %d^3 grid, %d steps, IBM SP model", n, steps)
-	curve, err := Fig17Curve(n, steps, procs)
+	curve, err := fig17Curve(o.backend(), n, steps, procs)
 	if err != nil {
 		return nil, err
 	}

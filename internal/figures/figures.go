@@ -14,7 +14,11 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/backend"
 	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/spmd"
 )
 
 // Options controls a figure run.
@@ -29,6 +33,11 @@ type Options struct {
 	Scale float64
 	// MaxProcs caps the processor sweep when positive.
 	MaxProcs int
+	// Backend is the execution backend figure sweeps run on: nil means
+	// the virtual-time simulator (deterministic, paper-shaped curves);
+	// backend.Real runs every cell at hardware speed with wall-clock
+	// makespans.
+	Backend backend.Runner
 }
 
 func (o Options) out() io.Writer {
@@ -72,6 +81,46 @@ func (o Options) scalePow2(def, min int) int {
 		p = min
 	}
 	return p
+}
+
+// backend returns the options' execution backend, defaulting to the
+// virtual-time simulator.
+func (o Options) backend() backend.Runner {
+	if o.Backend != nil {
+		return o.Backend
+	}
+	return backend.Default()
+}
+
+// seqTime measures a sequential baseline on the given backend by running
+// it on a 1-process world: on the simulator the makespan is the sum of
+// the metered charges (exactly what a core.Tally accumulates); on the
+// real backend it is the wall-clock time of really running the baseline.
+func seqTime(r backend.Runner, m *machine.Model, run func(core.Meter)) (float64, error) {
+	res, err := core.Run(r, 1, m, func(p *spmd.Proc) { run(p) })
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}
+
+// schedFor picks the worker pool for a backend: virtual-time cells are
+// deterministic and co-schedule freely; wall-clock cells must run one at
+// a time or they contend for cores and inflate each other's makespans.
+func schedFor(r backend.Runner) *sched.Scheduler {
+	if r.Virtual() {
+		return sched.Shared()
+	}
+	return sched.SerialShared()
+}
+
+// sweepPoints runs prog(np) for every process count through the backend's
+// scheduler (concurrently for virtual time, serially for wall clock) and
+// assembles the named speedup curve.
+func sweepPoints(r backend.Runner, name string, seqT float64, m *machine.Model, procs []int, prog func(np int) core.Program) (*core.Curve, error) {
+	return schedFor(r).Points(name, seqT, procs, func(np int) (*spmd.Result, error) {
+		return core.Run(r, np, m, prog(np))
+	})
 }
 
 // procs filters a sweep by MaxProcs.

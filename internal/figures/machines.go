@@ -3,6 +3,7 @@ package figures
 import (
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/onedeep"
@@ -24,32 +25,32 @@ func init() {
 }
 
 // MachineSweep runs the one-deep mergesort across every built-in machine
-// profile and returns one curve per machine.
+// profile on the simulator backend and returns one curve per machine.
 func MachineSweep(n int, procs []int) ([]*core.Curve, error) {
+	return machineSweep(backend.Default(), n, procs)
+}
+
+func machineSweep(r backend.Runner, n int, procs []int) ([]*core.Curve, error) {
 	data := sortapp.RandomInts(n, 31)
 	models := []*machine.Model{
 		machine.IntelDelta(), machine.IBMSP(), machine.Workstations(), machine.SMP(),
 	}
-	var curves []*core.Curve
-	for _, m := range models {
-		seq := core.NewTally(m)
-		sortapp.MergeSort(seq, data)
-		c := &core.Curve{Name: m.Name, SeqTime: seq.Seconds}
-		spec := sortapp.OneDeepMergesort(onedeep.Centralized)
-		for _, np := range procs {
-			blocks := sortapp.BlockDistribute(data, np)
-			res, err := core.Simulate(np, m, func(p *spmd.Proc) {
-				onedeep.RunSPMD(p, spec, blocks[p.Rank()])
-			})
-			if err != nil {
-				return nil, fmt.Errorf("machine sweep on %s at %d procs: %w", m.Name, np, err)
-			}
-			c.Points = append(c.Points, core.Point{
-				Procs: np, Time: res.Makespan, Speedup: seq.Seconds / res.Makespan,
-				Msgs: res.Msgs, Bytes: res.Bytes,
-			})
+	curves := make([]*core.Curve, len(models))
+	for i, m := range models {
+		seqT, err := seqTime(r, m, func(mt core.Meter) { sortapp.MergeSort(mt, data) })
+		if err != nil {
+			return nil, err
 		}
-		curves = append(curves, c)
+		spec := sortapp.OneDeepMergesort(onedeep.Centralized)
+		curves[i], err = sweepPoints(r, m.Name, seqT, m, procs, func(np int) core.Program {
+			blocks := sortapp.BlockDistribute(data, np)
+			return func(p *spmd.Proc) {
+				onedeep.RunSPMD(p, spec, blocks[p.Rank()])
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("machine sweep on %s: %w", m.Name, err)
+		}
 	}
 	return curves, nil
 }
@@ -58,7 +59,7 @@ func runMachinesAblation(o Options) (*Result, error) {
 	n := o.scaleInt(1<<19, 1<<12)
 	procs := o.procs(core.PowersOfTwo(64))
 	banner(o, "Ablation A5: one-deep mergesort, %d int32, across machine classes", n)
-	curves, err := MachineSweep(n, procs)
+	curves, err := machineSweep(o.backend(), n, procs)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/meshspectral"
 	"repro/internal/perfmodel"
 	"repro/internal/poisson"
+	"repro/internal/sched"
 	"repro/internal/spmd"
 )
 
@@ -37,28 +38,37 @@ func (r ModelRow) Error() float64 {
 }
 
 // ModelValidation compares the closed-form Poisson model with simulation
-// for every (procs, layout) pair.
+// for every (procs, layout) pair. The closed form predicts virtual time,
+// so the cells always run on the simulator backend; they run concurrently
+// through the shared scheduler.
 func ModelValidation(n, steps int, procs []int) ([]ModelRow, error) {
 	m := machine.IBMSP()
-	var rows []ModelRow
+	type cell struct {
+		np     int
+		layout meshspectral.Layout
+	}
+	var cells []cell
 	for _, np := range procs {
 		for _, l := range []meshspectral.Layout{meshspectral.Rows(np), meshspectral.NearSquare(np)} {
-			pr := poisson.Manufactured(n, n, 0, steps)
-			res, err := core.Simulate(np, m, func(p *spmd.Proc) {
-				poisson.SolveSPMD(p, pr, l)
-			})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, ModelRow{
-				Procs:     np,
-				Layout:    l,
-				Predicted: perfmodel.Poisson(m, n, n, steps, l),
-				Measured:  res.Makespan,
-			})
+			cells = append(cells, cell{np, l})
 		}
 	}
-	return rows, nil
+	return sched.Map(sched.Shared(), len(cells), func(i int) (ModelRow, error) {
+		np, l := cells[i].np, cells[i].layout
+		pr := poisson.Manufactured(n, n, 0, steps)
+		res, err := core.Simulate(np, m, func(p *spmd.Proc) {
+			poisson.SolveSPMD(p, pr, l)
+		})
+		if err != nil {
+			return ModelRow{}, err
+		}
+		return ModelRow{
+			Procs:     np,
+			Layout:    l,
+			Predicted: perfmodel.Poisson(m, n, n, steps, l),
+			Measured:  res.Makespan,
+		}, nil
+	})
 }
 
 func runModelValidation(o Options) (*Result, error) {

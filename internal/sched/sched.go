@@ -1,0 +1,324 @@
+// Package sched is the concurrent sweep scheduler: it runs matrices of
+// archetype experiments (program × machine model × process count ×
+// backend) through a bounded worker pool.
+//
+// Every cell of a sweep — one program on one backend at one process count
+// — is an independent world, so simulator cells can run concurrently on
+// the host without changing their results: they are deterministic in
+// virtual time no matter how the host schedules them. The scheduler
+// exploits that: it dispatches cells to a worker pool bounded by Workers
+// (default GOMAXPROCS), deduplicates identical cells singleflight-style
+// through a result cache (the same experiment swept twice, or a baseline
+// that coincides with the 1-process cell, runs once), and streams
+// finished core.Curve values as they complete.
+//
+// Real-backend cells are wall-clock measurements: co-scheduling them
+// would let cells contend for cores and inflate each other's makespans.
+// Route those through SerialShared (or any Workers=1 Scheduler), which
+// still pipelines the sweep machinery but runs one cell at a time.
+//
+// The state-access discipline follows the embarrassingly-parallel worker
+// pool pattern: workers share nothing but the cache, cells own their
+// worlds outright, and results flow through channels.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/spmd"
+)
+
+// Scheduler runs sweep cells through a bounded worker pool with a
+// deduplicating result cache. The zero value is ready to use; one
+// Scheduler may serve many sweeps concurrently and its cache spans them.
+type Scheduler struct {
+	// Workers bounds the number of cells running at once. Zero means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+
+	initOnce sync.Once
+	slots    chan struct{}
+
+	mu    sync.Mutex
+	cache map[cellKey]*cell
+}
+
+// cellKey identifies one cell of the experiment matrix. Experiments are
+// identified by pointer: two sweeps naming the same *Experiment share
+// results, distinct experiments never collide.
+type cellKey struct {
+	exp      *core.Experiment
+	backend  string
+	procs    int
+	baseline bool
+}
+
+// cell is a singleflight entry: the first claimant runs the cell, later
+// claimants wait for done.
+type cell struct {
+	done chan struct{}
+	res  *spmd.Result
+	err  error
+}
+
+func (s *Scheduler) init() {
+	s.initOnce.Do(func() {
+		n := s.Workers
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		s.slots = make(chan struct{}, n)
+		s.cache = make(map[cellKey]*cell)
+	})
+}
+
+// acquire takes a worker slot; release returns it. Cells hold a slot only
+// while running, never while waiting on another cell's result, so the
+// pool cannot deadlock on itself.
+func (s *Scheduler) acquire() { s.slots <- struct{}{} }
+func (s *Scheduler) release() { <-s.slots }
+
+// run executes one cached matrix cell: the first caller for a key runs it
+// under a worker slot, every later caller gets the memoized result.
+func (s *Scheduler) run(key cellKey, f func() (*spmd.Result, error)) (*spmd.Result, error) {
+	s.init()
+	s.mu.Lock()
+	c, hit := s.cache[key]
+	if !hit {
+		c = &cell{done: make(chan struct{})}
+		s.cache[key] = c
+	}
+	s.mu.Unlock()
+	if hit {
+		<-c.done
+		return c.res, c.err
+	}
+	s.acquire()
+	func() {
+		defer s.release()
+		defer close(c.done)
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = fmt.Errorf("sched: cell panicked: %v", r)
+			}
+		}()
+		c.res, c.err = f()
+	}()
+	return c.res, c.err
+}
+
+// cellKeys returns the baseline and point keys for an experiment. When
+// the experiment has no explicit sequential program, its baseline is
+// exactly the 1-process cell, so the two share a key and the cache runs
+// them once.
+func baselineKey(e *core.Experiment) cellKey {
+	k := cellKey{exp: e, backend: e.Runner().Name(), procs: 1, baseline: true}
+	if e.Seq == nil {
+		k.baseline = false
+	}
+	return k
+}
+
+func pointKey(e *core.Experiment, procs int) cellKey {
+	return cellKey{exp: e, backend: e.Runner().Name(), procs: procs}
+}
+
+// Outcome is one experiment's finished curve, or its failure.
+type Outcome struct {
+	Experiment *core.Experiment
+	Curve      *core.Curve
+	Err        error
+}
+
+// Stream runs every experiment of the matrix over the process sweep and
+// delivers each finished curve on the returned channel in completion
+// order. The channel closes when the whole sweep is done. Cells of all
+// experiments run concurrently, interleaved across experiments, bounded
+// by the worker pool.
+func (s *Scheduler) Stream(exps []*core.Experiment, procs []int) <-chan Outcome {
+	s.init()
+	// Buffered to len(exps) so producers never block: a consumer that
+	// stops reading early (Sweep returning on the first error) must not
+	// leak the remaining per-experiment goroutines.
+	out := make(chan Outcome, len(exps))
+	var wg sync.WaitGroup
+	wg.Add(len(exps))
+	for _, e := range exps {
+		go func() {
+			defer wg.Done()
+			curve, err := s.Curve(e, procs)
+			out <- Outcome{Experiment: e, Curve: curve, Err: err}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// Sweep runs every experiment over the process sweep and returns the
+// curves in input order, failing on the first error. It is Stream for
+// callers that want the whole matrix at once.
+func (s *Scheduler) Sweep(exps []*core.Experiment, procs []int) ([]*core.Curve, error) {
+	byExp := make(map[*core.Experiment]*core.Curve, len(exps))
+	for o := range s.Stream(exps, procs) {
+		if o.Err != nil {
+			return nil, o.Err
+		}
+		byExp[o.Experiment] = o.Curve
+	}
+	curves := make([]*core.Curve, len(exps))
+	for i, e := range exps {
+		curves[i] = byExp[e]
+	}
+	return curves, nil
+}
+
+// Curve runs one experiment's baseline and sweep cells concurrently and
+// assembles its speedup curve.
+func (s *Scheduler) Curve(e *core.Experiment, procs []int) (*core.Curve, error) {
+	s.init()
+	results := make([]*spmd.Result, len(procs))
+	errs := make([]error, len(procs)+1)
+	var seqRes *spmd.Result
+	var wg sync.WaitGroup
+	wg.Add(len(procs) + 1)
+	go func() {
+		defer wg.Done()
+		seqRes, errs[len(procs)] = s.run(baselineKey(e), e.Baseline)
+	}()
+	for i, np := range procs {
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = s.run(pointKey(e, np), func() (*spmd.Result, error) {
+				return e.Point(np)
+			})
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	c := &core.Curve{Name: e.Name, SeqTime: seqRes.Makespan}
+	for i, res := range results {
+		c.Points = append(c.Points, core.Point{
+			Procs:   procs[i],
+			Time:    res.Makespan,
+			Speedup: seqRes.Makespan / res.Makespan,
+			Msgs:    res.Msgs,
+			Bytes:   res.Bytes,
+		})
+	}
+	return c, nil
+}
+
+// Map runs f(i) for every i in [0, n) through the scheduler's worker pool
+// and returns the results in index order, failing on the first error. It
+// is the pool's generic primitive: sweeps whose cells aren't Experiment
+// matrix entries (per-np block distributions, (procs, layout) grids,
+// strategy ablations) dispatch through it. Cells run uncached: closures
+// have no identity to key a cache on.
+func Map[T any](s *Scheduler, n int, f func(i int) (T, error)) ([]T, error) {
+	s.init()
+	results := make([]T, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			s.acquire()
+			defer s.release()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("sched: cell panicked: %v", r)
+				}
+			}()
+			results[i], errs[i] = f(i)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Points runs one sweep cell per process count through the worker pool —
+// run(np) builds and executes the cell — and assembles a curve named name
+// against the given sequential-baseline time. It is the entry point for
+// sweeps whose per-cell setup depends on the process count (block
+// distributions, per-np decompositions), which an Experiment's fixed
+// program cannot express.
+func (s *Scheduler) Points(name string, seqTime float64, procs []int, run func(np int) (*spmd.Result, error)) (*core.Curve, error) {
+	results, err := Map(s, len(procs), func(i int) (*spmd.Result, error) {
+		res, err := run(procs[i])
+		if err != nil {
+			return nil, fmt.Errorf("sched: %s at %d processes: %w", name, procs[i], err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &core.Curve{Name: name, SeqTime: seqTime}
+	for i, res := range results {
+		c.Points = append(c.Points, core.Point{
+			Procs:   procs[i],
+			Time:    res.Makespan,
+			Speedup: seqTime / res.Makespan,
+			Msgs:    res.Msgs,
+			Bytes:   res.Bytes,
+		})
+	}
+	return c, nil
+}
+
+// Reset discards every cached cell result. Call it after mutating an
+// experiment in place (the cache keys on experiment identity, not
+// content) or to release the memory a long-lived scheduler has pinned.
+func (s *Scheduler) Reset() {
+	s.init()
+	s.mu.Lock()
+	s.cache = make(map[cellKey]*cell)
+	s.mu.Unlock()
+}
+
+// shared is the process-wide scheduler the package-level helpers use: one
+// pool, one cache, shared by every figure and command in the process.
+var shared = &Scheduler{}
+
+// Shared returns the process-wide scheduler.
+func Shared() *Scheduler { return shared }
+
+// serialShared is the process-wide one-cell-at-a-time scheduler for
+// wall-clock measurement cells.
+var serialShared = &Scheduler{Workers: 1}
+
+// SerialShared returns the process-wide serial scheduler: same machinery,
+// one worker slot, for cells whose measurements would contaminate each
+// other if co-scheduled (real-backend wall-clock runs).
+func SerialShared() *Scheduler { return serialShared }
+
+// Sweep runs the experiment matrix on the shared scheduler.
+func Sweep(exps []*core.Experiment, procs []int) ([]*core.Curve, error) {
+	return shared.Sweep(exps, procs)
+}
+
+// Stream streams the experiment matrix on the shared scheduler.
+func Stream(exps []*core.Experiment, procs []int) <-chan Outcome {
+	return shared.Stream(exps, procs)
+}
+
+// Points runs a process-count sweep on the shared scheduler.
+func Points(name string, seqTime float64, procs []int, run func(np int) (*spmd.Result, error)) (*core.Curve, error) {
+	return shared.Points(name, seqTime, procs, run)
+}

@@ -1,10 +1,5 @@
 package spmd
 
-import (
-	"fmt"
-	"reflect"
-)
-
 // RecvAny receives the next message from any source carrying the given
 // tag and returns the sender's rank with the payload.
 //
@@ -17,28 +12,5 @@ import (
 // The virtual clock still advances consistently: to at least the chosen
 // message's availability time plus receive overhead.
 func (p *Proc) RecvAny(tag int) (int, any) {
-	w := p.world
-	cases := make([]reflect.SelectCase, w.n)
-	for src := 0; src < w.n; src++ {
-		cases[src] = reflect.SelectCase{
-			Dir:  reflect.SelectRecv,
-			Chan: reflect.ValueOf(w.mail[src*w.n+p.rank]),
-		}
-	}
-	chosen, val, ok := reflect.Select(cases)
-	if !ok {
-		panic("spmd: mailbox closed") // cannot happen: mailboxes are never closed
-	}
-	msg := val.Interface().(message)
-	if msg.tag != tag {
-		panic(fmt.Sprintf("spmd: process %d expected tag %d from any source, got %d from %d",
-			p.rank, tag, msg.tag, chosen))
-	}
-	if msg.avail > p.clock {
-		p.clock = msg.avail
-	}
-	if chosen != p.rank {
-		p.clock += w.model.RecvOverhead
-	}
-	return chosen, msg.data
+	return p.world.t.RecvAny(p.rank, tag)
 }

@@ -2,69 +2,58 @@
 // runtime on which archetype programs execute.
 //
 // A World runs N logical processes, one goroutine each, connected by
-// dedicated FIFO channels — the "multicomputer" of the paper. Every process
-// carries a virtual clock advanced by explicit compute charges and by
-// message-passing costs taken from a machine.Model, so the same program
-// yields deterministic makespans for any process count regardless of how
-// the host schedules goroutines. The paper's speedup figures (6, 12, 15,
-// 16, 17, 18) are regenerated from these virtual makespans.
+// dedicated FIFO channels — the "multicomputer" of the paper. The channel
+// fabric, clock, and message pricing live behind a backend.Transport, so
+// the same program text runs on different execution substrates:
+//
+//   - backend.Sim (the default) carries a virtual clock per process,
+//     advanced by explicit compute charges and by message costs from a
+//     machine.Model, so the same program yields deterministic makespans
+//     for any process count regardless of how the host schedules
+//     goroutines. The paper's speedup figures (6, 12, 15, 16, 17, 18)
+//     are regenerated from these virtual makespans.
+//   - backend.Real runs the processes at hardware speed over native
+//     channels and meters the run with the wall clock.
 //
 // Programs written against Proc are ordinary Go: they really compute their
-// results (sorts really sort, solvers really solve); the virtual clock is
-// bookkeeping layered on top.
+// results (sorts really sort, solvers really solve); the clock — virtual
+// or wall — is bookkeeping layered on top.
 package spmd
 
 import (
 	"fmt"
 	"sync"
 
+	"repro/internal/backend"
 	"repro/internal/machine"
 )
-
-// pairBuffer is the per-(src,dst) channel capacity. Archetype communication
-// patterns (collectives, boundary exchange, all-to-all) keep at most a
-// handful of outstanding messages per ordered pair; the buffer merely lets
-// everyone complete a send phase before the matching receive phase begins.
-const pairBuffer = 32
-
-type message struct {
-	tag   int
-	data  any
-	bytes int
-	// avail is the virtual time at which the message is available at the
-	// receiver (sender clock after send overhead, plus latency and
-	// serialization time).
-	avail float64
-}
 
 // World is a set of N communicating processes plus the machine model that
 // prices their communication and computation.
 type World struct {
 	n     int
 	model *machine.Model
-	// mail[src*n+dst] is the FIFO channel from src to dst.
-	mail []chan message
-
-	mu         sync.Mutex
-	totalMsgs  int64
-	totalBytes int64
+	t     backend.Transport
 }
 
-// NewWorld creates a world of n processes over the given machine model.
-// It panics on an invalid model or non-positive n: both are programming
-// errors, not runtime conditions.
+// NewWorld creates a world of n processes over the given machine model on
+// the default virtual-time simulator backend. It panics on an invalid
+// model or non-positive n: both are programming errors, not runtime
+// conditions.
 func NewWorld(n int, m *machine.Model) *World {
+	return NewWorldOn(backend.Default(), n, m)
+}
+
+// NewWorldOn creates a world of n processes over the given machine model
+// on the given execution backend.
+func NewWorldOn(r backend.Runner, n int, m *machine.Model) *World {
 	if n <= 0 {
 		panic(fmt.Sprintf("spmd: world size must be positive, got %d", n))
 	}
 	if err := m.Validate(); err != nil {
 		panic("spmd: " + err.Error())
 	}
-	w := &World{n: n, model: m, mail: make([]chan message, n*n)}
-	for i := range w.mail {
-		w.mail[i] = make(chan message, pairBuffer)
-	}
-	return w
+	return &World{n: n, model: m, t: r.NewTransport(n, m)}
 }
 
 // N returns the number of processes in the world.
@@ -75,10 +64,11 @@ func (w *World) Model() *machine.Model { return w.model }
 
 // Result summarizes one SPMD run.
 type Result struct {
-	// Makespan is the maximum final virtual clock across processes: the
-	// simulated parallel execution time.
+	// Makespan is the run's execution time in seconds: the maximum final
+	// virtual clock across processes on the simulator backend, elapsed
+	// wall-clock time on the real backend.
 	Makespan float64
-	// Clocks holds every process's final virtual clock.
+	// Clocks holds every process's final clock reading.
 	Clocks []float64
 	// Msgs and Bytes count all point-to-point messages sent (self-sends
 	// excluded).
@@ -92,13 +82,11 @@ type Result struct {
 // either finish or would deadlock — tests rely on `go test` timeouts for
 // the latter, which indicates a protocol bug).
 func (w *World) Run(body func(p *Proc)) (*Result, error) {
-	procs := make([]*Proc, w.n)
 	errs := make([]error, w.n)
 	var wg sync.WaitGroup
 	wg.Add(w.n)
 	for rank := 0; rank < w.n; rank++ {
 		p := &Proc{world: w, rank: rank}
-		procs[rank] = p
 		go func() {
 			defer wg.Done()
 			defer func() {
@@ -115,30 +103,21 @@ func (w *World) Run(body func(p *Proc)) (*Result, error) {
 			return nil, err
 		}
 	}
-	res := &Result{Clocks: make([]float64, w.n)}
-	for i, p := range procs {
-		res.Clocks[i] = p.clock
-		if p.clock > res.Makespan {
-			res.Makespan = p.clock
-		}
-	}
-	w.mu.Lock()
-	res.Msgs, res.Bytes = w.totalMsgs, w.totalBytes
-	w.mu.Unlock()
-	return res, nil
+	fin := w.t.Finish()
+	return &Result{
+		Makespan: fin.Makespan,
+		Clocks:   fin.Clocks,
+		Msgs:     fin.Msgs,
+		Bytes:    fin.Bytes,
+	}, nil
 }
 
-// Proc is one logical process of an SPMD computation. Methods on Proc must
-// only be called from the goroutine running that process.
+// Proc is one logical process of an SPMD computation: a rank's view of the
+// world's execution backend. Methods on Proc must only be called from the
+// goroutine running that process.
 type Proc struct {
 	world *World
 	rank  int
-
-	clock    float64
-	resident float64 // bytes declared resident, for the paging model
-
-	msgs  int64
-	bytes int64
 }
 
 // Rank returns this process's index in [0, N).
@@ -150,32 +129,25 @@ func (p *Proc) N() int { return p.world.n }
 // Model returns the machine model pricing this process's work.
 func (p *Proc) Model() *machine.Model { return p.world.model }
 
-// Clock returns the process's current virtual time in seconds.
-func (p *Proc) Clock() float64 { return p.clock }
-
-// pagingFactor is the compute-cost multiplier implied by the current
-// resident-set declaration.
-func (p *Proc) pagingFactor() float64 {
-	m := p.world.model
-	if m.MemPerProc > 0 && p.resident > m.MemPerProc {
-		return m.PagingFactor
-	}
-	return 1
-}
+// Clock returns the process's current time in seconds (virtual on the
+// simulator backend, elapsed wall-clock on the real backend).
+func (p *Proc) Clock() float64 { return p.world.t.Clock(p.rank) }
 
 // SetResident declares the process's resident data size in bytes. When the
 // machine model has a memory capacity and the declaration exceeds it, all
 // subsequent compute charges are multiplied by the model's PagingFactor.
-// This implements the paper's Figure 18 paging explanation.
-func (p *Proc) SetResident(bytes float64) { p.resident = bytes }
+// This implements the paper's Figure 18 paging explanation. (The real
+// backend ignores the declaration: the host pages for real.)
+func (p *Proc) SetResident(bytes float64) { p.world.t.SetResident(p.rank, bytes) }
 
-// Charge advances the virtual clock by sec seconds of computation,
-// subject to the paging multiplier.
+// Charge advances the virtual clock by sec seconds of computation, subject
+// to the paging multiplier. On the real backend the charge is discarded:
+// the computation itself already took the time.
 func (p *Proc) Charge(sec float64) {
 	if sec < 0 {
 		panic(fmt.Sprintf("spmd: negative charge %g on process %d", sec, p.rank))
 	}
-	p.clock += sec * p.pagingFactor()
+	p.world.t.Charge(p.rank, sec)
 }
 
 // Flops charges n floating-point operations.
@@ -189,11 +161,7 @@ func (p *Proc) MemWords(n float64) { p.Charge(n * p.world.model.MemTime) }
 
 // Idle advances the clock to at least t (used by receives; exported for
 // cost-model extensions such as modelling I/O devices).
-func (p *Proc) Idle(t float64) {
-	if t > p.clock {
-		p.clock = t
-	}
-}
+func (p *Proc) Idle(t float64) { p.world.t.Idle(p.rank, t) }
 
 // Send transmits data to process dst. bytes is the payload size used for
 // cost accounting (see Bytes helpers). tag is a protocol check: the
@@ -201,48 +169,23 @@ func (p *Proc) Idle(t float64) {
 // it costs copy time but no latency, and is delivered through the same
 // FIFO so program structure is uniform.
 func (p *Proc) Send(dst, tag int, data any, bytes int) {
-	w := p.world
-	if dst < 0 || dst >= w.n {
-		panic(fmt.Sprintf("spmd: process %d sent to invalid rank %d (world size %d)", p.rank, dst, w.n))
+	if dst < 0 || dst >= p.world.n {
+		panic(fmt.Sprintf("spmd: process %d sent to invalid rank %d (world size %d)", p.rank, dst, p.world.n))
 	}
-	m := w.model
-	if dst == p.rank {
-		p.MemWords(float64(bytes) / 8)
-		w.mail[p.rank*w.n+dst] <- message{tag: tag, data: data, bytes: bytes, avail: p.clock}
-		return
-	}
-	p.clock += m.SendOverhead
-	avail := p.clock + m.Latency + float64(bytes)/m.Bandwidth
-	p.msgs++
-	p.bytes += int64(bytes)
-	w.mu.Lock()
-	w.totalMsgs++
-	w.totalBytes += int64(bytes)
-	w.mu.Unlock()
-	w.mail[p.rank*w.n+dst] <- message{tag: tag, data: data, bytes: bytes, avail: avail}
+	p.world.t.Send(p.rank, dst, tag, data, bytes)
 }
 
 // Recv receives the next message from src, which must carry the given tag
 // (tags are order checks over the per-pair FIFO, not a matching mechanism;
 // a mismatch means the program's communication protocol is broken and
-// panics). The virtual clock advances to the message's availability time
-// plus receive overhead.
+// panics). On the simulator backend the virtual clock advances to the
+// message's availability time plus receive overhead; on the real backend
+// the receive blocks for real.
 func (p *Proc) Recv(src, tag int) any {
-	w := p.world
-	if src < 0 || src >= w.n {
-		panic(fmt.Sprintf("spmd: process %d received from invalid rank %d (world size %d)", p.rank, src, w.n))
+	if src < 0 || src >= p.world.n {
+		panic(fmt.Sprintf("spmd: process %d received from invalid rank %d (world size %d)", p.rank, src, p.world.n))
 	}
-	msg := <-w.mail[src*w.n+p.rank]
-	if msg.tag != tag {
-		panic(fmt.Sprintf("spmd: process %d expected tag %d from %d, got %d", p.rank, tag, src, msg.tag))
-	}
-	if msg.avail > p.clock {
-		p.clock = msg.avail
-	}
-	if src != p.rank {
-		p.clock += w.model.RecvOverhead
-	}
-	return msg.data
+	return p.world.t.Recv(src, p.rank, tag)
 }
 
 // Recv is the typed receive over any communicator (a world process or a
