@@ -1,0 +1,20 @@
+// Package apps populates the arch application registry: importing it for
+// side effects pulls in every application package, whose init functions
+// self-register with arch.Register. Drivers (archdemo, examples, tests)
+// import it once instead of maintaining their own app lists:
+//
+//	import _ "repro/arch/apps"
+package apps
+
+import (
+	_ "repro/internal/airshed"
+	_ "repro/internal/cfd"
+	_ "repro/internal/closest"
+	_ "repro/internal/fdtd"
+	_ "repro/internal/fft"
+	_ "repro/internal/hull"
+	_ "repro/internal/poisson"
+	_ "repro/internal/skyline"
+	_ "repro/internal/sortapp"
+	_ "repro/internal/swirl"
+)

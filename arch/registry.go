@@ -1,0 +1,133 @@
+package arch
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// App is one registered archetype application: the unit the CLIs and
+// figure drivers dispatch on. Each app package registers itself from an
+// init function; importing repro/arch/apps for side effects populates the
+// registry with every application in the repository.
+type App struct {
+	// Name is the registry key ("mergesort", "poisson", ...).
+	Name string
+	// Desc is the one-line description -list prints, conventionally with
+	// the paper section it reproduces.
+	Desc string
+	// DefaultSize is the problem size used when the caller doesn't choose
+	// one (WithSize(0)). Its unit is app-specific: element count, grid
+	// edge, and so on.
+	DefaultSize int
+	// Backends lists the supported backend names; nil or empty means
+	// every registered backend.
+	Backends []string
+	// Run generates the app's input at the configured size, executes it,
+	// verifies the result, and returns a one-line human summary of what
+	// was computed and verified.
+	Run func(ctx context.Context, s Settings) (string, Report, error)
+}
+
+// SupportsBackend reports whether the app runs on the named backend.
+func (a App) SupportsBackend(name string) bool {
+	if len(a.Backends) == 0 {
+		return true
+	}
+	for _, b := range a.Backends {
+		if b == name {
+			return true
+		}
+	}
+	return false
+}
+
+// BackendNames returns the names of the backends the app supports
+// ("all registered" spelled out when unrestricted), for -list displays.
+func (a App) BackendNames() []string {
+	if len(a.Backends) == 0 {
+		return BackendNames()
+	}
+	out := append([]string(nil), a.Backends...)
+	sort.Strings(out)
+	return out
+}
+
+var (
+	appsMu sync.RWMutex
+	apps   = map[string]App{}
+)
+
+// Register adds an application to the registry. It panics on an empty
+// name, a nil Run, or a duplicate: registration happens in init
+// functions, where these are programming errors, not runtime conditions.
+func Register(a App) {
+	if a.Name == "" {
+		panic("arch: Register with empty app name")
+	}
+	if a.Run == nil {
+		panic("arch: Register " + a.Name + " with nil Run")
+	}
+	appsMu.Lock()
+	defer appsMu.Unlock()
+	if _, dup := apps[a.Name]; dup {
+		panic("arch: duplicate app " + a.Name)
+	}
+	apps[a.Name] = a
+}
+
+// Apps returns every registered application sorted by name.
+func Apps() []App {
+	appsMu.RLock()
+	defer appsMu.RUnlock()
+	out := make([]App, 0, len(apps))
+	for _, a := range apps {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ResolveApp looks an application up by name, returning a uniform
+// "unknown app (have: ...)" error for typos.
+func ResolveApp(name string) (App, error) {
+	appsMu.RLock()
+	a, ok := apps[name]
+	appsMu.RUnlock()
+	if !ok {
+		regs := Apps()
+		names := make([]string, len(regs))
+		for i, reg := range regs {
+			names[i] = reg.Name
+		}
+		return App{}, fmt.Errorf("unknown app %q (have: %s)", name, strings.Join(names, ", "))
+	}
+	return a, nil
+}
+
+// RunApp resolves and runs a registered application: it fills the app's
+// default problem size, checks backend support, and invokes the app's Run
+// under ctx. It returns the app's one-line summary and the run's Report.
+func RunApp(ctx context.Context, name string, opts ...Option) (string, Report, error) {
+	a, err := ResolveApp(name)
+	if err != nil {
+		return "", Report{}, err
+	}
+	s := NewSettings(opts...)
+	if s.Size <= 0 {
+		s.Size = a.DefaultSize
+	}
+	if err := s.Validate(); err != nil {
+		return "", Report{}, err
+	}
+	if !a.SupportsBackend(s.Backend.Name()) {
+		return "", Report{}, fmt.Errorf("app %q does not support backend %q (have: %s)",
+			name, s.Backend.Name(), strings.Join(a.BackendNames(), ", "))
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return a.Run(ctx, s)
+}

@@ -1,0 +1,215 @@
+package arch
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// Settings is the resolved configuration of one Run: what NewSettings
+// produces after applying defaults and options. App registry entries
+// receive a Settings; generic callers usually pass Options to Run and
+// never touch it directly.
+type Settings struct {
+	// Procs is the process count SPMD programs run on.
+	Procs int
+	// Machine is the cost model pricing the run.
+	Machine *Machine
+	// Backend is the execution substrate (virtual-time simulator by
+	// default).
+	Backend Backend
+	// Mode is the execution mode for version-1 (parfor) programs;
+	// SPMD programs ignore it.
+	Mode Mode
+	// Size is the problem size for registry apps that generate their own
+	// input; 0 means the app's default. Programs run through the generic
+	// Run carry their input in In and usually ignore Size.
+	Size int
+}
+
+// Option adjusts one Run's Settings.
+type Option func(*Settings)
+
+// WithProcs sets the SPMD process count (default 8).
+func WithProcs(n int) Option { return func(s *Settings) { s.Procs = n } }
+
+// WithMachine sets the machine cost model (default the IBM SP profile).
+func WithMachine(m *Machine) Option { return func(s *Settings) { s.Machine = m } }
+
+// WithBackend sets the execution backend (default the virtual-time
+// simulator).
+func WithBackend(r Backend) Option { return func(s *Settings) { s.Backend = r } }
+
+// WithMode sets the version-1 execution mode (default Concurrent).
+func WithMode(m Mode) Option { return func(s *Settings) { s.Mode = m } }
+
+// WithSize sets the problem size for registry apps that generate their
+// own input (0 keeps the app's default).
+func WithSize(n int) Option { return func(s *Settings) { s.Size = n } }
+
+// NewSettings applies opts over the defaults: 8 processes on the IBM SP
+// model, the default backend, concurrent version-1 mode, per-app size.
+func NewSettings(opts ...Option) Settings {
+	s := Settings{
+		Procs:   8,
+		Machine: machine.IBMSP(),
+		Backend: backend.Default(),
+		Mode:    core.Concurrent,
+	}
+	for _, opt := range opts {
+		opt(&s)
+	}
+	return s
+}
+
+// Validate reports the first configuration error: Run refuses invalid
+// settings with an error instead of panicking downstream.
+func (s Settings) Validate() error {
+	if s.Procs <= 0 {
+		return fmt.Errorf("arch: process count must be positive, got %d", s.Procs)
+	}
+	if s.Backend == nil {
+		return fmt.Errorf("arch: nil backend")
+	}
+	if s.Machine == nil {
+		return fmt.Errorf("arch: nil machine model")
+	}
+	if err := s.Machine.Validate(); err != nil {
+		return fmt.Errorf("arch: %w", err)
+	}
+	if s.Mode != core.Sequential && s.Mode != core.Concurrent {
+		return fmt.Errorf("arch: invalid mode %d", int(s.Mode))
+	}
+	return nil
+}
+
+// Report summarizes one Run's execution cost: where it ran and what it
+// spent. It is the facade-level view of a backend Result.
+type Report struct {
+	// Backend and Machine name the execution substrate and cost model.
+	Backend string
+	Machine string
+	// Virtual reports whether Makespan is virtual time (simulator) or
+	// wall-clock time (real backend).
+	Virtual bool
+	// Procs is the process count the program ran on.
+	Procs int
+	// Makespan is the run's execution time in seconds.
+	Makespan float64
+	// Msgs and Bytes count all cross-process point-to-point messages.
+	Msgs  int64
+	Bytes int64
+}
+
+// String renders the report as the one-line summary the CLIs print.
+func (r Report) String() string {
+	unit := "virtual"
+	if !r.Virtual {
+		unit = "wall-clock"
+	}
+	mach := r.Machine
+	if mach != "" {
+		mach += " "
+	}
+	return fmt.Sprintf("%d %sprocesses (%s backend): %.4fs %s, %d msgs, %.2f MB",
+		r.Procs, mach, r.Backend, r.Makespan, unit, r.Msgs, float64(r.Bytes)/1e6)
+}
+
+// report builds the facade Report for a finished SPMD run.
+func report(s Settings, res *Result) Report {
+	return Report{
+		Backend:  s.Backend.Name(),
+		Machine:  s.Machine.Name,
+		Virtual:  s.Backend.Virtual(),
+		Procs:    s.Procs,
+		Makespan: res.Makespan,
+		Msgs:     res.Msgs,
+		Bytes:    res.Bytes,
+	}
+}
+
+// Program is a runnable archetype application over typed input and
+// output. Construct one with SPMD (a version-2 message-passing program)
+// or ParFor (a version-1 data-parallel program); run it with Run. The
+// zero Program is invalid and Run reports it as an error.
+type Program[In, Out any] struct {
+	run func(ctx context.Context, s Settings, in In) (Out, Report, error)
+}
+
+// SPMD wraps a version-2 message-passing program body as a Program. body
+// runs once per process and returns that rank's partial (type Part);
+// combine folds the rank-indexed partials into the program's output —
+// verification (global sortedness, assembling distributed pieces) lives
+// naturally there. Programs that already gather their result at rank 0
+// can use SPMDRoot instead.
+func SPMD[In, Part, Out any](body func(p *Proc, in In) Part, combine func(parts []Part) Out) Program[In, Out] {
+	return Program[In, Out]{run: func(ctx context.Context, s Settings, in In) (Out, Report, error) {
+		var zero Out
+		if err := s.Validate(); err != nil {
+			return zero, Report{}, err
+		}
+		if combine == nil {
+			return zero, Report{}, fmt.Errorf("arch: SPMD with nil combine (use SPMDRoot for rank-0 results)")
+		}
+		parts := make([]Part, s.Procs)
+		res, err := core.Run(ctx, s.Backend, s.Procs, s.Machine, func(p *Proc) {
+			parts[p.Rank()] = body(p, in)
+		})
+		if err != nil {
+			return zero, Report{}, err
+		}
+		return combine(parts), report(s, res), nil
+	}}
+}
+
+// SPMDRoot wraps a message-passing program whose result is already
+// produced at rank 0 (the common shape after a gather or reduction): the
+// program's output is rank 0's return value.
+func SPMDRoot[In, Out any](body func(p *Proc, in In) Out) Program[In, Out] {
+	return SPMD(body, func(parts []Out) Out { return parts[0] })
+}
+
+// ParFor wraps a version-1 data-parallel program as a Program: body runs
+// once on the calling goroutine with the configured execution Mode
+// (Sequential for debugging, Concurrent for execution) and computes the
+// output directly. Version-1 programs are the method's debugging stage:
+// they run in-process on no execution backend and unmetered, so their
+// Report names the "inline" pseudo-backend and carries no cost
+// accounting.
+func ParFor[In, Out any](body func(mode Mode, in In) Out) Program[In, Out] {
+	return Program[In, Out]{run: func(ctx context.Context, s Settings, in In) (Out, Report, error) {
+		var zero Out
+		if err := s.Validate(); err != nil {
+			return zero, Report{}, err
+		}
+		if err := ctx.Err(); err != nil {
+			return zero, Report{}, err
+		}
+		out := body(s.Mode, in)
+		return out, Report{Backend: "inline", Virtual: true, Procs: 1}, nil
+	}}
+}
+
+// Run executes prog on in under ctx with the given options and returns
+// the typed output plus a cost Report. Cancelling ctx aborts the run
+// mid-flight: blocked processes unwind and Run returns ctx.Err().
+func Run[In, Out any](ctx context.Context, prog Program[In, Out], in In, opts ...Option) (Out, Report, error) {
+	return RunWith(ctx, prog, NewSettings(opts...), in)
+}
+
+// RunWith is Run over already-resolved Settings: the entry point registry
+// apps use so one resolved configuration serves input generation and
+// execution.
+func RunWith[In, Out any](ctx context.Context, prog Program[In, Out], s Settings, in In) (Out, Report, error) {
+	if prog.run == nil {
+		var zero Out
+		return zero, Report{}, fmt.Errorf("arch: zero Program")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return prog.run(ctx, s, in)
+}

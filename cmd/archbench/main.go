@@ -14,17 +14,22 @@
 // -backend selects the execution substrate: "sim" (the default
 // virtual-time simulator, deterministic paper-shaped curves) or "real"
 // (goroutines over native channels, wall-clock makespans). Sweeps run
-// concurrently through the internal/sched worker pool on either backend.
+// concurrently through the internal/sched worker pool on either backend;
+// interrupting the process (Ctrl-C) cancels the sweep's context and stops
+// it mid-flight. Figures dispatch off the figures registry, backends off
+// the backend registry — there are no hand-maintained tables here.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
-	"repro/internal/backend"
+	"repro/arch"
 	"repro/internal/core"
 	"repro/internal/figures"
 )
@@ -38,7 +43,7 @@ func main() {
 		maxProcs = flag.Int("maxprocs", 0, "cap the simulated processor sweep (0 = figure default)")
 		dir      = flag.String("dir", ".", "output directory for image figures")
 		csvOut   = flag.Bool("csv", false, "also write <dir>/fig<ID>.csv for table figures")
-		backName = flag.String("backend", "sim", "execution backend: "+strings.Join(backend.Names(), ", "))
+		backName = flag.String("backend", "sim", "execution backend: "+strings.Join(arch.BackendNames(), ", "))
 	)
 	flag.Parse()
 
@@ -49,13 +54,16 @@ func main() {
 		return
 	}
 
-	back, ok := backend.ByName(*backName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "archbench: unknown backend %q (have: %s)\n", *backName, strings.Join(backend.Names(), ", "))
+	back, err := arch.ResolveBackend(*backName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "archbench: %v\n", err)
 		os.Exit(2)
 	}
 
-	opts := figures.Options{Out: os.Stdout, Dir: *dir, Scale: *scale, MaxProcs: *maxProcs, Backend: back}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := figures.Options{Ctx: ctx, Out: os.Stdout, Dir: *dir, Scale: *scale, MaxProcs: *maxProcs, Backend: back}
 	run := func(f figures.Figure) {
 		res, err := f.Run(opts)
 		if err != nil {

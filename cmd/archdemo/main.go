@@ -1,5 +1,8 @@
 // Command archdemo runs any one of the reproduction's applications once
-// on a simulated machine and prints a verification summary.
+// on a simulated machine and prints a verification summary. It is a thin
+// shell over the arch facade: the application list, per-app defaults, and
+// supported backends all come from the arch registry, which every app
+// package populates from its init (pulled in via repro/arch/apps).
 //
 // Usage:
 //
@@ -12,56 +15,21 @@
 // -backend selects the execution substrate: "sim" prices the run on the
 // machine model's virtual clock; "real" runs the processes as goroutines
 // over native channels and reports wall-clock time. The computational
-// result (and its verification) is identical on both.
+// result (and its verification) is identical on both. Interrupting the
+// process (Ctrl-C) cancels the run's context and aborts it mid-flight.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math"
 	"os"
+	"os/signal"
 	"strings"
 
-	"repro/internal/airshed"
-	"repro/internal/backend"
-	"repro/internal/cfd"
-	"repro/internal/closest"
-	"repro/internal/collective"
-	"repro/internal/core"
-	"repro/internal/fdtd"
-	"repro/internal/fft"
-	"repro/internal/hull"
-	"repro/internal/machine"
-	"repro/internal/meshspectral"
-	"repro/internal/onedeep"
-	"repro/internal/poisson"
-	"repro/internal/skyline"
-	"repro/internal/sortapp"
-	"repro/internal/spmd"
-	"repro/internal/swirl"
+	"repro/arch"
+	_ "repro/arch/apps"
 )
-
-type app struct {
-	name string
-	desc string
-	run  func(r backend.Runner, m *machine.Model, procs, size int) error
-}
-
-func apps() []app {
-	return []app{
-		{"mergesort", "one-deep mergesort (§2.5)", runMergesort},
-		{"quicksort", "one-deep quicksort (§2.6.2)", runQuicksort},
-		{"skyline", "one-deep skyline (§2.6.1)", runSkyline},
-		{"hull", "one-deep convex hull (§2.6)", runHull},
-		{"closest", "one-deep closest pair (§2.6)", runClosest},
-		{"fft", "2D FFT on the mesh-spectral archetype (§3.5)", runFFT},
-		{"poisson", "Jacobi Poisson solver (§3.6)", runPoisson},
-		{"cfd", "compressible shock/interface flow (§3.7.1)", runCFD},
-		{"fdtd", "3D electromagnetic cavity (§3.7.2)", runFDTD},
-		{"swirl", "axisymmetric spectral swirl (§3.7.3)", runSwirl},
-		{"airshed", "photochemical smog episode (§3.7.4)", runAirshed},
-	}
-}
 
 func main() {
 	var (
@@ -69,290 +37,49 @@ func main() {
 		list  = flag.Bool("list", false, "list applications")
 		procs = flag.Int("procs", 8, "simulated process count")
 		size  = flag.Int("size", 0, "problem size (0 = per-app default)")
-		mach  = flag.String("machine", "ibm-sp", "machine profile: intel-delta, ibm-sp, workstations, smp")
-		back  = flag.String("backend", "sim", "execution backend: "+strings.Join(backend.Names(), ", "))
+		mach  = flag.String("machine", "ibm-sp", "machine profile: "+strings.Join(arch.MachineNames(), ", "))
+		back  = flag.String("backend", "sim", "execution backend: "+strings.Join(arch.BackendNames(), ", "))
 	)
 	flag.Parse()
 
 	if *list {
-		for _, a := range apps() {
-			fmt.Printf("%-10s %s\n", a.name, a.desc)
+		fmt.Printf("%-10s %9s  %-10s %s\n", "app", "size", "backends", "description")
+		for _, a := range arch.Apps() {
+			fmt.Printf("%-10s %9d  %-10s %s\n",
+				a.Name, a.DefaultSize, strings.Join(a.BackendNames(), ","), a.Desc)
 		}
 		return
 	}
-	model, ok := machine.Profiles()[*mach]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "archdemo: unknown machine %q\n", *mach)
+	model, err := arch.ResolveMachine(*mach)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "archdemo: %v\n", err)
 		os.Exit(2)
 	}
-	runner, ok := backend.ByName(*back)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "archdemo: unknown backend %q (have: %s)\n", *back, strings.Join(backend.Names(), ", "))
+	runner, err := arch.ResolveBackend(*back)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "archdemo: %v\n", err)
 		os.Exit(2)
 	}
-	for _, a := range apps() {
-		if a.name == *name {
-			if err := a.run(runner, model, *procs, *size); err != nil {
-				fmt.Fprintf(os.Stderr, "archdemo: %v\n", err)
-				os.Exit(1)
-			}
-			return
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "archdemo: no -app given (use -list)")
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	summary, rep, err := arch.RunApp(ctx, *name,
+		arch.WithProcs(*procs),
+		arch.WithSize(*size),
+		arch.WithMachine(model),
+		arch.WithBackend(runner),
+	)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "archdemo: %v\n", err)
+		if _, resolveErr := arch.ResolveApp(*name); resolveErr != nil {
+			os.Exit(2)
 		}
+		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "archdemo: unknown app %q (use -list)\n", *name)
-	os.Exit(2)
-}
-
-func defSize(size, def int) int {
-	if size <= 0 {
-		return def
-	}
-	return size
-}
-
-func report(r backend.Runner, model *machine.Model, procs int, res *spmd.Result, what string) {
-	unit := "virtual"
-	if !r.Virtual() {
-		unit = "wall-clock"
-	}
-	fmt.Printf("%s on %d %s processes (%s backend): %.4fs %s, %d msgs, %.2f MB\n",
-		what, procs, model.Name, r.Name(), res.Makespan, unit, res.Msgs, float64(res.Bytes)/1e6)
-}
-
-func runMergesort(r backend.Runner, m *machine.Model, procs, size int) error {
-	n := defSize(size, 1<<19)
-	data := sortapp.RandomInts(n, 1)
-	spec := sortapp.OneDeepMergesort(onedeep.Centralized)
-	blocks := sortapp.BlockDistribute(data, procs)
-	outs := make([][]int32, procs)
-	res, err := core.Run(r, procs, m, func(p *spmd.Proc) {
-		outs[p.Rank()] = onedeep.RunSPMD(p, spec, blocks[p.Rank()])
-	})
-	if err != nil {
-		return err
-	}
-	if !sortapp.IsGloballySorted(outs) {
-		return fmt.Errorf("mergesort: output not sorted")
-	}
-	report(r, m, procs, res, fmt.Sprintf("one-deep mergesort of %d int32 (verified sorted)", n))
-	return nil
-}
-
-func runQuicksort(r backend.Runner, m *machine.Model, procs, size int) error {
-	n := defSize(size, 1<<19)
-	data := sortapp.RandomInts(n, 2)
-	spec := sortapp.OneDeepQuicksort(onedeep.Centralized)
-	blocks := sortapp.BlockDistribute(data, procs)
-	outs := make([][]int32, procs)
-	res, err := core.Run(r, procs, m, func(p *spmd.Proc) {
-		outs[p.Rank()] = onedeep.RunSPMD(p, spec, blocks[p.Rank()])
-	})
-	if err != nil {
-		return err
-	}
-	if !sortapp.IsGloballySorted(outs) {
-		return fmt.Errorf("quicksort: output not sorted")
-	}
-	report(r, m, procs, res, fmt.Sprintf("one-deep quicksort of %d int32 (verified sorted)", n))
-	return nil
-}
-
-func runSkyline(r backend.Runner, m *machine.Model, procs, size int) error {
-	n := defSize(size, 2000)
-	bs := skyline.RandomBuildings(n, 3, 5000)
-	want := skyline.Compute(core.Nop, bs)
-	spec := skyline.Spec(onedeep.Centralized)
-	blocks := make([][]skyline.Building, procs)
-	for i := range blocks {
-		blocks[i] = bs[i*n/procs : (i+1)*n/procs]
-	}
-	outs := make([]skyline.Skyline, procs)
-	res, err := core.Run(r, procs, m, func(p *spmd.Proc) {
-		outs[p.Rank()] = onedeep.RunSPMD(p, spec, blocks[p.Rank()])
-	})
-	if err != nil {
-		return err
-	}
-	if !skyline.Equal(skyline.Assemble(outs), want) {
-		return fmt.Errorf("skyline: parallel result differs from sequential")
-	}
-	report(r, m, procs, res, fmt.Sprintf("skyline of %d buildings (%d points, verified)", n, len(want)))
-	return nil
-}
-
-func runHull(r backend.Runner, m *machine.Model, procs, size int) error {
-	n := defSize(size, 50000)
-	pts := hull.RandomPoints(n, 4, 1000)
-	outs := make([]hull.Pts, procs)
-	blocks := make([][]hull.Pt, procs)
-	for i := range blocks {
-		blocks[i] = pts[i*n/procs : (i+1)*n/procs]
-	}
-	res, err := core.Run(r, procs, m, func(p *spmd.Proc) {
-		outs[p.Rank()] = hull.OneDeepSPMD(p, blocks[p.Rank()])
-	})
-	if err != nil {
-		return err
-	}
-	total := 0
-	for _, o := range outs {
-		total += len(o)
-	}
-	want := hull.MonotoneChain(core.Nop, pts)
-	if total != len(want) {
-		return fmt.Errorf("hull: %d vertices, sequential found %d", total, len(want))
-	}
-	report(r, m, procs, res, fmt.Sprintf("convex hull of %d points (%d vertices, verified)", n, total))
-	return nil
-}
-
-func runClosest(r backend.Runner, m *machine.Model, procs, size int) error {
-	n := defSize(size, 50000)
-	pts := closest.RandomPoints(n, 5, 1000)
-	want := closest.DivideAndConquer(core.Nop, pts)
-	blocks := make([][]closest.Pt, procs)
-	for i := range blocks {
-		blocks[i] = pts[i*n/procs : (i+1)*n/procs]
-	}
-	pairs := make([]closest.Pair, procs)
-	res, err := core.Run(r, procs, m, func(p *spmd.Proc) {
-		pairs[p.Rank()] = closest.OneDeepSPMD(p, blocks[p.Rank()])
-	})
-	if err != nil {
-		return err
-	}
-	if pairs[0].Dist2 != want.Dist2 {
-		return fmt.Errorf("closest: %g != sequential %g", pairs[0].Dist2, want.Dist2)
-	}
-	report(r, m, procs, res, fmt.Sprintf("closest pair of %d points (dist %.5f, verified)", n, math.Sqrt(pairs[0].Dist2)))
-	return nil
-}
-
-func runFFT(r backend.Runner, m *machine.Model, procs, size int) error {
-	n := defSize(size, 256)
-	if n&(n-1) != 0 {
-		return fmt.Errorf("fft: size must be a power of two")
-	}
-	var errMax float64
-	res, err := core.Run(r, procs, m, func(p *spmd.Proc) {
-		g := meshspectral.New2D[complex128](p, n, n, meshspectral.Rows(p.N()), 0)
-		g.Fill(func(i, j int) complex128 {
-			return complex(math.Sin(float64(i)*0.11)+math.Cos(float64(j)*0.23), 0)
-		})
-		orig := g.LocalDense()
-		f := fft.TwoDSPMD(p, g, false)
-		inv := fft.TwoDSPMD(p, f, true)
-		back := inv.LocalDense()
-		local := 0.0
-		for k := range back.Data {
-			d := back.Data[k] - orig.Data[k]
-			local = math.Max(local, math.Hypot(real(d), imag(d)))
-		}
-		e := collective.AllReduce(p, local, math.Max)
-		if p.Rank() == 0 {
-			errMax = e
-		}
-	})
-	if err != nil {
-		return err
-	}
-	if errMax > 1e-9 {
-		return fmt.Errorf("fft: roundtrip error %g", errMax)
-	}
-	report(r, m, procs, res, fmt.Sprintf("2D FFT %dx%d forward+inverse (roundtrip error %.1e)", n, n, errMax))
-	return nil
-}
-
-func runPoisson(r backend.Runner, m *machine.Model, procs, size int) error {
-	n := defSize(size, 65)
-	pr := poisson.Manufactured(n, n, 1e-7, 20000)
-	var iters int
-	var errMax float64
-	res, err := core.Run(r, procs, m, func(p *spmd.Proc) {
-		g, r := poisson.SolveSPMD(p, pr, meshspectral.NearSquare(p.N()))
-		e := poisson.MaxError(g, pr)
-		if p.Rank() == 0 {
-			iters, errMax = r.Iterations, e
-		}
-	})
-	if err != nil {
-		return err
-	}
-	report(r, m, procs, res, fmt.Sprintf("Poisson %dx%d, %d Jacobi iterations, max error %.2e", n, n, iters, errMax))
-	return nil
-}
-
-func runCFD(r backend.Runner, m *machine.Model, procs, size int) error {
-	n := defSize(size, 128)
-	pm := cfd.DefaultParams(n, n/2)
-	var t float64
-	res, err := core.Run(r, procs, m, func(p *spmd.Proc) {
-		s := cfd.NewSPMD(p, pm, meshspectral.NearSquare(p.N()))
-		tt := s.Run(100)
-		if p.Rank() == 0 {
-			t = tt
-		}
-	})
-	if err != nil {
-		return err
-	}
-	report(r, m, procs, res, fmt.Sprintf("CFD shock/interface %dx%d, 100 steps to t=%.4f", n, n/2, t))
-	return nil
-}
-
-func runFDTD(r backend.Runner, m *machine.Model, procs, size int) error {
-	n := defSize(size, 32)
-	pm := fdtd.DefaultParams(n)
-	var energy float64
-	res, err := core.Run(r, procs, m, func(p *spmd.Proc) {
-		s := fdtd.NewSPMD(p, pm)
-		s.Run(50)
-		e := s.Energy()
-		if p.Rank() == 0 {
-			energy = e
-		}
-	})
-	if err != nil {
-		return err
-	}
-	report(r, m, procs, res, fmt.Sprintf("FDTD cavity %d^3, 50 steps, energy %.4f", n, energy))
-	return nil
-}
-
-func runSwirl(r backend.Runner, m *machine.Model, procs, size int) error {
-	n := defSize(size, 128)
-	pm := swirl.DefaultParams(n+1, n)
-	var energy float64
-	res, err := core.Run(r, procs, m, func(p *spmd.Proc) {
-		s := swirl.NewSPMD(p, pm)
-		s.Run(50)
-		full := meshspectral.GatherGrid(s.U, 0)
-		if p.Rank() == 0 {
-			energy = swirl.KineticEnergy(full)
-		}
-	})
-	if err != nil {
-		return err
-	}
-	report(r, m, procs, res, fmt.Sprintf("swirl %dx%d, 50 steps, kinetic energy %.4f", n+1, n, energy))
-	return nil
-}
-
-func runAirshed(r backend.Runner, m *machine.Model, procs, size int) error {
-	n := defSize(size, 48)
-	pm := airshed.DefaultParams(n, n)
-	var nox float64
-	res, err := core.Run(r, procs, m, func(p *spmd.Proc) {
-		s := airshed.NewSPMD(p, pm, meshspectral.NearSquare(p.N()))
-		s.Run(100)
-		full := meshspectral.GatherGrid(s.C, 0)
-		if p.Rank() == 0 {
-			nox = airshed.TotalNOx(full)
-		}
-	})
-	if err != nil {
-		return err
-	}
-	report(r, m, procs, res, fmt.Sprintf("airshed %dx%d, 100 steps, mean NOx %.4f", n, n, nox))
-	return nil
+	fmt.Printf("%s on %s\n", summary, rep)
 }

@@ -12,16 +12,29 @@
 // pair, 2D FFT, Poisson solver, compressible-flow CFD, 3D electromagnetic
 // FDTD, a spectral swirling-flow code, and an airshed smog model).
 //
+// The public entry point is package arch: typed Program[In, Out] values
+// (wrapping both version-1 parfor programs and version-2 SPMD programs),
+// a context-aware option-based runner (arch.Run with WithProcs,
+// WithMachine, WithBackend, WithMode, WithSize), and an application
+// registry every app package self-registers into (populate it with
+// `import _ "repro/arch/apps"`). Messaging is typed and self-metering:
+// payload sizes are priced through spmd.BytesOf rather than hand-counted
+// at call sites.
+//
 // Programs run on pluggable execution backends: the virtual-time
 // simulator prices every run on a machine model's clocks (deterministic,
 // paper-shaped curves), while the real shared-memory backend runs the
 // same program text as goroutines over native channels at hardware speed
 // with wall-clock metering. Experiment matrices (program × machine model
 // × process count × backend) are swept concurrently by a worker-pool
-// scheduler.
+// scheduler; sweeps and runs are cancellable mid-flight through their
+// context.
 //
 // Layout:
 //
+//	arch                  public facade: typed programs, option-based runs,
+//	                      application registry, machine/backend resolvers
+//	arch/apps             blank-import package registering every application
 //	internal/core         the archetype method: ParFor (version-1 programs),
 //	                      SPMD experiments, speedup curves, cost metering
 //	internal/machine      LogGP-style machine models (Delta, SP, paging)
@@ -30,21 +43,24 @@
 //	                      shared-memory backend (wall-clock metering)
 //	internal/sched        concurrent sweep scheduler: bounded worker pool,
 //	                      deduplicating result cache, streamed curves
-//	internal/spmd         SPMD process runtime over any backend
+//	internal/spmd         SPMD process runtime over any backend; typed,
+//	                      self-metering messaging (SendT, Chan, BytesOf)
 //	internal/collective   broadcast/gather/scatter/all-to-all/reduce/barrier
 //	internal/onedeep      one-deep divide-and-conquer archetype + the
 //	                      traditional recursive baseline
 //	internal/meshspectral distributed 2D/3D grids: ghost exchange,
 //	                      redistribution, row/column ops, globals, grid I/O
-//	internal/<app>        the applications listed above
+//	internal/<app>        the applications listed above, each registering
+//	                      itself with the arch facade
 //	internal/figures      regenerates every evaluation figure of the paper
 //	internal/pipeline     archetype composition: task-parallel pipeline of
 //	                      data-parallel stages over process groups
 //	internal/bnb          the nondeterministic branch-and-bound archetype
 //	internal/perfmodel    closed-form performance models, simulator-validated
 //	cmd/archbench         CLI for the figures
-//	cmd/archdemo          CLI running any single application
-//	examples/             twelve runnable walkthroughs
+//	cmd/archdemo          registry-driven CLI running any application
+//	examples/             twelve runnable walkthroughs; quickstart, sorting,
+//	                      and poisson go through the arch facade
 //
 // The benchmarks in bench_test.go regenerate one figure each; see
 // DESIGN.md for the experiment index and EXPERIMENTS.md for measured

@@ -1,24 +1,37 @@
 // Poisson: the §3.6 application (Figures 13-14). Solves the Poisson
 // problem with Jacobi iteration on the mesh archetype, validates against
 // the manufactured analytic solution, and demonstrates the V1 ≡ V2
-// equivalence and a small speedup sweep.
+// equivalence and a small speedup sweep — through the arch facade: the
+// SPMD solve is a typed Program run at several process counts with
+// option-based configuration.
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
+	"repro/arch"
+	"repro/internal/array"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/meshspectral"
 	"repro/internal/poisson"
-	"repro/internal/spmd"
 )
+
+// solveOut is one SPMD solve's root-rank summary: the gathered solution
+// plus convergence and accuracy numbers.
+type solveOut struct {
+	Full   *array.Dense2D[float64]
+	Iters  int
+	ErrMax float64
+}
 
 func main() {
 	const n = 65
 	pr := poisson.Manufactured(n, n, 1e-8, 0)
 	model := machine.IBMSP()
+	ctx := context.Background()
 
 	// Version 1 (Figure 13), sequential and concurrent.
 	uSeq, resSeq := poisson.SolveV1(core.Sequential, pr)
@@ -31,37 +44,36 @@ func main() {
 	fmt.Printf("V1: converged to diffmax %.2e in %d Jacobi iterations (both ParFor modes identical)\n",
 		resSeq.DiffMax, resSeq.Iterations)
 
-	// Version 2 (Figure 14) across processor counts; results must be
-	// bit-identical to version 1.
+	// Version 2 (Figure 14) as a typed Program: solve, measure the error
+	// against the analytic solution, gather the full grid at rank 0.
+	v2 := arch.SPMDRoot(func(p *arch.Proc, pr *poisson.Problem) solveOut {
+		g, r := poisson.SolveSPMD(p, pr, meshspectral.NearSquare(p.N()))
+		e := poisson.MaxError(g, pr)
+		full := meshspectral.GatherGrid(g, 0)
+		return solveOut{Full: full, Iters: r.Iterations, ErrMax: e}
+	})
+
+	// Across processor counts the results must be bit-identical to V1.
 	for _, np := range []int{1, 4, 16} {
-		var errMax float64
-		var iters int
-		var identical bool
-		res, err := core.Simulate(np, model, func(p *spmd.Proc) {
-			g, r := poisson.SolveSPMD(p, pr, meshspectral.NearSquare(p.N()))
-			e := poisson.MaxError(g, pr)
-			full := meshspectral.GatherGrid(g, 0)
-			if p.Rank() == 0 {
-				errMax, iters = e, r.Iterations
-				identical = true
-				for k := range full.Data {
-					if full.Data[k] != uSeq.Data[k] {
-						identical = false
-						break
-					}
-				}
-			}
-		})
+		out, rep, err := arch.Run(ctx, v2, pr,
+			arch.WithProcs(np), arch.WithMachine(model))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		identical := true
+		for k := range out.Full.Data {
+			if out.Full.Data[k] != uSeq.Data[k] {
+				identical = false
+				break
+			}
 		}
 		status := "bit-identical to V1"
 		if !identical {
 			status = "DIFFERS FROM V1"
 		}
 		fmt.Printf("V2 on %2d procs: %d iters, max error vs analytic %.2e, simulated %.3fs, %s\n",
-			np, iters, errMax, res.Makespan, status)
+			np, out.Iters, out.ErrMax, rep.Makespan, status)
 		if !identical {
 			os.Exit(1)
 		}

@@ -1,20 +1,23 @@
 // Quickstart: develop a parallel program with the one-deep
 // divide-and-conquer archetype, following the paper's method end to end —
 // version 1 (parfor, debuggable sequentially), version 2 (SPMD
-// message-passing), and a speedup measurement on a simulated Intel Delta.
+// message-passing), and a speedup measurement on a simulated Intel Delta
+// — entirely through the public arch facade: typed Programs, option-based
+// runs, and a Report instead of hand-wired worlds.
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"reflect"
 	"strings"
 
+	"repro/arch"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/onedeep"
 	"repro/internal/sortapp"
-	"repro/internal/spmd"
 )
 
 func main() {
@@ -25,62 +28,79 @@ func main() {
 	// Step 1-2: the sequential algorithm is mergesort; the archetype is
 	// one-deep divide and conquer with a degenerate split (§2.5).
 	spec := sortapp.OneDeepMergesort(onedeep.Centralized)
-
-	// Step 3: the initial archetype-based version (Figure 4), executed
-	// sequentially for debugging and concurrently for confidence.
 	blocks := sortapp.BlockDistribute(data, procs)
-	v1Seq := onedeep.RunV1(core.Sequential, spec, blocks)
-	v1Con := onedeep.RunV1(core.Concurrent, spec, blocks)
+
+	// Step 3: the initial archetype-based version (Figure 4) as a typed
+	// version-1 Program: the same text runs sequentially for debugging
+	// (WithMode(Sequential)) and concurrently for confidence, with
+	// identical results.
+	v1 := arch.ParFor(func(mode arch.Mode, blocks [][]int32) [][]int32 {
+		return onedeep.RunV1(mode, spec, blocks)
+	})
+	ctx := context.Background()
+	v1Seq, _, err := arch.Run(ctx, v1, blocks, arch.WithMode(arch.Sequential))
+	check(err)
+	v1Con, _, err := arch.Run(ctx, v1, blocks, arch.WithMode(arch.Concurrent))
+	check(err)
 	if !reflect.DeepEqual(v1Seq, v1Con) {
 		fmt.Fprintln(os.Stderr, "version 1 is not deterministic!")
 		os.Exit(1)
 	}
 	fmt.Printf("version 1: sequential and concurrent runs identical (%d elements)\n", n)
 
-	// Step 4: the SPMD version (Figure 5) on a simulated
-	// distributed-memory machine.
+	// Step 4: the SPMD version (Figure 5) as a typed version-2 Program on
+	// a simulated distributed-memory machine. The combine stage collects
+	// every rank's sorted block.
 	model := machine.IntelDelta()
-	outs := make([][]int32, procs)
-	res, err := core.Simulate(procs, model, func(p *spmd.Proc) {
-		outs[p.Rank()] = onedeep.RunSPMD(p, spec, blocks[p.Rank()])
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	v2 := arch.SPMD(
+		func(p *arch.Proc, blocks [][]int32) []int32 {
+			return onedeep.RunSPMD(p, spec, blocks[p.Rank()])
+		},
+		func(parts [][]int32) [][]int32 { return parts })
+	outs, rep, err := arch.Run(ctx, v2, blocks,
+		arch.WithProcs(procs), arch.WithMachine(model))
+	check(err)
 	if !reflect.DeepEqual(outs, v1Seq) {
 		fmt.Fprintln(os.Stderr, "SPMD version differs from version 1!")
 		os.Exit(1)
 	}
 	fmt.Println("version 2 (SPMD): identical results to version 1")
 
-	// Speedup the way the paper's figures define it.
+	// Speedup the way the paper's figures define it, from the Report.
 	seq := core.NewTally(model)
 	sortapp.MergeSort(seq, data)
 	fmt.Printf("simulated %s: T_seq = %.3fs, T_%d = %.3fs, speedup = %.1fx (%d msgs, %.1f MB)\n",
-		model.Name, seq.Seconds, procs, res.Makespan, seq.Seconds/res.Makespan,
-		res.Msgs, float64(res.Bytes)/1e6)
+		model.Name, seq.Seconds, procs, rep.Makespan, seq.Seconds/rep.Makespan,
+		rep.Msgs, float64(rep.Bytes)/1e6)
 
 	// Where does the time go? The archetype's phase anatomy (Figure 2),
 	// measured with a phase timer: local solve dominates, the merge
 	// exchange is the parallel overhead.
 	fmt.Println("\nphase breakdown:")
-	var breakdown string
-	if _, err := core.Simulate(procs, model, func(p *spmd.Proc) {
+	phases := arch.SPMDRoot(func(p *arch.Proc, blocks [][]int32) string {
 		pt := core.NewPhaseTimer(p)
 		sorted := sortapp.MergeSort(p, blocks[p.Rank()])
 		pt.Mark("local solve")
 		onedeep.RunSPMD(p, spec, sorted) // resort is cheap; exchange dominates
 		pt.Mark("merge exchange")
-		if p.Rank() == 0 {
-			var sb strings.Builder
-			if err := pt.WriteBreakdown(&sb); err == nil {
-				breakdown = sb.String()
-			}
+		if p.Rank() != 0 {
+			return ""
 		}
-	}); err != nil {
+		var sb strings.Builder
+		if err := pt.WriteBreakdown(&sb); err != nil {
+			return ""
+		}
+		return sb.String()
+	})
+	breakdown, _, err := arch.Run(ctx, phases, blocks,
+		arch.WithProcs(procs), arch.WithMachine(model))
+	check(err)
+	fmt.Print(breakdown)
+}
+
+func check(err error) {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Print(breakdown)
 }

@@ -1,25 +1,49 @@
 // Sorting: the paper's §2 applications side by side — one-deep mergesort,
 // one-deep quicksort (non-trivial split, degenerate merge), and the
 // traditional recursive parallelization (Figure 1) — with simulated
-// speedups on the Intel Delta model (a compact Figure 6).
+// speedups on the Intel Delta model (a compact Figure 6). Each algorithm
+// is an arch.Program run through the facade at every process count.
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
+	"repro/arch"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/onedeep"
 	"repro/internal/sortapp"
-	"repro/internal/spmd"
 )
+
+// oneDeep wraps a one-deep sorting spec as a Program over the full input:
+// each rank takes its block of the per-run distribution and the combine
+// stage verifies global sortedness.
+func oneDeep(spec *onedeep.Spec[[]int32, []int32, []int32, []int32]) arch.Program[[]int32, bool] {
+	return arch.SPMD(
+		func(p *arch.Proc, data []int32) []int32 {
+			blocks := sortapp.BlockDistribute(data, p.N())
+			return onedeep.RunSPMD(p, spec, blocks[p.Rank()])
+		},
+		sortapp.IsGloballySorted)
+}
+
+// traditional wraps the paper's Figure 1 recursive tree parallelization.
+func traditional() arch.Program[[]int32, bool] {
+	rec := sortapp.TraditionalMergesort(32)
+	return arch.SPMDRoot(func(p *arch.Proc, data []int32) bool {
+		out := rec.RunSPMD(p, data)
+		return p.Rank() != 0 || sortapp.IsSorted(out)
+	})
+}
 
 func main() {
 	const n = 1 << 19
 	data := sortapp.RandomInts(n, 7)
 	model := machine.IntelDelta()
 	procs := []int{1, 4, 16, 64}
+	ctx := context.Background()
 
 	seq := core.NewTally(model)
 	sortapp.MergeSort(seq, data)
@@ -28,42 +52,12 @@ func main() {
 
 	type alg struct {
 		name string
-		run  func(np int) (*spmd.Result, error)
+		prog arch.Program[[]int32, bool]
 	}
 	algs := []alg{
-		{"one-deep mergesort", func(np int) (*spmd.Result, error) {
-			spec := sortapp.OneDeepMergesort(onedeep.Centralized)
-			blocks := sortapp.BlockDistribute(data, np)
-			outs := make([][]int32, np)
-			res, err := core.Simulate(np, model, func(p *spmd.Proc) {
-				outs[p.Rank()] = onedeep.RunSPMD(p, spec, blocks[p.Rank()])
-			})
-			if err == nil && !sortapp.IsGloballySorted(outs) {
-				return nil, fmt.Errorf("one-deep mergesort output unsorted")
-			}
-			return res, err
-		}},
-		{"one-deep quicksort", func(np int) (*spmd.Result, error) {
-			spec := sortapp.OneDeepQuicksort(onedeep.Centralized)
-			blocks := sortapp.BlockDistribute(data, np)
-			outs := make([][]int32, np)
-			res, err := core.Simulate(np, model, func(p *spmd.Proc) {
-				outs[p.Rank()] = onedeep.RunSPMD(p, spec, blocks[p.Rank()])
-			})
-			if err == nil && !sortapp.IsGloballySorted(outs) {
-				return nil, fmt.Errorf("one-deep quicksort output unsorted")
-			}
-			return res, err
-		}},
-		{"traditional mergesort", func(np int) (*spmd.Result, error) {
-			rec := sortapp.TraditionalMergesort(32)
-			return core.Simulate(np, model, func(p *spmd.Proc) {
-				out := rec.RunSPMD(p, data)
-				if p.Rank() == 0 && !sortapp.IsSorted(out) {
-					panic("traditional output unsorted")
-				}
-			})
-		}},
+		{"one-deep mergesort", oneDeep(sortapp.OneDeepMergesort(onedeep.Centralized))},
+		{"one-deep quicksort", oneDeep(sortapp.OneDeepQuicksort(onedeep.Centralized))},
+		{"traditional mergesort", traditional()},
 	}
 
 	fmt.Printf("%8s", "procs")
@@ -74,13 +68,17 @@ func main() {
 	for _, np := range procs {
 		fmt.Printf("%8d", np)
 		for _, a := range algs {
-			res, err := a.run(np)
+			sorted, rep, err := arch.Run(ctx, a.prog, data,
+				arch.WithProcs(np), arch.WithMachine(model))
+			if err == nil && !sorted {
+				err = fmt.Errorf("%s output unsorted", a.name)
+			}
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			fmt.Printf(" %17.2fx (%3.0f%%)", seq.Seconds/res.Makespan,
-				100*seq.Seconds/res.Makespan/float64(np))
+			fmt.Printf(" %17.2fx (%3.0f%%)", seq.Seconds/rep.Makespan,
+				100*seq.Seconds/rep.Makespan/float64(np))
 		}
 		fmt.Println()
 	}

@@ -145,7 +145,7 @@ func TestSPMDMatchesSeqBitIdentical(t *testing.T) {
 		{6, meshspectral.Blocks(2, 3)},
 	} {
 		var got *array.Dense2D[Conc]
-		_, err := spmd.NewWorld(tc.n, machine.IntelDelta()).Run(func(p *spmd.Proc) {
+		_, err := spmd.MustWorld(tc.n, machine.IntelDelta()).Run(func(p *spmd.Proc) {
 			s := NewSPMD(p, pm, tc.l)
 			s.Run(steps)
 			full := meshspectral.GatherGrid(s.C, 0)

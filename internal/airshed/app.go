@@ -1,0 +1,43 @@
+package airshed
+
+import (
+	"context"
+	"fmt"
+
+	"repro/arch"
+	"repro/internal/meshspectral"
+)
+
+func init() {
+	arch.Register(arch.App{
+		Name:        "airshed",
+		Desc:        "photochemical smog episode (§3.7.4)",
+		DefaultSize: 48,
+		Run:         runApp,
+	})
+}
+
+// Program advances the smog episode the given number of steps on a
+// near-square decomposition, gathers the concentration field at rank 0,
+// and returns its mean NOx.
+func Program(steps int) arch.Program[Params, float64] {
+	return arch.SPMDRoot(func(p *arch.Proc, pm Params) float64 {
+		s := NewSPMD(p, pm, meshspectral.NearSquare(p.N()))
+		s.Run(steps)
+		full := meshspectral.GatherGrid(s.C, 0)
+		if p.Rank() != 0 {
+			return 0
+		}
+		return TotalNOx(full)
+	})
+}
+
+func runApp(ctx context.Context, s arch.Settings) (string, arch.Report, error) {
+	n := s.Size
+	const steps = 100
+	nox, rep, err := arch.RunWith(ctx, Program(steps), s, DefaultParams(n, n))
+	if err != nil {
+		return "", rep, err
+	}
+	return fmt.Sprintf("airshed %dx%d, %d steps, mean NOx %.4f", n, n, steps, nox), rep, nil
+}

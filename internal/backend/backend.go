@@ -27,6 +27,7 @@
 package backend
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -94,8 +95,27 @@ type Runner interface {
 	Virtual() bool
 	// NewTransport builds the substrate for one run of an n-process
 	// program priced by (or, for wall-clock backends, merely annotated
-	// with) the given machine model.
-	NewTransport(n int, m *machine.Model) Transport
+	// with) the given machine model. Cancelling ctx aborts the run:
+	// blocked (and subsequently attempted) transport operations raise the
+	// cancellation sentinel (see AsCanceled), which spmd.World.Run turns
+	// into the context's error.
+	NewTransport(ctx context.Context, n int, m *machine.Model) Transport
+}
+
+// canceled is the panic value mailbox operations raise when the run's
+// context is cancelled while a process is blocked in (or enters) a
+// transport operation. It unwinds the process goroutine; spmd.World.Run
+// recovers it and reports ctx.Err() instead of a process panic.
+type canceled struct{ err error }
+
+// AsCanceled reports whether a recovered panic value is the cancellation
+// sentinel raised by a transport operation, and returns the originating
+// context error when it is.
+func AsCanceled(r any) (error, bool) {
+	if c, ok := r.(canceled); ok {
+		return c.err, true
+	}
+	return nil, false
 }
 
 var (

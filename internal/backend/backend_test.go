@@ -57,7 +57,7 @@ func TestRealWallClockMetering(t *testing.T) {
 	var now atomic.Value
 	now.Store(10.0)
 	r := backend.RealWithClock(func() float64 { return now.Load().(float64) })
-	w := spmd.NewWorldOn(r, 2, testModel())
+	w := spmd.MustWorldOn(r, 2, testModel())
 	now.Store(13.5)
 	res, err := w.Run(func(p *spmd.Proc) {
 		if got := p.Clock(); math.Abs(got-3.5) > 1e-12 {
@@ -84,25 +84,25 @@ func TestRealWallClockMetering(t *testing.T) {
 // not — so communication volume is comparable across backends.
 func TestRealCountsLikeSim(t *testing.T) {
 	prog := func(p *spmd.Proc) {
-		p.Send(p.Rank(), 3, "self", 64) // self-send: a copy, not a message
+		p.Send(p.Rank(), 3, "self") // self-send: a copy, not a message
 		if v := spmd.Recv[string](p, p.Rank(), 3); v != "self" {
 			panic("self payload corrupted")
 		}
 		next := (p.Rank() + 1) % p.N()
 		prev := (p.Rank() - 1 + p.N()) % p.N()
-		p.Send(next, 4, p.Rank(), 1000)
+		p.Send(next, 4, p.Rank())
 		spmd.Recv[int](p, prev, 4)
 	}
-	simRes, err := spmd.NewWorldOn(backend.Sim(), 4, testModel()).Run(prog)
+	simRes, err := spmd.MustWorldOn(backend.Sim(), 4, testModel()).Run(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
-	realRes, err := spmd.NewWorldOn(backend.Real(), 4, testModel()).Run(prog)
+	realRes, err := spmd.MustWorldOn(backend.Real(), 4, testModel()).Run(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if simRes.Msgs != 4 || simRes.Bytes != 4000 {
-		t.Fatalf("sim counted %d msgs %d bytes, want 4/4000", simRes.Msgs, simRes.Bytes)
+	if simRes.Msgs != 4 || simRes.Bytes != 32 {
+		t.Fatalf("sim counted %d msgs %d bytes, want 4/32 (BytesOf prices an int at 8)", simRes.Msgs, simRes.Bytes)
 	}
 	if realRes.Msgs != simRes.Msgs || realRes.Bytes != simRes.Bytes {
 		t.Fatalf("real counted %d msgs %d bytes, sim counted %d/%d",
@@ -112,10 +112,10 @@ func TestRealCountsLikeSim(t *testing.T) {
 
 // TestRealTagMismatchPanics: protocol checks hold on every backend.
 func TestRealTagMismatchPanics(t *testing.T) {
-	w := spmd.NewWorldOn(backend.Real(), 2, testModel())
+	w := spmd.MustWorldOn(backend.Real(), 2, testModel())
 	_, err := w.Run(func(p *spmd.Proc) {
 		if p.Rank() == 0 {
-			p.Send(1, 5, nil, 0)
+			p.Send(1, 5, nil)
 		} else {
 			p.Recv(0, 6)
 		}
@@ -130,7 +130,7 @@ func TestRealTagMismatchPanics(t *testing.T) {
 func TestRealRecvAny(t *testing.T) {
 	const n = 4
 	var sum int64
-	w := spmd.NewWorldOn(backend.Real(), n, testModel())
+	w := spmd.MustWorldOn(backend.Real(), n, testModel())
 	_, err := w.Run(func(p *spmd.Proc) {
 		if p.Rank() == 0 {
 			for i := 1; i < n; i++ {
@@ -141,7 +141,7 @@ func TestRealRecvAny(t *testing.T) {
 				atomic.AddInt64(&sum, int64(v.(int)))
 			}
 		} else {
-			p.Send(0, 9, p.Rank(), 8)
+			p.Send(0, 9, p.Rank())
 		}
 	})
 	if err != nil {
@@ -158,16 +158,16 @@ func TestSimViaRunnerMatchesNewWorld(t *testing.T) {
 	prog := func(p *spmd.Proc) {
 		p.Flops(1000)
 		if p.Rank() == 0 {
-			p.Send(1, 1, []float64{1, 2, 3}, 24)
+			p.Send(1, 1, []float64{1, 2, 3})
 		} else if p.Rank() == 1 {
 			p.Recv(0, 1)
 		}
 	}
-	a, err := spmd.NewWorld(2, testModel()).Run(prog)
+	a, err := spmd.MustWorld(2, testModel()).Run(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := spmd.NewWorldOn(backend.Sim(), 2, testModel()).Run(prog)
+	b, err := spmd.MustWorldOn(backend.Sim(), 2, testModel()).Run(prog)
 	if err != nil {
 		t.Fatal(err)
 	}

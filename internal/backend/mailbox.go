@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -28,14 +29,19 @@ type mailbox struct {
 	n int
 	// mail[src*n+dst] is the FIFO channel from src to dst.
 	mail []chan message
+	// done is the run context's cancellation channel; nil when the context
+	// can never be cancelled, which keeps the hot path a plain channel op.
+	done <-chan struct{}
+	// cause reads the run context's error once done is closed.
+	cause func() error
 
 	mu         sync.Mutex
 	totalMsgs  int64
 	totalBytes int64
 }
 
-func newMailbox(n int) *mailbox {
-	mb := &mailbox{n: n, mail: make([]chan message, n*n)}
+func newMailbox(ctx context.Context, n int) *mailbox {
+	mb := &mailbox{n: n, mail: make([]chan message, n*n), done: ctx.Done(), cause: ctx.Err}
 	for i := range mb.mail {
 		mb.mail[i] = make(chan message, pairBuffer)
 	}
@@ -57,15 +63,35 @@ func (mb *mailbox) totals() (msgs, bytes int64) {
 	return mb.totalMsgs, mb.totalBytes
 }
 
-// push enqueues a message on the src→dst FIFO.
+// push enqueues a message on the src→dst FIFO. A cancelled run context
+// raises the cancellation sentinel instead of blocking on a full FIFO.
 func (mb *mailbox) push(src, dst int, m message) {
-	mb.mail[src*mb.n+dst] <- m
+	if mb.done == nil {
+		mb.mail[src*mb.n+dst] <- m
+		return
+	}
+	select {
+	case mb.mail[src*mb.n+dst] <- m:
+	case <-mb.done:
+		panic(canceled{mb.cause()})
+	}
 }
 
 // pop dequeues the next message on the src→dst FIFO, panicking when its
-// tag differs from the expected one (a broken communication protocol).
+// tag differs from the expected one (a broken communication protocol). A
+// cancelled run context raises the cancellation sentinel instead of
+// waiting forever for a sender that will never come.
 func (mb *mailbox) pop(src, dst, tag int) message {
-	msg := <-mb.mail[src*mb.n+dst]
+	var msg message
+	if mb.done == nil {
+		msg = <-mb.mail[src*mb.n+dst]
+	} else {
+		select {
+		case msg = <-mb.mail[src*mb.n+dst]:
+		case <-mb.done:
+			panic(canceled{mb.cause()})
+		}
+	}
 	if msg.tag != tag {
 		panic(fmt.Sprintf("backend: process %d expected tag %d from %d, got %d", dst, tag, src, msg.tag))
 	}
@@ -76,14 +102,23 @@ func (mb *mailbox) pop(src, dst, tag int) message {
 // sender's rank. The choice among concurrently available messages depends
 // on host scheduling.
 func (mb *mailbox) popAny(dst, tag int) (int, message) {
-	cases := make([]reflect.SelectCase, mb.n)
+	cases := make([]reflect.SelectCase, mb.n, mb.n+1)
 	for src := 0; src < mb.n; src++ {
 		cases[src] = reflect.SelectCase{
 			Dir:  reflect.SelectRecv,
 			Chan: reflect.ValueOf(mb.mail[src*mb.n+dst]),
 		}
 	}
+	if mb.done != nil {
+		cases = append(cases, reflect.SelectCase{
+			Dir:  reflect.SelectRecv,
+			Chan: reflect.ValueOf(mb.done),
+		})
+	}
 	chosen, val, ok := reflect.Select(cases)
+	if chosen == mb.n {
+		panic(canceled{mb.cause()})
+	}
 	if !ok {
 		panic("backend: mailbox closed") // cannot happen: mailboxes are never closed
 	}

@@ -1,6 +1,7 @@
 package backend_test
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -88,12 +89,12 @@ func TestBackendParity(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			for _, np := range []int{1, 2, 4} {
 				simProg, simSnap := tc.prog(np)
-				simRes, err := core.Run(backend.Sim(), np, model, simProg)
+				simRes, err := core.Run(context.Background(), backend.Sim(), np, model, simProg)
 				if err != nil {
 					t.Fatalf("P=%d sim: %v", np, err)
 				}
 				realProg, realSnap := tc.prog(np)
-				realRes, err := core.Run(backend.Real(), np, model, realProg)
+				realRes, err := core.Run(context.Background(), backend.Real(), np, model, realProg)
 				if err != nil {
 					t.Fatalf("P=%d real: %v", np, err)
 				}

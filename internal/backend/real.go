@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/machine"
@@ -34,7 +35,7 @@ func (r realRunner) Name() string { return "real" }
 
 func (r realRunner) Virtual() bool { return false }
 
-func (r realRunner) NewTransport(n int, m *machine.Model) Transport {
+func (r realRunner) NewTransport(ctx context.Context, n int, m *machine.Model) Transport {
 	var elapsed func() float64
 	if r.clock != nil {
 		start := r.clock()
@@ -45,7 +46,7 @@ func (r realRunner) NewTransport(n int, m *machine.Model) Transport {
 		start := time.Now()
 		elapsed = func() float64 { return time.Since(start).Seconds() }
 	}
-	return &realTransport{mailbox: newMailbox(n), elapsed: elapsed}
+	return &realTransport{mailbox: newMailbox(ctx, n), elapsed: elapsed}
 }
 
 // realTransport carries messages at native channel speed and meters the

@@ -1,6 +1,8 @@
 package backend
 
 import (
+	"context"
+
 	"repro/internal/machine"
 )
 
@@ -17,9 +19,9 @@ func (simRunner) Name() string { return "sim" }
 
 func (simRunner) Virtual() bool { return true }
 
-func (simRunner) NewTransport(n int, m *machine.Model) Transport {
+func (simRunner) NewTransport(ctx context.Context, n int, m *machine.Model) Transport {
 	return &simTransport{
-		mailbox:  newMailbox(n),
+		mailbox:  newMailbox(ctx, n),
 		model:    m,
 		clocks:   make([]float64, n),
 		resident: make([]float64, n),

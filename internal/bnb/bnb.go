@@ -305,7 +305,7 @@ func runManager[N any](p *spmd.Proc, spec *Spec[N]) Result {
 
 	finish := func() Result {
 		for w := 1; w < p.N(); w++ {
-			p.Send(w, tagWork, asyncMsg[N]{Kind: 2, Best: res.Best, Found: res.Found, Expanded: res.Expanded}, 40)
+			spmd.SendT(p, w, tagWork, asyncMsg[N]{Kind: 2, Best: res.Best, Found: res.Found, Expanded: res.Expanded})
 		}
 		return res
 	}
@@ -320,7 +320,7 @@ func runManager[N any](p *spmd.Proc, spec *Spec[N]) Result {
 			w := idle[len(idle)-1]
 			idle = idle[:len(idle)-1]
 			msg := asyncMsg[N]{Kind: 1, Nodes: []N{nd.n}, Best: res.Best, Found: res.Found}
-			p.Send(w, tagWork, msg, msg.VBytes())
+			spmd.SendT(p, w, tagWork, msg)
 			outstanding[w] = true
 		}
 		if pq.Len() == 0 && len(outstanding) == 0 {
@@ -343,7 +343,7 @@ func runManager[N any](p *spmd.Proc, spec *Spec[N]) Result {
 
 func runWorker[N any](p *spmd.Proc, spec *Spec[N], budget int) Result {
 	// Announce availability.
-	p.Send(0, tagToManager, asyncMsg[N]{Kind: 0, Best: negInf}, 32)
+	spmd.SendT(p, 0, tagToManager, asyncMsg[N]{Kind: 0, Best: negInf})
 	for {
 		msg := spmd.Recv[asyncMsg[N]](p, 0, tagWork)
 		if msg.Kind == 2 {
@@ -377,6 +377,6 @@ func runWorker[N any](p *spmd.Proc, spec *Spec[N], budget int) Result {
 			frontier = append(frontier, nd.n)
 		}
 		reply := asyncMsg[N]{Kind: 0, Nodes: frontier, Best: local.Best, Found: local.Found, Expanded: expanded}
-		p.Send(0, tagToManager, reply, reply.VBytes())
+		spmd.SendT(p, 0, tagToManager, reply)
 	}
 }

@@ -70,7 +70,7 @@ func TestSolveSyncMatchesDP(t *testing.T) {
 	want := float64(KnapsackDP(items, capacity))
 	for _, n := range []int{1, 2, 4, 7} {
 		results := make([]Result, n)
-		_, err := spmd.NewWorld(n, machine.IBMSP()).Run(func(p *spmd.Proc) {
+		_, err := spmd.MustWorld(n, machine.IBMSP()).Run(func(p *spmd.Proc) {
 			results[p.Rank()] = SolveSync(p, Knapsack(items, capacity), 8)
 		})
 		if err != nil {
@@ -91,7 +91,7 @@ func TestSolveSyncDeterministicMakespan(t *testing.T) {
 	items := RandomItems(14, 20, 9)
 	var first float64
 	for trial := 0; trial < 4; trial++ {
-		res, err := spmd.NewWorld(4, machine.IBMSP()).Run(func(p *spmd.Proc) {
+		res, err := spmd.MustWorld(4, machine.IBMSP()).Run(func(p *spmd.Proc) {
 			SolveSync(p, Knapsack(items, 80), 4)
 		})
 		if err != nil {
@@ -111,7 +111,7 @@ func TestSolveAsyncMatchesDP(t *testing.T) {
 	want := float64(KnapsackDP(items, capacity))
 	for _, n := range []int{2, 4, 8} {
 		results := make([]Result, n)
-		_, err := spmd.NewWorld(n, machine.IBMSP()).Run(func(p *spmd.Proc) {
+		_, err := spmd.MustWorld(n, machine.IBMSP()).Run(func(p *spmd.Proc) {
 			results[p.Rank()] = SolveAsync(p, Knapsack(items, capacity), 16)
 		})
 		if err != nil {
@@ -135,7 +135,7 @@ func TestSolveAsyncRepeatedRunsAgreeOnOptimum(t *testing.T) {
 	want := float64(KnapsackDP(items, 90))
 	for trial := 0; trial < 5; trial++ {
 		var got Result
-		_, err := spmd.NewWorld(5, machine.IBMSP()).Run(func(p *spmd.Proc) {
+		_, err := spmd.MustWorld(5, machine.IBMSP()).Run(func(p *spmd.Proc) {
 			r := SolveAsync(p, Knapsack(items, 90), 8)
 			if p.Rank() == 0 {
 				got = r
@@ -151,7 +151,7 @@ func TestSolveAsyncRepeatedRunsAgreeOnOptimum(t *testing.T) {
 }
 
 func TestSolveAsyncRequiresTwoProcs(t *testing.T) {
-	_, err := spmd.NewWorld(1, machine.IBMSP()).Run(func(p *spmd.Proc) {
+	_, err := spmd.MustWorld(1, machine.IBMSP()).Run(func(p *spmd.Proc) {
 		SolveAsync(p, Knapsack(RandomItems(4, 5, 1), 10), 4)
 	})
 	if err == nil {

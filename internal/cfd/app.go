@@ -1,0 +1,36 @@
+package cfd
+
+import (
+	"context"
+	"fmt"
+
+	"repro/arch"
+	"repro/internal/meshspectral"
+)
+
+func init() {
+	arch.Register(arch.App{
+		Name:        "cfd",
+		Desc:        "compressible shock/interface flow (§3.7.1)",
+		DefaultSize: 128,
+		Run:         runApp,
+	})
+}
+
+// Program advances the shock/interface problem the given number of steps
+// on a near-square decomposition and returns the final simulation time.
+func Program(steps int) arch.Program[Params, float64] {
+	return arch.SPMDRoot(func(p *arch.Proc, pm Params) float64 {
+		return NewSPMD(p, pm, meshspectral.NearSquare(p.N())).Run(steps)
+	})
+}
+
+func runApp(ctx context.Context, s arch.Settings) (string, arch.Report, error) {
+	n := s.Size
+	const steps = 100
+	t, rep, err := arch.RunWith(ctx, Program(steps), s, DefaultParams(n, n/2))
+	if err != nil {
+		return "", rep, err
+	}
+	return fmt.Sprintf("CFD shock/interface %dx%d, %d steps to t=%.4f", n, n/2, steps, t), rep, nil
+}

@@ -155,7 +155,7 @@ func TestSPMDMatchesSeqBitIdentical(t *testing.T) {
 	} {
 		var got *array.Dense2D[Cell]
 		var dtSum float64
-		_, err := spmd.NewWorld(tc.n, machine.IntelDelta()).Run(func(p *spmd.Proc) {
+		_, err := spmd.MustWorld(tc.n, machine.IntelDelta()).Run(func(p *spmd.Proc) {
 			s := NewSPMD(p, pm, tc.l)
 			dt := s.Run(steps)
 			full := meshspectral.GatherGrid(s.U, 0)

@@ -1,0 +1,45 @@
+package closest
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/arch"
+	"repro/internal/core"
+)
+
+func init() {
+	arch.Register(arch.App{
+		Name:        "closest",
+		Desc:        "one-deep closest pair (§2.6)",
+		DefaultSize: 50000,
+		Run:         runApp,
+	})
+}
+
+// Program runs the one-deep closest-pair computation over pre-distributed
+// point blocks; the result is known at every rank after the final merge.
+func Program() arch.Program[[][]Pt, Pair] {
+	return arch.SPMDRoot(func(p *arch.Proc, blocks [][]Pt) Pair {
+		return OneDeepSPMD(p, blocks[p.Rank()])
+	})
+}
+
+func runApp(ctx context.Context, s arch.Settings) (string, arch.Report, error) {
+	n := s.Size
+	pts := RandomPoints(n, 5, 1000)
+	want := DivideAndConquer(core.Nop, pts)
+	blocks := make([][]Pt, s.Procs)
+	for i := range blocks {
+		blocks[i] = pts[i*n/s.Procs : (i+1)*n/s.Procs]
+	}
+	pair, rep, err := arch.RunWith(ctx, Program(), s, blocks)
+	if err != nil {
+		return "", rep, err
+	}
+	if pair.Dist2 != want.Dist2 {
+		return "", rep, fmt.Errorf("closest: %g != sequential %g", pair.Dist2, want.Dist2)
+	}
+	return fmt.Sprintf("closest pair of %d points (dist %.5f, verified)", n, math.Sqrt(pair.Dist2)), rep, nil
+}

@@ -79,7 +79,7 @@ func runOneDeep(t *testing.T, pts []Pt, n int) Pair {
 		blocks[i] = pts[i*len(pts)/n : (i+1)*len(pts)/n]
 	}
 	results := make([]Pair, n)
-	w := spmd.NewWorld(n, machine.IBMSP())
+	w := spmd.MustWorld(n, machine.IBMSP())
 	if _, err := w.Run(func(p *spmd.Proc) {
 		results[p.Rank()] = OneDeepSPMD(p, blocks[p.Rank()])
 	}); err != nil {
@@ -147,7 +147,7 @@ func TestOneDeepPropertyQuick(t *testing.T) {
 			blocks[i] = pts[i*len(pts)/n : (i+1)*len(pts)/n]
 		}
 		results := make([]Pair, n)
-		if _, err := spmd.NewWorld(n, machine.IBMSP()).Run(func(p *spmd.Proc) {
+		if _, err := spmd.MustWorld(n, machine.IBMSP()).Run(func(p *spmd.Proc) {
 			results[p.Rank()] = OneDeepSPMD(p, blocks[p.Rank()])
 		}); err != nil {
 			return false

@@ -64,7 +64,7 @@ func Broadcast[T any](p spmd.Comm, root int, v T) T {
 			if dst >= n {
 				dst -= n
 			}
-			p.Send(dst, tagBcast, v, spmd.BytesOf(v))
+			spmd.SendT(p, dst, tagBcast, v)
 		}
 		mask >>= 1
 	}
@@ -79,7 +79,7 @@ func Broadcast[T any](p spmd.Comm, root int, v T) T {
 func Gather[T any](p spmd.Comm, root int, v T) []T {
 	n, rank := p.N(), p.Rank()
 	if rank != root {
-		p.Send(root, tagGather, v, spmd.BytesOf(v))
+		spmd.SendT(p, root, tagGather, v)
 		return nil
 	}
 	out := make([]T, n)
@@ -106,7 +106,7 @@ func Scatter[T any](p spmd.Comm, root int, parts []T) T {
 			if dst == rank {
 				continue
 			}
-			p.Send(dst, tagScatter, parts[dst], spmd.BytesOf(parts[dst]))
+			spmd.SendT(p, dst, tagScatter, parts[dst])
 		}
 		return parts[rank]
 	}
@@ -129,9 +129,8 @@ func AllGatherExchange[T any](p spmd.Comm, v T) []T {
 	n, rank := p.N(), p.Rank()
 	out := make([]T, n)
 	out[rank] = v
-	b := spmd.BytesOf(v)
 	for k := 1; k < n; k++ {
-		p.Send((rank+k)%n, tagAllToAll, v, b)
+		spmd.SendT(p, (rank+k)%n, tagAllToAll, v)
 	}
 	for k := 1; k < n; k++ {
 		src := (rank - k + n) % n
@@ -155,7 +154,7 @@ func AllToAll[T any](p spmd.Comm, parts []T) []T {
 	out[rank] = parts[rank]
 	for k := 1; k < n; k++ {
 		dst := (rank + k) % n
-		p.Send(dst, tagAllToAll, parts[dst], spmd.BytesOf(parts[dst]))
+		spmd.SendT(p, dst, tagAllToAll, parts[dst])
 	}
 	for k := 1; k < n; k++ {
 		src := (rank - k + n) % n
@@ -171,7 +170,7 @@ func AllToAll[T any](p spmd.Comm, parts []T) []T {
 func Reduce[T any](p spmd.Comm, root int, v T, op func(a, b T) T) T {
 	n, rank := p.N(), p.Rank()
 	if rank != root {
-		p.Send(root, tagReduceUp, v, spmd.BytesOf(v))
+		spmd.SendT(p, root, tagReduceUp, v)
 		var zero T
 		return zero
 	}
@@ -189,6 +188,18 @@ func Reduce[T any](p spmd.Comm, root int, v T, op func(a, b T) T) T {
 	}
 	return acc
 }
+
+// partial is a recursive-doubling partial: a reduction value tagged with
+// the minimum original rank it covers, so combination order is fixed by
+// rank. Its wire size is the payload's plus the rank word, matching the
+// cost the manual accounting charged.
+type partial[T any] struct {
+	MinRank int
+	V       T
+}
+
+// VBytes implements spmd.Sized.
+func (x partial[T]) VBytes() int { return spmd.BytesOf(x.V) + 8 }
 
 // AllReduce combines every process's value with op and returns the result
 // on all processes, using recursive doubling (Figure 9):
@@ -208,30 +219,22 @@ func AllReduce[T any](p spmd.Comm, v T, op func(a, b T) T) T {
 	}
 	rem := n - pof2
 
-	// Partials carry the minimum original rank they cover so combination
-	// order is fixed by rank, making every process compute the identical
-	// value regardless of exchange timing.
-	type partial struct {
-		MinRank int
-		V       T
-	}
-	pbytes := func(x partial) int { return spmd.BytesOf(x.V) + 8 }
-	combine := func(a, b partial) partial {
+	combine := func(a, b partial[T]) partial[T] {
 		if a.MinRank < b.MinRank {
-			return partial{a.MinRank, op(a.V, b.V)}
+			return partial[T]{a.MinRank, op(a.V, b.V)}
 		}
-		return partial{b.MinRank, op(b.V, a.V)}
+		return partial[T]{b.MinRank, op(b.V, a.V)}
 	}
-	acc := partial{rank, v}
+	acc := partial[T]{rank, v}
 
 	// Fold the first 2*rem ranks down so a power-of-two subset remains:
 	// even ranks < 2*rem ship their value to the next odd rank and sit out.
 	newRank := -1
 	switch {
 	case rank < 2*rem && rank%2 == 0:
-		p.Send(rank+1, tagRDBase, acc, pbytes(acc))
+		spmd.SendT(p, rank+1, tagRDBase, acc)
 	case rank < 2*rem: // odd
-		rv := spmd.Recv[partial](p, rank-1, tagRDBase)
+		rv := spmd.Recv[partial[T]](p, rank-1, tagRDBase)
 		acc = combine(rv, acc)
 		newRank = rank / 2
 	default:
@@ -248,8 +251,8 @@ func AllReduce[T any](p spmd.Comm, v T, op func(a, b T) T) T {
 		round := 1
 		for mask := 1; mask < pof2; mask <<= 1 {
 			partner := realRank(newRank ^ mask)
-			p.Send(partner, tagRDBase+round, acc, pbytes(acc))
-			rv := spmd.Recv[partial](p, partner, tagRDBase+round)
+			spmd.SendT(p, partner, tagRDBase+round, acc)
+			rv := spmd.Recv[partial[T]](p, partner, tagRDBase+round)
 			acc = combine(acc, rv)
 			round++
 		}
@@ -260,7 +263,7 @@ func AllReduce[T any](p spmd.Comm, v T, op func(a, b T) T) T {
 	case rank < 2*rem && rank%2 == 0:
 		acc.V = spmd.Recv[T](p, rank+1, tagReduceDown)
 	case rank < 2*rem: // odd
-		p.Send(rank-1, tagReduceDown, acc.V, spmd.BytesOf(acc.V))
+		spmd.SendT(p, rank-1, tagReduceDown, acc.V)
 	}
 	return acc.V
 }
@@ -280,7 +283,7 @@ func Barrier(p spmd.Comm) {
 	n, rank := p.N(), p.Rank()
 	round := 0
 	for mask := 1; mask < n; mask <<= 1 {
-		p.Send((rank+mask)%n, tagBarrierBase+round, nil, 0)
+		p.Send((rank+mask)%n, tagBarrierBase+round, nil)
 		p.Recv((rank-mask+n)%n, tagBarrierBase+round)
 		round++
 	}

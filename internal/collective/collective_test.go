@@ -22,7 +22,7 @@ var worldSizes = []int{1, 2, 3, 4, 5, 7, 8, 13, 16, 31}
 
 func runAll(t *testing.T, n int, body func(p *spmd.Proc)) *spmd.Result {
 	t.Helper()
-	res, err := spmd.NewWorld(n, testModel()).Run(body)
+	res, err := spmd.MustWorld(n, testModel()).Run(body)
 	if err != nil {
 		t.Fatalf("n=%d: %v", n, err)
 	}
@@ -276,7 +276,7 @@ func TestBroadcastLogDepth(t *testing.T) {
 	// less than a linear n-1 chain.
 	m := testModel()
 	n := 64
-	res, err := spmd.NewWorld(n, m).Run(func(p *spmd.Proc) {
+	res, err := spmd.MustWorld(n, m).Run(func(p *spmd.Proc) {
 		Broadcast(p, 0, 0)
 	})
 	if err != nil {
@@ -289,11 +289,93 @@ func TestBroadcastLogDepth(t *testing.T) {
 	}
 }
 
+// TestNonPowerOfTwoMessageCounts pins down the communication volume of
+// the collectives at awkward process counts (P = 3, 5, 7), where the
+// recursive-doubling pre/post adjustment and binomial-tree remainders
+// kick in. Counts are exact: the typed, self-metering send layer must
+// price exactly the messages the algorithms specify.
+func TestNonPowerOfTwoMessageCounts(t *testing.T) {
+	for _, n := range []int{3, 5, 7} {
+		// AllToAll: every process sends to every other, once.
+		res := runAll(t, n, func(p *spmd.Proc) {
+			parts := make([]int, n)
+			AllToAll(p, parts)
+		})
+		if want := int64(n * (n - 1)); res.Msgs != want {
+			t.Errorf("n=%d: AllToAll sent %d msgs, want %d", n, res.Msgs, want)
+		}
+
+		// Broadcast: a binomial tree delivers to every non-root exactly
+		// once — N-1 messages total.
+		res = runAll(t, n, func(p *spmd.Proc) { Broadcast(p, 0, 1.0) })
+		if want := int64(n - 1); res.Msgs != want {
+			t.Errorf("n=%d: Broadcast sent %d msgs, want %d", n, res.Msgs, want)
+		}
+
+		// Gather: linear, N-1 messages into the root.
+		res = runAll(t, n, func(p *spmd.Proc) { Gather(p, 0, p.Rank()) })
+		if want := int64(n - 1); res.Msgs != want {
+			t.Errorf("n=%d: Gather sent %d msgs, want %d", n, res.Msgs, want)
+		}
+
+		// AllReduce with recursive doubling and rem = N - 2^floor(log2 N)
+		// folded ranks: 2*rem fold/unfold messages plus log2(pof2) rounds
+		// of pairwise exchange among the power-of-two survivors.
+		pof2 := 1
+		log2 := 0
+		for pof2*2 <= n {
+			pof2 *= 2
+			log2++
+		}
+		rem := n - pof2
+		res = runAll(t, n, func(p *spmd.Proc) {
+			AllReduce(p, float64(p.Rank()), func(a, b float64) float64 { return a + b })
+		})
+		if want := int64(2*rem + pof2*log2); res.Msgs != want {
+			t.Errorf("n=%d: AllReduce sent %d msgs, want %d", n, res.Msgs, want)
+		}
+
+		// Barrier: dissemination, ceil(log2 N) rounds of N messages.
+		rounds := 0
+		for mask := 1; mask < n; mask <<= 1 {
+			rounds++
+		}
+		res = runAll(t, n, func(p *spmd.Proc) { Barrier(p) })
+		if want := int64(rounds * n); res.Msgs != want {
+			t.Errorf("n=%d: Barrier sent %d msgs, want %d", n, res.Msgs, want)
+		}
+	}
+}
+
+// TestAllReduceBytesNonPowerOfTwo checks the metered byte volume at
+// P = 3, 5, 7: every recursive-doubling partial carries its payload plus
+// the 8-byte origin-rank word, priced automatically via spmd.Sized.
+func TestAllReduceBytesNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{3, 5, 7} {
+		res := runAll(t, n, func(p *spmd.Proc) {
+			AllReduce(p, float64(p.Rank()), func(a, b float64) float64 { return a + b })
+		})
+		pof2 := 1
+		log2 := 0
+		for pof2*2 <= n {
+			pof2 *= 2
+			log2++
+		}
+		rem := n - pof2
+		// Fold-in and exchange messages carry a 16-byte partial (float64
+		// + rank word); the unfold result message carries a bare float64.
+		want := int64(rem*16 + pof2*log2*16 + rem*8)
+		if res.Bytes != want {
+			t.Errorf("n=%d: AllReduce moved %d bytes, want %d", n, res.Bytes, want)
+		}
+	}
+}
+
 func TestAllReducePropertyRandomSizes(t *testing.T) {
 	f := func(seed uint8) bool {
 		n := int(seed)%20 + 1
 		results := make([]int64, n)
-		_, err := spmd.NewWorld(n, testModel()).Run(func(p *spmd.Proc) {
+		_, err := spmd.MustWorld(n, testModel()).Run(func(p *spmd.Proc) {
 			v := int64(p.Rank()*p.Rank() + 1)
 			results[p.Rank()] = AllReduce(p, v, func(a, b int64) int64 { return a + b })
 		})

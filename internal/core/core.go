@@ -29,6 +29,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -111,15 +112,20 @@ func ParFor(m Mode, n int, body func(i int)) {
 type Program func(p *spmd.Proc)
 
 // Run executes prog on an n-process world over the given machine model on
-// the given execution backend.
-func Run(r backend.Runner, n int, m *machine.Model, prog Program) (*spmd.Result, error) {
-	return spmd.NewWorldOn(r, n, m).Run(prog)
+// the given execution backend. Cancelling ctx aborts the run mid-flight:
+// processes blocked in communication unwind and Run returns ctx.Err().
+func Run(ctx context.Context, r backend.Runner, n int, m *machine.Model, prog Program) (*spmd.Result, error) {
+	w, err := spmd.NewWorldOn(ctx, r, n, m)
+	if err != nil {
+		return nil, err
+	}
+	return w.Run(prog)
 }
 
 // Simulate runs prog on an n-process world over the given machine model
 // on the virtual-time simulator backend and returns the run's result.
 func Simulate(n int, m *machine.Model, prog Program) (*spmd.Result, error) {
-	return Run(backend.Default(), n, m, prog)
+	return Run(context.Background(), backend.Default(), n, m, prog)
 }
 
 // Experiment pairs a sequential baseline with an SPMD program so speedup
@@ -151,12 +157,12 @@ func (e *Experiment) Runner() backend.Runner {
 
 // Baseline runs the experiment's sequential baseline — Seq, or Par with
 // one process — and returns its result.
-func (e *Experiment) Baseline() (*spmd.Result, error) {
+func (e *Experiment) Baseline(ctx context.Context) (*spmd.Result, error) {
 	seqProg := e.Seq
 	if seqProg == nil {
 		seqProg = e.Par
 	}
-	res, err := Run(e.Runner(), 1, e.Model, seqProg)
+	res, err := Run(ctx, e.Runner(), 1, e.Model, seqProg)
 	if err != nil {
 		return nil, fmt.Errorf("experiment %q: sequential baseline: %w", e.Name, err)
 	}
@@ -166,8 +172,8 @@ func (e *Experiment) Baseline() (*spmd.Result, error) {
 // Point runs the experiment's SPMD program on n processes and returns the
 // raw run result: one cell of the sweep matrix. Package sched dispatches
 // Point calls concurrently.
-func (e *Experiment) Point(n int) (*spmd.Result, error) {
-	res, err := Run(e.Runner(), n, e.Model, e.Par)
+func (e *Experiment) Point(ctx context.Context, n int) (*spmd.Result, error) {
+	res, err := Run(ctx, e.Runner(), n, e.Model, e.Par)
 	if err != nil {
 		return nil, fmt.Errorf("experiment %q: %d processes: %w", e.Name, n, err)
 	}
@@ -194,14 +200,14 @@ type Curve struct {
 // counts, one cell at a time on the calling goroutine. Package sched runs
 // the same cells concurrently with bounded parallelism; prefer it for
 // multi-experiment sweeps.
-func (e *Experiment) Run(procs []int) (*Curve, error) {
-	seqRes, err := e.Baseline()
+func (e *Experiment) Run(ctx context.Context, procs []int) (*Curve, error) {
+	seqRes, err := e.Baseline(ctx)
 	if err != nil {
 		return nil, err
 	}
 	c := &Curve{Name: e.Name, SeqTime: seqRes.Makespan}
 	for _, n := range procs {
-		res, err := e.Point(n)
+		res, err := e.Point(ctx, n)
 		if err != nil {
 			return nil, err
 		}

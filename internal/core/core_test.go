@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -127,7 +128,7 @@ func TestExperimentSpeedups(t *testing.T) {
 			p.Flops(work / float64(p.N()))
 		},
 	}
-	curve, err := exp.Run([]int{1, 2, 4, 8})
+	curve, err := exp.Run(context.Background(), []int{1, 2, 4, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestExperimentExplicitSeqBaseline(t *testing.T) {
 			p.Flops(2e6 / float64(p.N())) // parallel algorithm does 2x work
 		},
 	}
-	curve, err := exp.Run([]int{2})
+	curve, err := exp.Run(context.Background(), []int{2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,37 @@
+package fdtd
+
+import (
+	"context"
+	"fmt"
+
+	"repro/arch"
+)
+
+func init() {
+	arch.Register(arch.App{
+		Name:        "fdtd",
+		Desc:        "3D electromagnetic cavity (§3.7.2)",
+		DefaultSize: 32,
+		Run:         runApp,
+	})
+}
+
+// Program advances the cavity the given number of steps and returns the
+// total field energy (a global reduction, known at every rank).
+func Program(steps int) arch.Program[Params, float64] {
+	return arch.SPMDRoot(func(p *arch.Proc, pm Params) float64 {
+		s := NewSPMD(p, pm)
+		s.Run(steps)
+		return s.Energy()
+	})
+}
+
+func runApp(ctx context.Context, s arch.Settings) (string, arch.Report, error) {
+	n := s.Size
+	const steps = 50
+	energy, rep, err := arch.RunWith(ctx, Program(steps), s, DefaultParams(n))
+	if err != nil {
+		return "", rep, err
+	}
+	return fmt.Sprintf("FDTD cavity %d^3, %d steps, energy %.4f", n, steps, energy), rep, nil
+}

@@ -96,7 +96,7 @@ func TestSPMDMatchesSeqBitIdentical(t *testing.T) {
 
 	for _, n := range []int{1, 2, 3, 4} {
 		var eField, hField [][3]float64
-		_, err := spmd.NewWorld(n, machine.IBMSP()).Run(func(p *spmd.Proc) {
+		_, err := spmd.MustWorld(n, machine.IBMSP()).Run(func(p *spmd.Proc) {
 			s := NewSPMD(p, pm)
 			s.Run(steps)
 			ef := meshspectral.GatherGrid3(s.E, 0)
@@ -122,7 +122,7 @@ func TestSPMDMatchesSeqBitIdentical(t *testing.T) {
 func TestSPMDEnergyConsistentAcrossRanks(t *testing.T) {
 	pm := DefaultParams(12)
 	energies := make([]float64, 3)
-	_, err := spmd.NewWorld(3, machine.IBMSP()).Run(func(p *spmd.Proc) {
+	_, err := spmd.MustWorld(3, machine.IBMSP()).Run(func(p *spmd.Proc) {
 		s := NewSPMD(p, pm)
 		s.Run(5)
 		energies[p.Rank()] = s.Energy()

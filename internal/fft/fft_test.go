@@ -201,7 +201,7 @@ func TestTwoDSPMDMatchesV1(t *testing.T) {
 	for _, n := range []int{1, 2, 4, 8} {
 		src := fill2D(nx, ny, 5)
 		var got *array.Dense2D[complex128]
-		_, err := spmd.NewWorld(n, machine.IBMSP()).Run(func(p *spmd.Proc) {
+		_, err := spmd.MustWorld(n, machine.IBMSP()).Run(func(p *spmd.Proc) {
 			var full *array.Dense2D[complex128]
 			if p.Rank() == 0 {
 				full = src
@@ -229,7 +229,7 @@ func TestTwoDSPMDInverseRoundtrip(t *testing.T) {
 	src := fill2D(nx, ny, 6)
 	orig := src.Clone()
 	var got *array.Dense2D[complex128]
-	_, err := spmd.NewWorld(4, machine.IBMSP()).Run(func(p *spmd.Proc) {
+	_, err := spmd.MustWorld(4, machine.IBMSP()).Run(func(p *spmd.Proc) {
 		var full *array.Dense2D[complex128]
 		if p.Rank() == 0 {
 			full = src

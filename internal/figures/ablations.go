@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -64,14 +65,14 @@ func writeAblation(o Options, nameA, nameB string, rows []AblationRow) {
 
 // ablationRows runs one A-vs-B comparison per process count through the
 // backend's scheduler on the given backend.
-func ablationRows(r backend.Runner, m *machine.Model, procs []int, progA, progB func(np int) core.Program) ([]AblationRow, error) {
-	return sched.Map(schedFor(r), len(procs), func(i int) (AblationRow, error) {
+func ablationRows(ctx context.Context, r backend.Runner, m *machine.Model, procs []int, progA, progB func(np int) core.Program) ([]AblationRow, error) {
+	return sched.Map(ctx, schedFor(r), len(procs), func(i int) (AblationRow, error) {
 		np := procs[i]
-		a, err := core.Run(r, np, m, progA(np))
+		a, err := core.Run(ctx, r, np, m, progA(np))
 		if err != nil {
 			return AblationRow{}, err
 		}
-		b, err := core.Run(r, np, m, progB(np))
+		b, err := core.Run(ctx, r, np, m, progB(np))
 		if err != nil {
 			return AblationRow{}, err
 		}
@@ -81,11 +82,11 @@ func ablationRows(r backend.Runner, m *machine.Model, procs []int, progA, progB 
 
 // AblationReduce measures both reduction implementations.
 func AblationReduce(procs []int, reps int) ([]AblationRow, error) {
-	return ablationReduce(backend.Default(), procs, reps)
+	return ablationReduce(context.Background(), backend.Default(), procs, reps)
 }
 
-func ablationReduce(r backend.Runner, procs []int, reps int) ([]AblationRow, error) {
-	return ablationRows(r, machine.IBMSP(), procs,
+func ablationReduce(ctx context.Context, r backend.Runner, procs []int, reps int) ([]AblationRow, error) {
+	return ablationRows(ctx, r, machine.IBMSP(), procs,
 		func(np int) core.Program {
 			return func(p *spmd.Proc) {
 				for i := 0; i < reps; i++ {
@@ -104,7 +105,7 @@ func ablationReduce(r backend.Runner, procs []int, reps int) ([]AblationRow, err
 
 func runAblationReduce(o Options) (*Result, error) {
 	banner(o, "Ablation A1: reduction strategy (100 all-reduces)")
-	rows, err := ablationReduce(o.backend(), o.procs([]int{4, 8, 16, 32, 64}), 100)
+	rows, err := ablationReduce(o.ctx(), o.backend(), o.procs([]int{4, 8, 16, 32, 64}), 100)
 	if err != nil {
 		return nil, err
 	}
@@ -115,10 +116,10 @@ func runAblationReduce(o Options) (*Result, error) {
 // AblationParams measures one-deep mergesort under both splitter
 // strategies.
 func AblationParams(n int, procs []int) ([]AblationRow, error) {
-	return ablationParams(backend.Default(), n, procs)
+	return ablationParams(context.Background(), backend.Default(), n, procs)
 }
 
-func ablationParams(r backend.Runner, n int, procs []int) ([]AblationRow, error) {
+func ablationParams(ctx context.Context, r backend.Runner, n int, procs []int) ([]AblationRow, error) {
 	data := sortapp.RandomInts(n, 77)
 	strat := func(np int, s onedeep.ParamStrategy) core.Program {
 		blocks := sortapp.BlockDistribute(data, np)
@@ -127,7 +128,7 @@ func ablationParams(r backend.Runner, n int, procs []int) ([]AblationRow, error)
 			onedeep.RunSPMD(p, spec, blocks[p.Rank()])
 		}
 	}
-	return ablationRows(r, machine.IntelDelta(), procs,
+	return ablationRows(ctx, r, machine.IntelDelta(), procs,
 		func(np int) core.Program { return strat(np, onedeep.Centralized) },
 		func(np int) core.Program { return strat(np, onedeep.Replicated) })
 }
@@ -135,7 +136,7 @@ func ablationParams(r backend.Runner, n int, procs []int) ([]AblationRow, error)
 func runAblationParams(o Options) (*Result, error) {
 	n := o.scaleInt(1<<18, 1<<12)
 	banner(o, "Ablation A2: splitter strategy, one-deep mergesort, %d int32", n)
-	rows, err := ablationParams(o.backend(), n, o.procs([]int{4, 16, 64}))
+	rows, err := ablationParams(o.ctx(), o.backend(), n, o.procs([]int{4, 16, 64}))
 	if err != nil {
 		return nil, err
 	}
@@ -146,17 +147,17 @@ func runAblationParams(o Options) (*Result, error) {
 // AblationLayout measures the Poisson solver under 1D and 2D block
 // layouts.
 func AblationLayout(n, steps int, procs []int) ([]AblationRow, error) {
-	return ablationLayout(backend.Default(), n, steps, procs)
+	return ablationLayout(context.Background(), backend.Default(), n, steps, procs)
 }
 
-func ablationLayout(r backend.Runner, n, steps int, procs []int) ([]AblationRow, error) {
+func ablationLayout(ctx context.Context, r backend.Runner, n, steps int, procs []int) ([]AblationRow, error) {
 	pr := poisson.Manufactured(n, n, 0, steps)
 	layout := func(l meshspectral.Layout) core.Program {
 		return func(p *spmd.Proc) {
 			poisson.SolveSPMD(p, pr, l)
 		}
 	}
-	return ablationRows(r, machine.IBMSP(), procs,
+	return ablationRows(ctx, r, machine.IBMSP(), procs,
 		func(np int) core.Program { return layout(meshspectral.Rows(np)) },
 		func(np int) core.Program { return layout(meshspectral.NearSquare(np)) })
 }
@@ -170,7 +171,7 @@ func runAblationLayout(o Options) (*Result, error) {
 	// the 2D decomposition wins (less boundary data, bandwidth-bound).
 	for _, n := range []int{small, large} {
 		banner(o, "Ablation A3: Poisson decomposition, %dx%d grid, %d steps", n, n, steps)
-		rows, err := ablationLayout(o.backend(), n, steps, o.procs([]int{16, 36, 64}))
+		rows, err := ablationLayout(o.ctx(), o.backend(), n, steps, o.procs([]int{16, 36, 64}))
 		if err != nil {
 			return nil, err
 		}
@@ -181,11 +182,11 @@ func runAblationLayout(o Options) (*Result, error) {
 
 // AblationAllGather measures both all-gather formulations.
 func AblationAllGather(procs []int, reps int) ([]AblationRow, error) {
-	return ablationAllGather(backend.Default(), procs, reps)
+	return ablationAllGather(context.Background(), backend.Default(), procs, reps)
 }
 
-func ablationAllGather(r backend.Runner, procs []int, reps int) ([]AblationRow, error) {
-	return ablationRows(r, machine.IBMSP(), procs,
+func ablationAllGather(ctx context.Context, r backend.Runner, procs []int, reps int) ([]AblationRow, error) {
+	return ablationRows(ctx, r, machine.IBMSP(), procs,
 		func(np int) core.Program {
 			return func(p *spmd.Proc) {
 				for i := 0; i < reps; i++ {
@@ -204,7 +205,7 @@ func ablationAllGather(r backend.Runner, procs []int, reps int) ([]AblationRow, 
 
 func runAblationAllGather(o Options) (*Result, error) {
 	banner(o, "Ablation A4: all-gather formulation (100 all-gathers)")
-	rows, err := ablationAllGather(o.backend(), o.procs([]int{4, 8, 16, 32, 64}), 100)
+	rows, err := ablationAllGather(o.ctx(), o.backend(), o.procs([]int{4, 8, 16, 32, 64}), 100)
 	if err != nil {
 		return nil, err
 	}

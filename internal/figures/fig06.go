@@ -1,6 +1,8 @@
 package figures
 
 import (
+	"context"
+
 	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/machine"
@@ -25,24 +27,24 @@ func init() {
 // element count over the given processor sweep on the simulator backend
 // (exported for tests and benchmarks).
 func Fig6Curves(n int, procs []int) (oneDeep, traditional *core.Curve, err error) {
-	return fig6Curves(backend.Default(), n, procs)
+	return fig6Curves(context.Background(), backend.Default(), n, procs)
 }
 
 // fig6Curves runs both Figure 6 sweeps concurrently through the shared
 // scheduler on the given backend.
-func fig6Curves(r backend.Runner, n int, procs []int) (oneDeep, traditional *core.Curve, err error) {
+func fig6Curves(ctx context.Context, r backend.Runner, n int, procs []int) (oneDeep, traditional *core.Curve, err error) {
 	model := machine.IntelDelta()
 	data := sortapp.RandomInts(n, 1999)
 
 	// Sequential baseline: the sequential mergesort (as the paper's
 	// caption specifies).
-	seqT, err := seqTime(r, model, func(m core.Meter) { sortapp.MergeSort(m, data) })
+	seqT, err := seqTime(ctx, r, model, func(m core.Meter) { sortapp.MergeSort(m, data) })
 	if err != nil {
 		return nil, nil, err
 	}
 
 	spec := sortapp.OneDeepMergesort(onedeep.Centralized)
-	oneDeep, err = sweepPoints(r, "one-deep", seqT, model, procs, func(np int) core.Program {
+	oneDeep, err = sweepPoints(ctx, r, "one-deep", seqT, model, procs, func(np int) core.Program {
 		blocks := sortapp.BlockDistribute(data, np)
 		return func(p *spmd.Proc) {
 			out := onedeep.RunSPMD(p, spec, blocks[p.Rank()])
@@ -54,7 +56,7 @@ func fig6Curves(r backend.Runner, n int, procs []int) (oneDeep, traditional *cor
 	if err != nil {
 		return nil, nil, err
 	}
-	traditional, err = sweepPoints(r, "traditional", seqT, model, procs, func(np int) core.Program {
+	traditional, err = sweepPoints(ctx, r, "traditional", seqT, model, procs, func(np int) core.Program {
 		rec := sortapp.TraditionalMergesort(32)
 		return func(p *spmd.Proc) {
 			out := rec.RunSPMD(p, data)
@@ -73,7 +75,7 @@ func runFig6(o Options) (*Result, error) {
 	n := o.scaleInt(1<<20, 1<<12)
 	procs := o.procs(core.PowersOfTwo(64))
 	banner(o, "Figure 6: mergesort speedups, %d int32, Intel Delta model", n)
-	oneDeep, trad, err := fig6Curves(o.backend(), n, procs)
+	oneDeep, trad, err := fig6Curves(o.ctx(), o.backend(), n, procs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/array"
@@ -30,17 +31,17 @@ func init() {
 // transformed reps times, over the given processor sweep on the simulator
 // backend.
 func Fig12Curve(n, reps int, procs []int) (*core.Curve, error) {
-	return fig12Curve(backend.Default(), n, reps, procs)
+	return fig12Curve(context.Background(), backend.Default(), n, reps, procs)
 }
 
-func fig12Curve(r backend.Runner, n, reps int, procs []int) (*core.Curve, error) {
+func fig12Curve(ctx context.Context, r backend.Runner, n, reps int, procs []int) (*core.Curve, error) {
 	model := machine.IBMSP()
 	fill := func(gi, gj int) complex128 {
 		return complex(math.Sin(float64(gi)*0.37), math.Cos(float64(gj)*0.11))
 	}
 
 	// Sequential baseline: really run the sequential 2D FFT reps times.
-	seqT, err := seqTime(r, model, func(m core.Meter) {
+	seqT, err := seqTime(ctx, r, model, func(m core.Meter) {
 		dense := array.New2D[complex128](n, n)
 		dense.Fill(fill)
 		for rep := 0; rep < reps; rep++ {
@@ -51,7 +52,7 @@ func fig12Curve(r backend.Runner, n, reps int, procs []int) (*core.Curve, error)
 		return nil, err
 	}
 
-	return sweepPoints(r, "2D FFT", seqT, model, procs, func(np int) core.Program {
+	return sweepPoints(ctx, r, "2D FFT", seqT, model, procs, func(np int) core.Program {
 		return func(p *spmd.Proc) {
 			g := meshspectral.New2D[complex128](p, n, n, meshspectral.Rows(p.N()), 0)
 			g.Fill(fill)
@@ -67,7 +68,7 @@ func runFig12(o Options) (*Result, error) {
 	const reps = 10
 	procs := o.procs(core.PowersOfTwo(32))
 	banner(o, "Figure 12: 2D FFT speedup, %dx%d complex grid x%d reps, IBM SP model", n, n, reps)
-	curve, err := fig12Curve(o.backend(), n, reps, procs)
+	curve, err := fig12Curve(o.ctx(), o.backend(), n, reps, procs)
 	if err != nil {
 		return nil, err
 	}

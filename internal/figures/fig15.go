@@ -1,6 +1,8 @@
 package figures
 
 import (
+	"context"
+
 	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/machine"
@@ -26,14 +28,14 @@ func init() {
 // given fixed iteration count, over the given processor sweep (near-square
 // block layouts, as §3.6.3's generic block distribution suggests).
 func Fig15Curve(n, steps int, procs []int) (*core.Curve, error) {
-	return fig15Curve(backend.Default(), n, steps, procs)
+	return fig15Curve(context.Background(), backend.Default(), n, steps, procs)
 }
 
-func fig15Curve(r backend.Runner, n, steps int, procs []int) (*core.Curve, error) {
+func fig15Curve(ctx context.Context, r backend.Runner, n, steps int, procs []int) (*core.Curve, error) {
 	model := machine.IBMSP()
 	pr := poisson.Manufactured(n, n, 0, steps) // tolerance 0: fixed step count
 
-	seqT, err := seqTime(r, model, func(m core.Meter) {
+	seqT, err := seqTime(ctx, r, model, func(m core.Meter) {
 		if _, res := poisson.SolveSeq(m, pr); res.Iterations != steps {
 			panic("fig 15: sequential solver did not run the fixed step count")
 		}
@@ -42,7 +44,7 @@ func fig15Curve(r backend.Runner, n, steps int, procs []int) (*core.Curve, error
 		return nil, err
 	}
 
-	return sweepPoints(r, "Poisson", seqT, model, procs, func(np int) core.Program {
+	return sweepPoints(ctx, r, "Poisson", seqT, model, procs, func(np int) core.Program {
 		l := meshspectral.NearSquare(np)
 		return func(p *spmd.Proc) {
 			poisson.SolveSPMD(p, pr, l)
@@ -58,7 +60,7 @@ func runFig15(o Options) (*Result, error) {
 	}
 	procs := o.procs([]int{1, 2, 4, 9, 16, 25, 36})
 	banner(o, "Figure 15: Poisson speedup, %dx%d grid, %d steps, IBM SP model", n, n, steps)
-	curve, err := fig15Curve(o.backend(), n, steps, procs)
+	curve, err := fig15Curve(o.ctx(), o.backend(), n, steps, procs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package figures
 
 import (
+	"context"
+
 	"repro/internal/backend"
 	"repro/internal/cfd"
 	"repro/internal/core"
@@ -25,21 +27,21 @@ func init() {
 // Fig16Curve produces the Figure 16 speedup curve for an n×n grid over
 // the given steps and processor sweep.
 func Fig16Curve(n, steps int, procs []int) (*core.Curve, error) {
-	return fig16Curve(backend.Default(), n, steps, procs)
+	return fig16Curve(context.Background(), backend.Default(), n, steps, procs)
 }
 
-func fig16Curve(r backend.Runner, n, steps int, procs []int) (*core.Curve, error) {
+func fig16Curve(ctx context.Context, r backend.Runner, n, steps int, procs []int) (*core.Curve, error) {
 	model := machine.IntelDelta()
 	pm := cfd.DefaultParams(n, n)
 
-	seqT, err := seqTime(r, model, func(m core.Meter) {
+	seqT, err := seqTime(ctx, r, model, func(m core.Meter) {
 		cfd.NewSeq(pm).Run(m, steps)
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	return sweepPoints(r, "CFD", seqT, model, procs, func(np int) core.Program {
+	return sweepPoints(ctx, r, "CFD", seqT, model, procs, func(np int) core.Program {
 		l := meshspectral.NearSquare(np)
 		return func(p *spmd.Proc) {
 			cfd.NewSPMD(p, pm, l).Run(steps)
@@ -52,7 +54,7 @@ func runFig16(o Options) (*Result, error) {
 	const steps = 8
 	procs := o.procs([]int{1, 4, 16, 36, 64, 100})
 	banner(o, "Figure 16: CFD speedup, %dx%d grid, %d steps, Intel Delta model", n, n, steps)
-	curve, err := fig16Curve(o.backend(), n, steps, procs)
+	curve, err := fig16Curve(o.ctx(), o.backend(), n, steps, procs)
 	if err != nil {
 		return nil, err
 	}

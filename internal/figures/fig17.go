@@ -1,6 +1,8 @@
 package figures
 
 import (
+	"context"
+
 	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/fdtd"
@@ -27,14 +29,14 @@ func init() {
 // given steps and processor sweep. Every step computes the global field
 // energy, like the paper's scattering monitoring.
 func Fig17Curve(n, steps int, procs []int) (*core.Curve, error) {
-	return fig17Curve(backend.Default(), n, steps, procs)
+	return fig17Curve(context.Background(), backend.Default(), n, steps, procs)
 }
 
-func fig17Curve(r backend.Runner, n, steps int, procs []int) (*core.Curve, error) {
+func fig17Curve(ctx context.Context, r backend.Runner, n, steps int, procs []int) (*core.Curve, error) {
 	model := machine.IBMSP()
 	pm := fdtd.DefaultParams(n)
 
-	seqT, err := seqTime(r, model, func(m core.Meter) {
+	seqT, err := seqTime(ctx, r, model, func(m core.Meter) {
 		s := fdtd.NewSeq(pm)
 		for i := 0; i < steps; i++ {
 			s.Step(m)
@@ -46,7 +48,7 @@ func fig17Curve(r backend.Runner, n, steps int, procs []int) (*core.Curve, error
 		return nil, err
 	}
 
-	return sweepPoints(r, "FDTD", seqT, model, procs, func(np int) core.Program {
+	return sweepPoints(ctx, r, "FDTD", seqT, model, procs, func(np int) core.Program {
 		return func(p *spmd.Proc) {
 			s := fdtd.NewSPMD(p, pm)
 			for i := 0; i < steps; i++ {
@@ -62,7 +64,7 @@ func runFig17(o Options) (*Result, error) {
 	const steps = 50
 	procs := o.procs([]int{1, 2, 4, 8, 12, 14, 16, 18})
 	banner(o, "Figure 17: FDTD speedup, %d^3 grid, %d steps, IBM SP model", n, steps)
-	curve, err := fig17Curve(o.backend(), n, steps, procs)
+	curve, err := fig17Curve(o.ctx(), o.backend(), n, steps, procs)
 	if err != nil {
 		return nil, err
 	}

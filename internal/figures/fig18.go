@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/backend"
@@ -30,10 +31,10 @@ func init() {
 // encoded as a speedup curve whose Procs field holds P. The paging
 // capacity is set so the base paces but 2x the base does not.
 func Fig18Curve(nr, nz, steps, base int, procs []int) (*core.Curve, error) {
-	return fig18Curve(backend.Default(), nr, nz, steps, base, procs)
+	return fig18Curve(context.Background(), backend.Default(), nr, nz, steps, base, procs)
 }
 
-func fig18Curve(r backend.Runner, nr, nz, steps, base int, procs []int) (*core.Curve, error) {
+func fig18Curve(ctx context.Context, r backend.Runner, nr, nz, steps, base int, procs []int) (*core.Curve, error) {
 	pm := swirl.DefaultParams(nr, nz)
 	// Capacity between resident(base) and resident(2·base): the base run
 	// pages, everything from 2x up fits. The factor is calibrated to the
@@ -41,8 +42,8 @@ func fig18Curve(r backend.Runner, nr, nz, steps, base int, procs []int) (*core.C
 	capBytes := pm.ResidentBytes(base + 2)
 	model := machine.IBMSPPaged(capBytes, 1.6)
 
-	makespans, err := sched.Map(schedFor(r), len(procs), func(i int) (float64, error) {
-		res, err := core.Run(r, procs[i], model, func(p *spmd.Proc) {
+	makespans, err := sched.Map(ctx, schedFor(r), len(procs), func(i int) (float64, error) {
+		res, err := core.Run(ctx, r, procs[i], model, func(p *spmd.Proc) {
 			s := swirl.NewSPMD(p, pm)
 			s.Run(steps)
 		})
@@ -79,7 +80,7 @@ func runFig18(o Options) (*Result, error) {
 	const steps, base = 10, 5
 	procs := o.procs([]int{5, 10, 15, 20, 25, 30, 35, 40})
 	banner(o, "Figure 18: spectral code, %dx%d grid, %d steps, IBM SP + paging model, base %d procs", nr, nz, steps, base)
-	curve, err := fig18Curve(o.backend(), nr, nz, steps, base, procs)
+	curve, err := fig18Curve(o.ctx(), o.backend(), nr, nz, steps, base, procs)
 	if err != nil {
 		return nil, err
 	}

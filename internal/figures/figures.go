@@ -10,6 +10,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -23,6 +24,10 @@ import (
 
 // Options controls a figure run.
 type Options struct {
+	// Ctx cancels figure sweeps mid-flight (nil means background): cells
+	// not yet started are skipped, running cells unwind, and the figure
+	// returns the context's error.
+	Ctx context.Context
 	// Out receives the textual table (defaults to io.Discard).
 	Out io.Writer
 	// Dir is where image figures write their PGM files (default ".").
@@ -38,6 +43,13 @@ type Options struct {
 	// backend.Real runs every cell at hardware speed with wall-clock
 	// makespans.
 	Backend backend.Runner
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
 }
 
 func (o Options) out() io.Writer {
@@ -96,8 +108,8 @@ func (o Options) backend() backend.Runner {
 // it on a 1-process world: on the simulator the makespan is the sum of
 // the metered charges (exactly what a core.Tally accumulates); on the
 // real backend it is the wall-clock time of really running the baseline.
-func seqTime(r backend.Runner, m *machine.Model, run func(core.Meter)) (float64, error) {
-	res, err := core.Run(r, 1, m, func(p *spmd.Proc) { run(p) })
+func seqTime(ctx context.Context, r backend.Runner, m *machine.Model, run func(core.Meter)) (float64, error) {
+	res, err := core.Run(ctx, r, 1, m, func(p *spmd.Proc) { run(p) })
 	if err != nil {
 		return 0, err
 	}
@@ -117,9 +129,9 @@ func schedFor(r backend.Runner) *sched.Scheduler {
 // sweepPoints runs prog(np) for every process count through the backend's
 // scheduler (concurrently for virtual time, serially for wall clock) and
 // assembles the named speedup curve.
-func sweepPoints(r backend.Runner, name string, seqT float64, m *machine.Model, procs []int, prog func(np int) core.Program) (*core.Curve, error) {
-	return schedFor(r).Points(name, seqT, procs, func(np int) (*spmd.Result, error) {
-		return core.Run(r, np, m, prog(np))
+func sweepPoints(ctx context.Context, r backend.Runner, name string, seqT float64, m *machine.Model, procs []int, prog func(np int) core.Program) (*core.Curve, error) {
+	return schedFor(r).Points(ctx, name, seqT, procs, func(np int) (*spmd.Result, error) {
+		return core.Run(ctx, r, np, m, prog(np))
 	})
 }
 

@@ -1,12 +1,15 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"repro/internal/array"
+	"repro/internal/backend"
 	"repro/internal/cfd"
+	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/meshspectral"
 	"repro/internal/spmd"
@@ -53,10 +56,10 @@ func writePGM(o Options, name string, a *array.Dense2D[float64]) (string, error)
 
 // runCFDSnapshots runs the shock-interface problem on 4 simulated
 // processes and returns gathered snapshots at the requested step counts.
-func runCFDSnapshots(nx, ny int, snaps []int) ([]*array.Dense2D[cfd.Cell], error) {
+func runCFDSnapshots(ctx context.Context, nx, ny int, snaps []int) ([]*array.Dense2D[cfd.Cell], error) {
 	pm := cfd.DefaultParams(nx, ny)
 	out := make([]*array.Dense2D[cfd.Cell], len(snaps))
-	_, err := spmd.NewWorld(4, machine.IntelDelta()).Run(func(p *spmd.Proc) {
+	_, err := core.Run(ctx, backend.Default(), 4, machine.IntelDelta(), func(p *spmd.Proc) {
 		s := cfd.NewSPMD(p, pm, meshspectral.Blocks(2, 2))
 		done := 0
 		for si, target := range snaps {
@@ -81,7 +84,7 @@ func runFig19(o Options) (*Result, error) {
 	ny := nx / 2
 	steps := o.scaleInt(400, 40)
 	banner(o, "Figure 19: shock/interface density, %dx%d grid, %d steps", nx, ny, steps)
-	snaps, err := runCFDSnapshots(nx, ny, []int{steps})
+	snaps, err := runCFDSnapshots(o.ctx(), nx, ny, []int{steps})
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +103,7 @@ func runFig20(o Options) (*Result, error) {
 	early := o.scaleInt(150, 15)
 	late := o.scaleInt(450, 45)
 	banner(o, "Figure 20: density+vorticity at steps %d and %d, %dx%d grid", early, late, nx, ny)
-	snaps, err := runCFDSnapshots(nx, ny, []int{early, late})
+	snaps, err := runCFDSnapshots(o.ctx(), nx, ny, []int{early, late})
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +129,7 @@ func runFig21(o Options) (*Result, error) {
 	banner(o, "Figure 21: swirling-flow azimuthal velocity, %dx%d grid, %d steps", nr, nz, steps)
 	pm := swirl.DefaultParams(nr, nz)
 	var field *array.Dense2D[float64]
-	_, err := spmd.NewWorld(4, machine.IBMSP()).Run(func(p *spmd.Proc) {
+	_, err := core.Run(o.ctx(), backend.Default(), 4, machine.IBMSP(), func(p *spmd.Proc) {
 		s := swirl.NewSPMD(p, pm)
 		s.Run(steps)
 		full := meshspectral.GatherGrid(s.U, 0)

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/backend"
@@ -27,22 +28,22 @@ func init() {
 // MachineSweep runs the one-deep mergesort across every built-in machine
 // profile on the simulator backend and returns one curve per machine.
 func MachineSweep(n int, procs []int) ([]*core.Curve, error) {
-	return machineSweep(backend.Default(), n, procs)
+	return machineSweep(context.Background(), backend.Default(), n, procs)
 }
 
-func machineSweep(r backend.Runner, n int, procs []int) ([]*core.Curve, error) {
+func machineSweep(ctx context.Context, r backend.Runner, n int, procs []int) ([]*core.Curve, error) {
 	data := sortapp.RandomInts(n, 31)
 	models := []*machine.Model{
 		machine.IntelDelta(), machine.IBMSP(), machine.Workstations(), machine.SMP(),
 	}
 	curves := make([]*core.Curve, len(models))
 	for i, m := range models {
-		seqT, err := seqTime(r, m, func(mt core.Meter) { sortapp.MergeSort(mt, data) })
+		seqT, err := seqTime(ctx, r, m, func(mt core.Meter) { sortapp.MergeSort(mt, data) })
 		if err != nil {
 			return nil, err
 		}
 		spec := sortapp.OneDeepMergesort(onedeep.Centralized)
-		curves[i], err = sweepPoints(r, m.Name, seqT, m, procs, func(np int) core.Program {
+		curves[i], err = sweepPoints(ctx, r, m.Name, seqT, m, procs, func(np int) core.Program {
 			blocks := sortapp.BlockDistribute(data, np)
 			return func(p *spmd.Proc) {
 				onedeep.RunSPMD(p, spec, blocks[p.Rank()])
@@ -59,7 +60,7 @@ func runMachinesAblation(o Options) (*Result, error) {
 	n := o.scaleInt(1<<19, 1<<12)
 	procs := o.procs(core.PowersOfTwo(64))
 	banner(o, "Ablation A5: one-deep mergesort, %d int32, across machine classes", n)
-	curves, err := machineSweep(o.backend(), n, procs)
+	curves, err := machineSweep(o.ctx(), o.backend(), n, procs)
 	if err != nil {
 		return nil, err
 	}

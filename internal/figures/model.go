@@ -1,8 +1,10 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/meshspectral"
@@ -42,6 +44,10 @@ func (r ModelRow) Error() float64 {
 // so the cells always run on the simulator backend; they run concurrently
 // through the shared scheduler.
 func ModelValidation(n, steps int, procs []int) ([]ModelRow, error) {
+	return modelValidation(context.Background(), n, steps, procs)
+}
+
+func modelValidation(ctx context.Context, n, steps int, procs []int) ([]ModelRow, error) {
 	m := machine.IBMSP()
 	type cell struct {
 		np     int
@@ -53,10 +59,10 @@ func ModelValidation(n, steps int, procs []int) ([]ModelRow, error) {
 			cells = append(cells, cell{np, l})
 		}
 	}
-	return sched.Map(sched.Shared(), len(cells), func(i int) (ModelRow, error) {
+	return sched.Map(ctx, sched.Shared(), len(cells), func(i int) (ModelRow, error) {
 		np, l := cells[i].np, cells[i].layout
 		pr := poisson.Manufactured(n, n, 0, steps)
-		res, err := core.Simulate(np, m, func(p *spmd.Proc) {
+		res, err := core.Run(ctx, backend.Default(), np, m, func(p *spmd.Proc) {
 			poisson.SolveSPMD(p, pr, l)
 		})
 		if err != nil {
@@ -75,7 +81,7 @@ func runModelValidation(o Options) (*Result, error) {
 	n := o.scaleInt(128, 32)
 	const steps = 50
 	banner(o, "Validation A6: Poisson performance model, %dx%d grid, %d steps, IBM SP model", n, n, steps)
-	rows, err := ModelValidation(n, steps, o.procs([]int{4, 9, 16, 25, 36}))
+	rows, err := modelValidation(o.ctx(), n, steps, o.procs([]int{4, 9, 16, 25, 36}))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,52 @@
+package hull
+
+import (
+	"context"
+	"fmt"
+
+	"repro/arch"
+	"repro/internal/core"
+)
+
+func init() {
+	arch.Register(arch.App{
+		Name:        "hull",
+		Desc:        "one-deep convex hull (§2.6)",
+		DefaultSize: 50000,
+		Run:         runApp,
+	})
+}
+
+// Program runs the one-deep convex hull over pre-distributed point blocks
+// and reports the total vertex count across ranks.
+func Program() arch.Program[[][]Pt, int] {
+	return arch.SPMD(
+		func(p *arch.Proc, blocks [][]Pt) Pts {
+			return OneDeepSPMD(p, blocks[p.Rank()])
+		},
+		func(parts []Pts) int {
+			total := 0
+			for _, o := range parts {
+				total += len(o)
+			}
+			return total
+		})
+}
+
+func runApp(ctx context.Context, s arch.Settings) (string, arch.Report, error) {
+	n := s.Size
+	pts := RandomPoints(n, 4, 1000)
+	blocks := make([][]Pt, s.Procs)
+	for i := range blocks {
+		blocks[i] = pts[i*n/s.Procs : (i+1)*n/s.Procs]
+	}
+	total, rep, err := arch.RunWith(ctx, Program(), s, blocks)
+	if err != nil {
+		return "", rep, err
+	}
+	want := MonotoneChain(core.Nop, pts)
+	if total != len(want) {
+		return "", rep, fmt.Errorf("hull: %d vertices, sequential found %d", total, len(want))
+	}
+	return fmt.Sprintf("convex hull of %d points (%d vertices, verified)", n, total), rep, nil
+}

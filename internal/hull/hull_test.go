@@ -101,7 +101,7 @@ func TestOneDeepMatchesSequential(t *testing.T) {
 			blocks[i] = pts[i*len(pts)/n : (i+1)*len(pts)/n]
 		}
 		outs := make([]Pts, n)
-		w := spmd.NewWorld(n, machine.IBMSP())
+		w := spmd.MustWorld(n, machine.IBMSP())
 		if _, err := w.Run(func(p *spmd.Proc) {
 			outs[p.Rank()] = OneDeepSPMD(p, blocks[p.Rank()])
 		}); err != nil {

@@ -284,12 +284,12 @@ func (g *Grid2D[T]) exchangeX() {
 	if up >= 0 {
 		buf := g.packRows(H, 2*H, c0, c1)
 		g.p.MemWords(float64(len(buf)) * g.elemWords())
-		g.p.Send(up, tagHaloXLo, buf, spmd.BytesOf(buf))
+		spmd.SendT(g.p, up, tagHaloXLo, buf)
 	}
 	if down >= 0 {
 		buf := g.packRows(lnx, lnx+H, c0, c1)
 		g.p.MemWords(float64(len(buf)) * g.elemWords())
-		g.p.Send(down, tagHaloXHi, buf, spmd.BytesOf(buf))
+		spmd.SendT(g.p, down, tagHaloXHi, buf)
 	}
 	if down >= 0 {
 		buf := spmd.Recv[[]T](g.p, down, tagHaloXLo)
@@ -328,12 +328,12 @@ func (g *Grid2D[T]) exchangeY() {
 	if left >= 0 {
 		buf := packCols(H, 2*H)
 		g.p.MemWords(float64(len(buf)) * g.elemWords())
-		g.p.Send(left, tagHaloYLo, buf, spmd.BytesOf(buf))
+		spmd.SendT(g.p, left, tagHaloYLo, buf)
 	}
 	if right >= 0 {
 		buf := packCols(lny, lny+H)
 		g.p.MemWords(float64(len(buf)) * g.elemWords())
-		g.p.Send(right, tagHaloYHi, buf, spmd.BytesOf(buf))
+		spmd.SendT(g.p, right, tagHaloYHi, buf)
 	}
 	if right >= 0 {
 		buf := spmd.Recv[[]T](g.p, right, tagHaloYLo)

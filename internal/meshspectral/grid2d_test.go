@@ -10,7 +10,7 @@ import (
 
 func run(t *testing.T, n int, body func(p *spmd.Proc)) *spmd.Result {
 	t.Helper()
-	res, err := spmd.NewWorld(n, machine.IBMSP()).Run(body)
+	res, err := spmd.MustWorld(n, machine.IBMSP()).Run(body)
 	if err != nil {
 		t.Fatalf("n=%d: %v", n, err)
 	}
@@ -262,14 +262,14 @@ func TestRowOpAndColOp(t *testing.T) {
 }
 
 func TestRowOpRequiresRowDistribution(t *testing.T) {
-	_, err := spmd.NewWorld(4, machine.IBMSP()).Run(func(p *spmd.Proc) {
+	_, err := spmd.MustWorld(4, machine.IBMSP()).Run(func(p *spmd.Proc) {
 		g := New2D[float64](p, 8, 8, Cols(4), 0)
 		g.RowOp(func(int, []float64) {})
 	})
 	if err == nil {
 		t.Error("RowOp on column distribution should panic")
 	}
-	_, err = spmd.NewWorld(4, machine.IBMSP()).Run(func(p *spmd.Proc) {
+	_, err = spmd.MustWorld(4, machine.IBMSP()).Run(func(p *spmd.Proc) {
 		g := New2D[float64](p, 8, 8, Rows(4), 0)
 		g.ColOp(func(int, []float64) {})
 	})
@@ -345,7 +345,7 @@ func TestCopyFrom(t *testing.T) {
 }
 
 func TestOutOfRangeAccessPanics(t *testing.T) {
-	_, err := spmd.NewWorld(2, machine.IBMSP()).Run(func(p *spmd.Proc) {
+	_, err := spmd.MustWorld(2, machine.IBMSP()).Run(func(p *spmd.Proc) {
 		g := New2D[float64](p, 8, 8, Rows(2), 1)
 		g.At(7, 7) // rank 0 owns rows [0,4): row 7 is out of halo reach
 	})

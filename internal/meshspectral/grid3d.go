@@ -176,12 +176,12 @@ func (g *Grid3D[T]) ExchangeBoundary() {
 	if up >= 0 {
 		buf := pack(H)
 		p.MemWords(float64(len(buf)) * words)
-		p.Send(up, tagHalo3Lo, buf, spmd.BytesOf(buf))
+		spmd.SendT(p, up, tagHalo3Lo, buf)
 	}
 	if down >= 0 {
 		buf := pack(lnx)
 		p.MemWords(float64(len(buf)) * words)
-		p.Send(down, tagHalo3Hi, buf, spmd.BytesOf(buf))
+		spmd.SendT(p, down, tagHalo3Hi, buf)
 	}
 	if down >= 0 {
 		buf := spmd.Recv[[]T](p, down, tagHalo3Lo)

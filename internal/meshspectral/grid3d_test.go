@@ -120,7 +120,7 @@ func TestGrid3DOutOfRangePanics(t *testing.T) {
 }
 
 func run3err(n int, body func(p *spmd.Proc)) (*spmd.Result, error) {
-	return spmd.NewWorld(n, testModel3()).Run(body)
+	return spmd.MustWorld(n, testModel3()).Run(body)
 }
 
 func testModel3() *machine.Model { return machine.IBMSP() }

@@ -76,7 +76,7 @@ func TestBinaryIORoundtrip(t *testing.T) {
 }
 
 func TestReadBinaryBadInput(t *testing.T) {
-	_, err := spmd.NewWorld(2, machine.IBMSP()).Run(func(p *spmd.Proc) {
+	_, err := spmd.MustWorld(2, machine.IBMSP()).Run(func(p *spmd.Proc) {
 		var r io.Reader
 		if p.Rank() == 0 {
 			r = strings.NewReader("short")

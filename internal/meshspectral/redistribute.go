@@ -87,7 +87,7 @@ func (g *Grid2D[T]) Redistribute(newL Layout) *Grid2D[T] {
 			out.insert(b)
 			continue
 		}
-		p.Send(dst, tagRedist, b, b.VBytes())
+		spmd.SendT(p, dst, tagRedist, b)
 	}
 
 	// Receive from every source whose old block intersects my new block,

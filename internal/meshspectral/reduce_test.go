@@ -110,7 +110,7 @@ func TestRedistributeChainProperty(t *testing.T) {
 		const procs = 6
 		layouts := []Layout{Rows(procs), Cols(procs), Blocks(2, 3), Blocks(3, 2)}
 		ok := true
-		_, err := spmd.NewWorld(procs, machine.IBMSP()).Run(func(p *spmd.Proc) {
+		_, err := spmd.MustWorld(procs, machine.IBMSP()).Run(func(p *spmd.Proc) {
 			g := New2D[float64](p, nx, ny, layouts[int(seed)%len(layouts)], 0)
 			g.Fill(func(i, j int) float64 { return float64(i*1000 + j) })
 			cur := g

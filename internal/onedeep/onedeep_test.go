@@ -94,7 +94,7 @@ func TestV1EqualsSPMDBothStrategies(t *testing.T) {
 			spec := sumSpec(strat)
 			v1 := RunV1(core.Sequential, spec, in)
 			v2 := make([][]int, n)
-			w := spmd.NewWorld(n, machine.IBMSP())
+			w := spmd.MustWorld(n, machine.IBMSP())
 			if _, err := w.Run(func(p *spmd.Proc) {
 				v2[p.Rank()] = RunSPMD(p, spec, in[p.Rank()])
 			}); err != nil {
@@ -125,7 +125,7 @@ func TestDegeneratePhases(t *testing.T) {
 		t.Errorf("degenerate V1 = %v", got)
 	}
 	out := make([]int, 3)
-	w := spmd.NewWorld(3, machine.IBMSP())
+	w := spmd.MustWorld(3, machine.IBMSP())
 	res, err := w.Run(func(p *spmd.Proc) {
 		out[p.Rank()] = RunSPMD(p, spec, in[p.Rank()])
 	})
@@ -227,7 +227,7 @@ func TestRecursiveSkeletonSum(t *testing.T) {
 	}
 	for _, n := range []int{1, 2, 4, 8, 16} {
 		var got int
-		w := spmd.NewWorld(n, machine.IBMSP())
+		w := spmd.MustWorld(n, machine.IBMSP())
 		if _, err := w.Run(func(p *spmd.Proc) {
 			r := rec.RunSPMD(p, data)
 			if p.Rank() == 0 {
@@ -277,7 +277,7 @@ func TestRecursiveMergeOrderIsTreeOrder(t *testing.T) {
 	}
 	for _, n := range []int{2, 4, 8} {
 		var got string
-		w := spmd.NewWorld(n, machine.IBMSP())
+		w := spmd.MustWorld(n, machine.IBMSP())
 		if _, err := w.Run(func(p *spmd.Proc) {
 			r := rec.RunSPMD(p, data)
 			if p.Rank() == 0 {

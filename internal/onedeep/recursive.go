@@ -89,7 +89,7 @@ func (r *Recursive[D, S]) RunSPMD(p spmd.Comm, root D) S {
 		switch {
 		case rank == lo:
 			dl, dr := r.Split(p, d)
-			p.Send(mid, tagDistribute, dr, spmd.BytesOf(dr))
+			spmd.SendT(p, mid, tagDistribute, dr)
 			d = dl
 			children = append(children, mid)
 			hi = mid
@@ -113,7 +113,7 @@ func (r *Recursive[D, S]) RunSPMD(p spmd.Comm, root D) S {
 		s = r.Merge(p, s, rs)
 	}
 	if parent >= 0 {
-		p.Send(parent, tagCollect, s, spmd.BytesOf(s))
+		spmd.SendT(p, parent, tagCollect, s)
 		var zero S
 		return zero
 	}

@@ -88,9 +88,12 @@ func partner(p *spmd.Proc, g *spmd.Group, stage int) int {
 	return g.Rank()
 }
 
-// runStageA computes row FFTs per frame and ships blocks to stage B.
+// runStageA computes row FFTs per frame and ships blocks to stage B. The
+// inter-stage block stream is a typed channel: one (partner, tag, type)
+// binding for the whole run instead of per-send tags and payloads.
 func runStageA(p *spmd.Proc, g *spmd.Group, n, frames int, mode Mode, fill Fill) {
 	dst := partner(p, g, 0)
+	blocks := spmd.NewChan[[]complex128](p, dst, tagBlock)
 	for f := 0; f < frames; f++ {
 		grid := meshspectral.New2D[complex128](g, n, n, meshspectral.Rows(g.N()), 0)
 		grid.Fill(func(gi, gj int) complex128 { return fill(f, gi, gj) })
@@ -98,7 +101,7 @@ func runStageA(p *spmd.Proc, g *spmd.Group, n, frames int, mode Mode, fill Fill)
 			fft.Transform(g, row, false)
 		})
 		block := grid.LocalDense()
-		p.Send(dst, tagBlock, block.Data, spmd.BytesOf(block.Data))
+		blocks.Send(block.Data)
 		if mode == Lockstep {
 			p.Recv(dst, tagAck)
 		}
@@ -110,9 +113,10 @@ func runStageA(p *spmd.Proc, g *spmd.Group, n, frames int, mode Mode, fill Fill)
 // root.
 func runStageB(p *spmd.Proc, g *spmd.Group, n, frames int, mode Mode) []*array.Dense2D[complex128] {
 	src := partner(p, g, 1)
+	blocks := spmd.NewChan[[]complex128](p, src, tagBlock)
 	var out []*array.Dense2D[complex128]
 	for f := 0; f < frames; f++ {
-		data := spmd.Recv[[]complex128](p, src, tagBlock)
+		data := blocks.Recv()
 		grid := meshspectral.New2D[complex128](g, n, n, meshspectral.Rows(g.N()), 0)
 		x0, _ := grid.OwnedX()
 		grid.Fill(func(gi, gj int) complex128 { return data[(gi-x0)*n+gj] })
@@ -127,7 +131,7 @@ func runStageB(p *spmd.Proc, g *spmd.Group, n, frames int, mode Mode) []*array.D
 			out = append(out, full)
 		}
 		if mode == Lockstep {
-			p.Send(src, tagAck, nil, 0)
+			p.Send(src, tagAck, nil)
 		}
 	}
 	if g.Rank() != 0 {

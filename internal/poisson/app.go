@@ -1,0 +1,44 @@
+package poisson
+
+import (
+	"context"
+	"fmt"
+
+	"repro/arch"
+	"repro/internal/meshspectral"
+)
+
+func init() {
+	arch.Register(arch.App{
+		Name:        "poisson",
+		Desc:        "Jacobi Poisson solver (§3.6)",
+		DefaultSize: 65,
+		Run:         runApp,
+	})
+}
+
+// appOut is one solve's summary, produced at rank 0.
+type appOut struct {
+	Iters  int
+	ErrMax float64
+}
+
+// Program solves a Poisson problem on the mesh archetype with a
+// near-square block decomposition and reports the iteration count and
+// maximum error against the analytic solution.
+func Program() arch.Program[*Problem, appOut] {
+	return arch.SPMDRoot(func(p *arch.Proc, pr *Problem) appOut {
+		g, r := SolveSPMD(p, pr, meshspectral.NearSquare(p.N()))
+		return appOut{Iters: r.Iterations, ErrMax: MaxError(g, pr)}
+	})
+}
+
+func runApp(ctx context.Context, s arch.Settings) (string, arch.Report, error) {
+	n := s.Size
+	pr := Manufactured(n, n, 1e-7, 20000)
+	out, rep, err := arch.RunWith(ctx, Program(), s, pr)
+	if err != nil {
+		return "", rep, err
+	}
+	return fmt.Sprintf("Poisson %dx%d, %d Jacobi iterations, max error %.2e", n, n, out.Iters, out.ErrMax), rep, nil
+}

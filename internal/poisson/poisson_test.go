@@ -83,7 +83,7 @@ func gatherSPMD(t *testing.T, pr *Problem, n int, l meshspectral.Layout) (*array
 	t.Helper()
 	var full *array.Dense2D[float64]
 	var res Result
-	_, err := spmd.NewWorld(n, machine.IBMSP()).Run(func(p *spmd.Proc) {
+	_, err := spmd.MustWorld(n, machine.IBMSP()).Run(func(p *spmd.Proc) {
 		g, r := SolveSPMD(p, pr, l)
 		out := meshspectral.GatherGrid(g, 0)
 		if p.Rank() == 0 {
@@ -129,7 +129,7 @@ func TestSPMDResultConsistentAcrossRanks(t *testing.T) {
 	pr := Manufactured(17, 17, 1e-7, 5000)
 	results := make([]Result, 4)
 	errs := make([]float64, 4)
-	_, err := spmd.NewWorld(4, machine.IBMSP()).Run(func(p *spmd.Proc) {
+	_, err := spmd.MustWorld(4, machine.IBMSP()).Run(func(p *spmd.Proc) {
 		g, r := SolveSPMD(p, pr, meshspectral.Blocks(2, 2))
 		results[p.Rank()] = r
 		errs[p.Rank()] = MaxError(g, pr)
@@ -154,7 +154,7 @@ func TestSPMDDeterministicMakespan(t *testing.T) {
 	pr := Manufactured(17, 17, 1e-3, 50)
 	var first float64
 	for trial := 0; trial < 3; trial++ {
-		res, err := spmd.NewWorld(4, machine.IBMSP()).Run(func(p *spmd.Proc) {
+		res, err := spmd.MustWorld(4, machine.IBMSP()).Run(func(p *spmd.Proc) {
 			SolveSPMD(p, pr, meshspectral.Blocks(2, 2))
 		})
 		if err != nil {

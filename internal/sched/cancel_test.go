@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/spmd"
+)
+
+// blockingExperiment returns an experiment whose multi-process cells
+// block in communication until release is set, plus the release flag.
+// While the flag is zero, rank 0 waits for a message that never comes —
+// only context cancellation can unwind it.
+func blockingExperiment(name string) (*core.Experiment, *atomic.Bool) {
+	var release atomic.Bool
+	e := &core.Experiment{
+		Name:  name,
+		Model: machine.IBMSP(),
+		Par: func(p *spmd.Proc) {
+			if p.N() > 1 && p.Rank() == 0 && !release.Load() {
+				p.Recv(1, 99) // rank 1 never sends tag 99
+			}
+			p.Flops(10)
+		},
+	}
+	return e, &release
+}
+
+// TestSweepCancellation: cancelling a sweep's context mid-flight returns
+// ctx.Err() promptly, leaks no goroutines, and does not poison the cache
+// — the same experiment re-runs successfully under a live context.
+func TestSweepCancellation(t *testing.T) {
+	e, release := blockingExperiment("cancellable")
+	s := &Scheduler{Workers: 2}
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := s.Sweep(ctx, []*core.Experiment{e}, []int{1, 2, 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("cancellation took %v, want prompt", d)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+1 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+1 {
+		t.Errorf("goroutines leaked after cancelled sweep: %d before, %d after", before, n)
+	}
+
+	// Cancellation must not be memoized: with the block released, the
+	// same experiment sweeps cleanly under a fresh context.
+	release.Store(true)
+	curves, err := s.Sweep(context.Background(), []*core.Experiment{e}, []int{1, 2, 4})
+	if err != nil {
+		t.Fatalf("re-sweep after cancellation: %v", err)
+	}
+	if len(curves) != 1 || len(curves[0].Points) != 3 {
+		t.Fatalf("re-sweep produced %v", curves)
+	}
+}
+
+// TestCancellationDoesNotPoisonWaiters: when two sweeps with different
+// contexts share a cell singleflight-style and the runner's context is
+// cancelled, a waiter whose own context is alive must re-run the cell
+// instead of inheriting the foreign cancellation.
+func TestCancellationDoesNotPoisonWaiters(t *testing.T) {
+	e, release := blockingExperiment("shared-cell")
+	s := &Scheduler{Workers: 4}
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+
+	// Sweep A claims the cells and blocks in communication.
+	aDone := make(chan error, 1)
+	go func() {
+		_, err := s.Sweep(ctxA, []*core.Experiment{e}, []int{2})
+		aDone <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let A claim the cell and block
+
+	// Sweep B, with a live context, waits on A's cells. Release the
+	// block just before cancelling A so B's re-run completes.
+	bDone := make(chan error, 1)
+	go func() {
+		_, err := s.Sweep(context.Background(), []*core.Experiment{e}, []int{2})
+		bDone <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let B join the singleflight wait
+	release.Store(true)
+	cancelA()
+
+	if err := <-aDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("sweep A = %v, want context.Canceled", err)
+	}
+	select {
+	case err := <-bDone:
+		if err != nil {
+			t.Fatalf("sweep B with live context = %v, want success (re-run, not inherited cancellation)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sweep B hung after A's cancellation")
+	}
+}
+
+// TestMapCancellation: the generic pool primitive observes its context.
+func TestMapCancellation(t *testing.T) {
+	s := &Scheduler{Workers: 2}
+	ctx, cancel := context.WithCancel(context.Background())
+	var started int64
+	gate := make(chan struct{})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+		close(gate)
+	}()
+	_, err := Map(ctx, s, 64, func(i int) (int, error) {
+		atomic.AddInt64(&started, 1)
+		<-gate
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Map = %v, want context.Canceled", err)
+	}
+	// With 2 workers and a cancelled context, most of the 64 cells must
+	// have been skipped without running.
+	if n := atomic.LoadInt64(&started); n > 16 {
+		t.Errorf("%d cells started after cancellation, want early skip", n)
+	}
+}
+
+// TestPointsCancellation: a pre-cancelled context refuses the whole sweep.
+func TestPointsCancellation(t *testing.T) {
+	s := &Scheduler{Workers: 2}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.Points(ctx, "pts", 1, []int{1, 2}, func(np int) (*spmd.Result, error) {
+		t.Error("cell ran under a pre-cancelled context")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Points = %v, want context.Canceled", err)
+	}
+}

@@ -12,6 +12,12 @@
 // that coincides with the 1-process cell, runs once), and streams
 // finished core.Curve values as they complete.
 //
+// Every entry point takes a context.Context and is cancellable mid-flight:
+// cells not yet started are skipped, running cells unwind through the
+// transport's cancellation path, and the sweep returns ctx.Err().
+// Cancellation results are never cached, so a later sweep with a live
+// context re-runs the affected cells.
+//
 // Real-backend cells are wall-clock measurements: co-scheduling them
 // would let cells contend for cores and inflate each other's makespans.
 // Route those through SerialShared (or any Workers=1 Scheduler), which
@@ -23,6 +29,8 @@
 package sched
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -82,9 +90,14 @@ func (s *Scheduler) acquire() { s.slots <- struct{}{} }
 func (s *Scheduler) release() { <-s.slots }
 
 // run executes one cached matrix cell: the first caller for a key runs it
-// under a worker slot, every later caller gets the memoized result.
-func (s *Scheduler) run(key cellKey, f func() (*spmd.Result, error)) (*spmd.Result, error) {
+// under a worker slot, every later caller gets the memoized result. A
+// cell that fails with the context's cancellation error is evicted from
+// the cache so a later sweep under a live context re-runs it.
+func (s *Scheduler) run(ctx context.Context, key cellKey, f func() (*spmd.Result, error)) (*spmd.Result, error) {
 	s.init()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	c, hit := s.cache[key]
 	if !hit {
@@ -93,8 +106,19 @@ func (s *Scheduler) run(key cellKey, f func() (*spmd.Result, error)) (*spmd.Resu
 	}
 	s.mu.Unlock()
 	if hit {
-		<-c.done
-		return c.res, c.err
+		select {
+		case <-c.done:
+			// The runner's context may have been cancelled while ours is
+			// alive: the runner evicted the key (below), so re-enter and
+			// run the cell ourselves rather than inheriting a foreign
+			// cancellation.
+			if c.err != nil && isCancellation(c.err) && ctx.Err() == nil {
+				return s.run(ctx, key, f)
+			}
+			return c.res, c.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	s.acquire()
 	func() {
@@ -104,10 +128,24 @@ func (s *Scheduler) run(key cellKey, f func() (*spmd.Result, error)) (*spmd.Resu
 			if r := recover(); r != nil {
 				c.err = fmt.Errorf("sched: cell panicked: %v", r)
 			}
+			if c.err != nil && ctx.Err() != nil {
+				// Cancelled, not failed: forget the cell so a live
+				// context can run it later.
+				c.err = ctx.Err()
+				s.mu.Lock()
+				delete(s.cache, key)
+				s.mu.Unlock()
+			}
 		}()
 		c.res, c.err = f()
 	}()
 	return c.res, c.err
+}
+
+// isCancellation reports whether err is a context cancellation (possibly
+// wrapped by Experiment error annotations).
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // cellKeys returns the baseline and point keys for an experiment. When
@@ -137,8 +175,9 @@ type Outcome struct {
 // delivers each finished curve on the returned channel in completion
 // order. The channel closes when the whole sweep is done. Cells of all
 // experiments run concurrently, interleaved across experiments, bounded
-// by the worker pool.
-func (s *Scheduler) Stream(exps []*core.Experiment, procs []int) <-chan Outcome {
+// by the worker pool. Cancelling ctx drains the sweep promptly with
+// ctx.Err() outcomes.
+func (s *Scheduler) Stream(ctx context.Context, exps []*core.Experiment, procs []int) <-chan Outcome {
 	s.init()
 	// Buffered to len(exps) so producers never block: a consumer that
 	// stops reading early (Sweep returning on the first error) must not
@@ -149,7 +188,7 @@ func (s *Scheduler) Stream(exps []*core.Experiment, procs []int) <-chan Outcome 
 	for _, e := range exps {
 		go func() {
 			defer wg.Done()
-			curve, err := s.Curve(e, procs)
+			curve, err := s.Curve(ctx, e, procs)
 			out <- Outcome{Experiment: e, Curve: curve, Err: err}
 		}()
 	}
@@ -163,9 +202,9 @@ func (s *Scheduler) Stream(exps []*core.Experiment, procs []int) <-chan Outcome 
 // Sweep runs every experiment over the process sweep and returns the
 // curves in input order, failing on the first error. It is Stream for
 // callers that want the whole matrix at once.
-func (s *Scheduler) Sweep(exps []*core.Experiment, procs []int) ([]*core.Curve, error) {
+func (s *Scheduler) Sweep(ctx context.Context, exps []*core.Experiment, procs []int) ([]*core.Curve, error) {
 	byExp := make(map[*core.Experiment]*core.Curve, len(exps))
-	for o := range s.Stream(exps, procs) {
+	for o := range s.Stream(ctx, exps, procs) {
 		if o.Err != nil {
 			return nil, o.Err
 		}
@@ -180,7 +219,7 @@ func (s *Scheduler) Sweep(exps []*core.Experiment, procs []int) ([]*core.Curve, 
 
 // Curve runs one experiment's baseline and sweep cells concurrently and
 // assembles its speedup curve.
-func (s *Scheduler) Curve(e *core.Experiment, procs []int) (*core.Curve, error) {
+func (s *Scheduler) Curve(ctx context.Context, e *core.Experiment, procs []int) (*core.Curve, error) {
 	s.init()
 	results := make([]*spmd.Result, len(procs))
 	errs := make([]error, len(procs)+1)
@@ -189,17 +228,22 @@ func (s *Scheduler) Curve(e *core.Experiment, procs []int) (*core.Curve, error) 
 	wg.Add(len(procs) + 1)
 	go func() {
 		defer wg.Done()
-		seqRes, errs[len(procs)] = s.run(baselineKey(e), e.Baseline)
+		seqRes, errs[len(procs)] = s.run(ctx, baselineKey(e), func() (*spmd.Result, error) {
+			return e.Baseline(ctx)
+		})
 	}()
 	for i, np := range procs {
 		go func() {
 			defer wg.Done()
-			results[i], errs[i] = s.run(pointKey(e, np), func() (*spmd.Result, error) {
-				return e.Point(np)
+			results[i], errs[i] = s.run(ctx, pointKey(e, np), func() (*spmd.Result, error) {
+				return e.Point(ctx, np)
 			})
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -223,8 +267,9 @@ func (s *Scheduler) Curve(e *core.Experiment, procs []int) (*core.Curve, error) 
 // is the pool's generic primitive: sweeps whose cells aren't Experiment
 // matrix entries (per-np block distributions, (procs, layout) grids,
 // strategy ablations) dispatch through it. Cells run uncached: closures
-// have no identity to key a cache on.
-func Map[T any](s *Scheduler, n int, f func(i int) (T, error)) ([]T, error) {
+// have no identity to key a cache on. Cells not yet started when ctx is
+// cancelled are skipped, and Map returns ctx.Err().
+func Map[T any](ctx context.Context, s *Scheduler, n int, f func(i int) (T, error)) ([]T, error) {
 	s.init()
 	results := make([]T, n)
 	errs := make([]error, n)
@@ -233,6 +278,10 @@ func Map[T any](s *Scheduler, n int, f func(i int) (T, error)) ([]T, error) {
 	for i := 0; i < n; i++ {
 		go func() {
 			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			s.acquire()
 			defer s.release()
 			defer func() {
@@ -240,10 +289,17 @@ func Map[T any](s *Scheduler, n int, f func(i int) (T, error)) ([]T, error) {
 					errs[i] = fmt.Errorf("sched: cell panicked: %v", r)
 				}
 			}()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			results[i], errs[i] = f(i)
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -258,8 +314,8 @@ func Map[T any](s *Scheduler, n int, f func(i int) (T, error)) ([]T, error) {
 // sweeps whose per-cell setup depends on the process count (block
 // distributions, per-np decompositions), which an Experiment's fixed
 // program cannot express.
-func (s *Scheduler) Points(name string, seqTime float64, procs []int, run func(np int) (*spmd.Result, error)) (*core.Curve, error) {
-	results, err := Map(s, len(procs), func(i int) (*spmd.Result, error) {
+func (s *Scheduler) Points(ctx context.Context, name string, seqTime float64, procs []int, run func(np int) (*spmd.Result, error)) (*core.Curve, error) {
+	results, err := Map(ctx, s, len(procs), func(i int) (*spmd.Result, error) {
 		res, err := run(procs[i])
 		if err != nil {
 			return nil, fmt.Errorf("sched: %s at %d processes: %w", name, procs[i], err)
@@ -309,16 +365,16 @@ var serialShared = &Scheduler{Workers: 1}
 func SerialShared() *Scheduler { return serialShared }
 
 // Sweep runs the experiment matrix on the shared scheduler.
-func Sweep(exps []*core.Experiment, procs []int) ([]*core.Curve, error) {
-	return shared.Sweep(exps, procs)
+func Sweep(ctx context.Context, exps []*core.Experiment, procs []int) ([]*core.Curve, error) {
+	return shared.Sweep(ctx, exps, procs)
 }
 
 // Stream streams the experiment matrix on the shared scheduler.
-func Stream(exps []*core.Experiment, procs []int) <-chan Outcome {
-	return shared.Stream(exps, procs)
+func Stream(ctx context.Context, exps []*core.Experiment, procs []int) <-chan Outcome {
+	return shared.Stream(ctx, exps, procs)
 }
 
 // Points runs a process-count sweep on the shared scheduler.
-func Points(name string, seqTime float64, procs []int, run func(np int) (*spmd.Result, error)) (*core.Curve, error) {
-	return shared.Points(name, seqTime, procs, run)
+func Points(ctx context.Context, name string, seqTime float64, procs []int, run func(np int) (*spmd.Result, error)) (*core.Curve, error) {
+	return shared.Points(ctx, name, seqTime, procs, run)
 }

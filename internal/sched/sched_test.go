@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -23,7 +24,7 @@ func flopsExperiment(name string, work float64) *core.Experiment {
 			p.Flops(work / float64(p.N()))
 			if p.N() > 1 {
 				next, prev := (p.Rank()+1)%p.N(), (p.Rank()-1+p.N())%p.N()
-				p.Send(next, 1, p.Rank(), 8)
+				p.Send(next, 1, p.Rank())
 				spmd.Recv[int](p, prev, 1)
 			}
 		},
@@ -43,7 +44,7 @@ func TestSweepMatchesSerialRun(t *testing.T) {
 
 	want := make([]*core.Curve, len(exps))
 	for i, e := range exps {
-		c, err := e.Run(procs)
+		c, err := e.Run(context.Background(), procs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -51,7 +52,7 @@ func TestSweepMatchesSerialRun(t *testing.T) {
 	}
 
 	s := &Scheduler{Workers: 4}
-	got, err := s.Sweep(exps, procs)
+	got, err := s.Sweep(context.Background(), exps, procs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestCacheDeduplicatesCells(t *testing.T) {
 	}
 	procs := []int{1, 2, 4}
 	s := &Scheduler{Workers: 2}
-	if _, err := s.Sweep([]*core.Experiment{e, e}, procs); err != nil {
+	if _, err := s.Sweep(context.Background(), []*core.Experiment{e, e}, procs); err != nil {
 		t.Fatal(err)
 	}
 	// Seq is nil, so the baseline IS the 1-process cell: 3 distinct cells
@@ -94,7 +95,7 @@ func TestCacheDeduplicatesCells(t *testing.T) {
 	if got := atomic.LoadInt64(&runs); got != 3 {
 		t.Fatalf("matrix ran %d cells, want 3 (baseline shared with P=1, duplicate experiment cached)", got)
 	}
-	if _, err := s.Curve(e, procs); err != nil {
+	if _, err := s.Curve(context.Background(), e, procs); err != nil {
 		t.Fatal(err)
 	}
 	if got := atomic.LoadInt64(&runs); got != 3 {
@@ -111,7 +112,7 @@ func TestStreamDeliversEveryExperiment(t *testing.T) {
 	}
 	s := &Scheduler{Workers: 2}
 	seen := map[string]bool{}
-	for o := range s.Stream(exps, []int{1, 2}) {
+	for o := range s.Stream(context.Background(), exps, []int{1, 2}) {
 		if o.Err != nil {
 			t.Fatal(o.Err)
 		}
@@ -138,12 +139,12 @@ func TestErrorPropagates(t *testing.T) {
 	s := &Scheduler{Workers: 2}
 	before := runtime.NumGoroutine()
 	exps := []*core.Experiment{bad, flopsExperiment("ok1", 1e4), flopsExperiment("ok2", 1e4)}
-	_, err := s.Sweep(exps, []int{1, 2, 4})
+	_, err := s.Sweep(context.Background(), exps, []int{1, 2, 4})
 	if err == nil || !strings.Contains(err.Error(), "cell failure") {
 		t.Fatalf("want cell failure error, got %v", err)
 	}
 	// The pool must still work afterwards.
-	if _, err := s.Sweep([]*core.Experiment{flopsExperiment("after", 1e4)}, []int{1, 2}); err != nil {
+	if _, err := s.Sweep(context.Background(), []*core.Experiment{flopsExperiment("after", 1e4)}, []int{1, 2}); err != nil {
 		t.Fatal(err)
 	}
 	// Sweep's early return must not strand the other experiments'
@@ -165,7 +166,7 @@ func TestPointsAssemblesCurve(t *testing.T) {
 	const work = 1e6
 	s := &Scheduler{Workers: 4}
 	seqTime := work * m.FlopTime
-	c, err := s.Points("pts", seqTime, procs, func(np int) (*spmd.Result, error) {
+	c, err := s.Points(context.Background(), "pts", seqTime, procs, func(np int) (*spmd.Result, error) {
 		return core.Simulate(np, m, func(p *spmd.Proc) {
 			p.Flops(work / float64(np))
 		})
@@ -206,7 +207,7 @@ func TestSweepRunsConcurrently(t *testing.T) {
 	// 4 experiments × 2 cells (baseline = P=1 cell) = 8 distinct cells.
 	serialStart := time.Now()
 	for _, e := range exps {
-		if _, err := e.Run(procs); err != nil {
+		if _, err := e.Run(context.Background(), procs); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -214,7 +215,7 @@ func TestSweepRunsConcurrently(t *testing.T) {
 
 	s := &Scheduler{Workers: 8}
 	concStart := time.Now()
-	if _, err := s.Sweep(exps, procs); err != nil {
+	if _, err := s.Sweep(context.Background(), exps, procs); err != nil {
 		t.Fatal(err)
 	}
 	concurrent := time.Since(concStart)
@@ -251,7 +252,7 @@ func BenchmarkSweepSerial(b *testing.B) {
 			busyExperiment("a", 1<<20), busyExperiment("b", 1<<20),
 			busyExperiment("c", 1<<20), busyExperiment("d", 1<<20),
 		} {
-			if _, err := e.Run(procs); err != nil {
+			if _, err := e.Run(context.Background(), procs); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -264,7 +265,7 @@ func BenchmarkSweepScheduler(b *testing.B) {
 	procs := []int{1, 2, 4}
 	for i := 0; i < b.N; i++ {
 		s := &Scheduler{}
-		if _, err := s.Sweep([]*core.Experiment{
+		if _, err := s.Sweep(context.Background(), []*core.Experiment{
 			busyExperiment("a", 1<<20), busyExperiment("b", 1<<20),
 			busyExperiment("c", 1<<20), busyExperiment("d", 1<<20),
 		}, procs); err != nil {

@@ -1,0 +1,48 @@
+package skyline
+
+import (
+	"context"
+	"fmt"
+
+	"repro/arch"
+	"repro/internal/core"
+	"repro/internal/onedeep"
+)
+
+func init() {
+	arch.Register(arch.App{
+		Name:        "skyline",
+		Desc:        "one-deep skyline (§2.6.1)",
+		DefaultSize: 2000,
+		Run:         runApp,
+	})
+}
+
+// Program runs the skyline computation on the one-deep archetype over
+// pre-distributed building blocks and assembles the full skyline.
+func Program() arch.Program[[][]Building, Skyline] {
+	spec := Spec(onedeep.Centralized)
+	return arch.SPMD(
+		func(p *arch.Proc, blocks [][]Building) Skyline {
+			return onedeep.RunSPMD(p, spec, blocks[p.Rank()])
+		},
+		Assemble)
+}
+
+func runApp(ctx context.Context, s arch.Settings) (string, arch.Report, error) {
+	n := s.Size
+	bs := RandomBuildings(n, 3, 5000)
+	want := Compute(core.Nop, bs)
+	blocks := make([][]Building, s.Procs)
+	for i := range blocks {
+		blocks[i] = bs[i*n/s.Procs : (i+1)*n/s.Procs]
+	}
+	got, rep, err := arch.RunWith(ctx, Program(), s, blocks)
+	if err != nil {
+		return "", rep, err
+	}
+	if !Equal(got, want) {
+		return "", rep, fmt.Errorf("skyline: parallel result differs from sequential")
+	}
+	return fmt.Sprintf("skyline of %d buildings (%d points, verified)", n, len(want)), rep, nil
+}

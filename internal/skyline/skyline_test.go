@@ -135,7 +135,7 @@ func runSpecSPMD(t *testing.T, bs []Building, nprocs int, strategy onedeep.Param
 		blocks[i] = bs[lo:hi]
 	}
 	outs := make([]Skyline, nprocs)
-	w := spmd.NewWorld(nprocs, machine.IntelDelta())
+	w := spmd.MustWorld(nprocs, machine.IntelDelta())
 	if _, err := w.Run(func(p *spmd.Proc) {
 		outs[p.Rank()] = onedeep.RunSPMD(p, spec, blocks[p.Rank()])
 	}); err != nil {

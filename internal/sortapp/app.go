@@ -1,0 +1,65 @@
+package sortapp
+
+import (
+	"context"
+	"fmt"
+
+	"repro/arch"
+	"repro/internal/onedeep"
+)
+
+// The sorting applications of §2 self-register with the arch facade:
+// one-deep mergesort and one-deep quicksort, both verified globally
+// sorted after the run.
+
+func init() {
+	arch.Register(arch.App{
+		Name:        "mergesort",
+		Desc:        "one-deep mergesort (§2.5)",
+		DefaultSize: 1 << 19,
+		Run: func(ctx context.Context, s arch.Settings) (string, arch.Report, error) {
+			return runSortApp(ctx, s, "mergesort", 1, OneDeepMergesort(onedeep.Centralized))
+		},
+	})
+	arch.Register(arch.App{
+		Name:        "quicksort",
+		Desc:        "one-deep quicksort (§2.6.2)",
+		DefaultSize: 1 << 19,
+		Run: func(ctx context.Context, s arch.Settings) (string, arch.Report, error) {
+			return runSortApp(ctx, s, "quicksort", 2, OneDeepQuicksort(onedeep.Centralized))
+		},
+	})
+}
+
+// sortOut is one run's verification summary: every rank's sorted block,
+// combined into a global sortedness check.
+type sortOut struct {
+	Sorted bool
+}
+
+// SortProgram wraps a one-deep sorting spec as an arch.Program over
+// pre-distributed blocks: each rank sorts its block through the archetype
+// and the combine stage verifies the blocks are globally sorted.
+func SortProgram(spec *onedeep.Spec[[]int32, []int32, []int32, []int32]) arch.Program[[][]int32, sortOut] {
+	return arch.SPMD(
+		func(p *arch.Proc, blocks [][]int32) []int32 {
+			return onedeep.RunSPMD(p, spec, blocks[p.Rank()])
+		},
+		func(parts [][]int32) sortOut {
+			return sortOut{Sorted: IsGloballySorted(parts)}
+		})
+}
+
+func runSortApp(ctx context.Context, s arch.Settings, name string, seed int64, spec *onedeep.Spec[[]int32, []int32, []int32, []int32]) (string, arch.Report, error) {
+	n := s.Size
+	data := RandomInts(n, seed)
+	blocks := BlockDistribute(data, s.Procs)
+	out, rep, err := arch.RunWith(ctx, SortProgram(spec), s, blocks)
+	if err != nil {
+		return "", rep, err
+	}
+	if !out.Sorted {
+		return "", rep, fmt.Errorf("%s: output not sorted", name)
+	}
+	return fmt.Sprintf("one-deep %s of %d int32 (verified sorted)", name, n), rep, nil
+}

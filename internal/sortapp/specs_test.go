@@ -16,7 +16,7 @@ func runOneDeepSPMD(t *testing.T, spec *onedeep.Spec[[]int32, []int32, []int32, 
 	t.Helper()
 	blocks := BlockDistribute(data, nprocs)
 	outs := make([][]int32, nprocs)
-	w := spmd.NewWorld(nprocs, machine.IntelDelta())
+	w := spmd.MustWorld(nprocs, machine.IntelDelta())
 	_, err := w.Run(func(p *spmd.Proc) {
 		outs[p.Rank()] = onedeep.RunSPMD(p, spec, blocks[p.Rank()])
 	})
@@ -127,7 +127,7 @@ func TestTraditionalMergesortSPMD(t *testing.T) {
 	for _, n := range []int{1, 2, 4, 8, 16} {
 		r := TraditionalMergesort(16)
 		var got []int32
-		w := spmd.NewWorld(n, machine.IntelDelta())
+		w := spmd.MustWorld(n, machine.IntelDelta())
 		_, err := w.Run(func(p *spmd.Proc) {
 			out := r.RunSPMD(p, data)
 			if p.Rank() == 0 {
@@ -147,7 +147,7 @@ func TestTraditionalMergesortSPMD(t *testing.T) {
 
 func TestTraditionalRejectsNonPowerOfTwo(t *testing.T) {
 	r := TraditionalMergesort(16)
-	w := spmd.NewWorld(3, machine.IntelDelta())
+	w := spmd.MustWorld(3, machine.IntelDelta())
 	_, err := w.Run(func(p *spmd.Proc) { r.RunSPMD(p, RandomInts(100, 1)) })
 	if err == nil {
 		t.Error("expected power-of-two requirement to be enforced")
@@ -167,7 +167,7 @@ func TestOneDeepBeatsTraditionalOnDelta(t *testing.T) {
 	const procs = 16
 	spec := OneDeepMergesort(onedeep.Centralized)
 	blocks := BlockDistribute(data, procs)
-	w := spmd.NewWorld(procs, model)
+	w := spmd.MustWorld(procs, model)
 	resOne, err := w.Run(func(p *spmd.Proc) {
 		onedeep.RunSPMD(p, spec, blocks[p.Rank()])
 	})
@@ -175,7 +175,7 @@ func TestOneDeepBeatsTraditionalOnDelta(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := TraditionalMergesort(32)
-	w2 := spmd.NewWorld(procs, model)
+	w2 := spmd.MustWorld(procs, model)
 	resTrad, err := w2.Run(func(p *spmd.Proc) { r.RunSPMD(p, data) })
 	if err != nil {
 		t.Fatal(err)
@@ -215,7 +215,7 @@ func TestOneDeepDeterministicMakespan(t *testing.T) {
 	blocks := BlockDistribute(data, 8)
 	var first float64
 	for trial := 0; trial < 5; trial++ {
-		w := spmd.NewWorld(8, machine.IntelDelta())
+		w := spmd.MustWorld(8, machine.IntelDelta())
 		res, err := w.Run(func(p *spmd.Proc) {
 			onedeep.RunSPMD(p, spec, blocks[p.Rank()])
 		})

@@ -19,8 +19,10 @@ type Comm interface {
 	// process's index within it.
 	N() int
 	Rank() int
-	// Send and Recv address ranks within this communicator.
-	Send(dst, tag int, data any, bytes int)
+	// Send and Recv address ranks within this communicator. Payload
+	// sizes for cost accounting are computed by BytesOf; payload types
+	// outside its table implement Sized.
+	Send(dst, tag int, data any)
 	Recv(src, tag int) any
 
 	// Cost accounting (core.Meter plus the clock/paging extras).
@@ -123,8 +125,8 @@ func (g *Group) WorldRank(groupRank int) int {
 func (g *Group) World() *Proc { return g.Proc }
 
 // Send sends to a group rank.
-func (g *Group) Send(dst, tag int, data any, bytes int) {
-	g.Proc.Send(g.WorldRank(dst), tag, data, bytes)
+func (g *Group) Send(dst, tag int, data any) {
+	g.Proc.Send(g.WorldRank(dst), tag, data)
 }
 
 // Recv receives from a group rank.

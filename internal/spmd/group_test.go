@@ -6,7 +6,7 @@ import (
 )
 
 func TestGroupRankMapping(t *testing.T) {
-	w := NewWorld(6, testModel())
+	w := MustWorld(6, testModel())
 	_, err := w.Run(func(p *Proc) {
 		g := NewGroup(p, []int{1, 3, 5, 0, 2, 4}) // unsorted on purpose
 		if g.N() != 6 {
@@ -26,7 +26,7 @@ func TestGroupRankMapping(t *testing.T) {
 
 func TestGroupSubsetCommunication(t *testing.T) {
 	// Odd ranks form a group and ring-pass a token among themselves.
-	w := NewWorld(6, testModel())
+	w := MustWorld(6, testModel())
 	_, err := w.Run(func(p *Proc) {
 		if p.Rank()%2 == 0 {
 			return // not a member; does nothing
@@ -34,7 +34,7 @@ func TestGroupSubsetCommunication(t *testing.T) {
 		g := NewGroup(p, []int{1, 3, 5})
 		next := (g.Rank() + 1) % g.N()
 		prev := (g.Rank() - 1 + g.N()) % g.N()
-		g.Send(next, 50, g.Rank()*10, 8)
+		g.Send(next, 50, g.Rank()*10)
 		got := Recv[int](g, prev, 50)
 		if got != prev*10 {
 			t.Errorf("group rank %d got %d, want %d", g.Rank(), got, prev*10)
@@ -46,7 +46,7 @@ func TestGroupSubsetCommunication(t *testing.T) {
 }
 
 func TestPartition(t *testing.T) {
-	w := NewWorld(7, testModel())
+	w := MustWorld(7, testModel())
 	_, err := w.Run(func(p *Proc) {
 		g, idx := Partition(p, 3, 4)
 		switch {
@@ -66,26 +66,26 @@ func TestPartition(t *testing.T) {
 }
 
 func TestPartitionValidation(t *testing.T) {
-	w := NewWorld(4, testModel())
+	w := MustWorld(4, testModel())
 	if _, err := w.Run(func(p *Proc) { Partition(p, 2, 3) }); err == nil {
 		t.Error("mismatched sizes should panic")
 	}
-	w2 := NewWorld(4, testModel())
+	w2 := MustWorld(4, testModel())
 	if _, err := w2.Run(func(p *Proc) { Partition(p, 4, 0) }); err == nil {
 		t.Error("zero size should panic")
 	}
 }
 
 func TestGroupValidation(t *testing.T) {
-	w := NewWorld(4, testModel())
+	w := MustWorld(4, testModel())
 	if _, err := w.Run(func(p *Proc) { NewGroup(p, []int{0, 9}) }); err == nil {
 		t.Error("out-of-world rank should panic")
 	}
-	w2 := NewWorld(4, testModel())
+	w2 := MustWorld(4, testModel())
 	if _, err := w2.Run(func(p *Proc) { NewGroup(p, []int{0, 0, 1, 2, 3}) }); err == nil {
 		t.Error("duplicate rank should panic")
 	}
-	w3 := NewWorld(4, testModel())
+	w3 := MustWorld(4, testModel())
 	_, err := w3.Run(func(p *Proc) {
 		if p.Rank() == 3 {
 			NewGroup(p, []int{0, 1, 2}) // 3 is not a member
@@ -97,7 +97,7 @@ func TestGroupValidation(t *testing.T) {
 }
 
 func TestGroupInheritsMetering(t *testing.T) {
-	w := NewWorld(2, testModel())
+	w := MustWorld(2, testModel())
 	res, err := w.Run(func(p *Proc) {
 		g := NewGroup(p, []int{0, 1})
 		g.Flops(1000) // charges the underlying process clock
@@ -113,7 +113,7 @@ func TestGroupInheritsMetering(t *testing.T) {
 func TestDisjointGroupsIndependent(t *testing.T) {
 	// Two disjoint groups run different-length computations; neither
 	// blocks the other, and messages stay within groups.
-	w := NewWorld(6, testModel())
+	w := MustWorld(6, testModel())
 	res, err := w.Run(func(p *Proc) {
 		g, idx := Partition(p, 3, 3)
 		if idx == 0 {
@@ -122,7 +122,7 @@ func TestDisjointGroupsIndependent(t *testing.T) {
 			g.Charge(5e-3)
 		}
 		// Ring within the group.
-		g.Send((g.Rank()+1)%g.N(), 60, idx, 8)
+		g.Send((g.Rank()+1)%g.N(), 60, idx)
 		got := Recv[int](g, (g.Rank()-1+g.N())%g.N(), 60)
 		if got != idx {
 			t.Errorf("cross-group message leak: got %d in group %d", got, idx)

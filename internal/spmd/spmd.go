@@ -18,9 +18,15 @@
 // Programs written against Proc are ordinary Go: they really compute their
 // results (sorts really sort, solvers really solve); the clock — virtual
 // or wall — is bookkeeping layered on top.
+//
+// Messaging is typed and self-metering: Send prices every payload through
+// BytesOf (payload types outside its table implement Sized), so call
+// sites never hand-count bytes; SendT and Chan add static payload typing
+// on top, pairing with the typed Recv.
 package spmd
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -31,29 +37,57 @@ import (
 // World is a set of N communicating processes plus the machine model that
 // prices their communication and computation.
 type World struct {
+	ctx   context.Context
 	n     int
 	model *machine.Model
 	t     backend.Transport
 }
 
 // NewWorld creates a world of n processes over the given machine model on
-// the default virtual-time simulator backend. It panics on an invalid
-// model or non-positive n: both are programming errors, not runtime
-// conditions.
-func NewWorld(n int, m *machine.Model) *World {
-	return NewWorldOn(backend.Default(), n, m)
+// the default virtual-time simulator backend with a background context.
+// It returns an error on an invalid model or non-positive n.
+func NewWorld(n int, m *machine.Model) (*World, error) {
+	return NewWorldOn(context.Background(), backend.Default(), n, m)
 }
 
 // NewWorldOn creates a world of n processes over the given machine model
-// on the given execution backend.
-func NewWorldOn(r backend.Runner, n int, m *machine.Model) *World {
+// on the given execution backend. Cancelling ctx aborts a run in flight:
+// processes blocked in (or entering) communication unwind, and Run
+// returns the context's error.
+func NewWorldOn(ctx context.Context, r backend.Runner, n int, m *machine.Model) (*World, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if r == nil {
+		return nil, fmt.Errorf("spmd: nil backend runner")
+	}
 	if n <= 0 {
-		panic(fmt.Sprintf("spmd: world size must be positive, got %d", n))
+		return nil, fmt.Errorf("spmd: world size must be positive, got %d", n)
 	}
 	if err := m.Validate(); err != nil {
-		panic("spmd: " + err.Error())
+		return nil, fmt.Errorf("spmd: %w", err)
 	}
-	return &World{n: n, model: m, t: r.NewTransport(n, m)}
+	return &World{ctx: ctx, n: n, model: m, t: r.NewTransport(ctx, n, m)}, nil
+}
+
+// MustWorld is NewWorld for static configurations known to be valid
+// (tests, examples): it panics on error.
+func MustWorld(n int, m *machine.Model) *World {
+	w, err := NewWorld(n, m)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// MustWorldOn is NewWorldOn with a background context for static
+// configurations known to be valid: it panics on error.
+func MustWorldOn(r backend.Runner, n int, m *machine.Model) *World {
+	w, err := NewWorldOn(context.Background(), r, n, m)
+	if err != nil {
+		panic(err)
+	}
+	return w
 }
 
 // N returns the number of processes in the world.
@@ -80,8 +114,13 @@ type Result struct {
 // them. A panic in any process is recovered and returned as an error
 // naming the process; the remaining processes are not cancelled (they
 // either finish or would deadlock — tests rely on `go test` timeouts for
-// the latter, which indicates a protocol bug).
+// the latter, which indicates a protocol bug). When the world's context
+// is cancelled, processes blocked in communication unwind and Run returns
+// the context's error.
 func (w *World) Run(body func(p *Proc)) (*Result, error) {
+	if err := w.ctx.Err(); err != nil {
+		return nil, err
+	}
 	errs := make([]error, w.n)
 	var wg sync.WaitGroup
 	wg.Add(w.n)
@@ -91,6 +130,10 @@ func (w *World) Run(body func(p *Proc)) (*Result, error) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
+					if cerr, ok := backend.AsCanceled(r); ok {
+						errs[p.rank] = cerr
+						return
+					}
 					errs[p.rank] = fmt.Errorf("spmd: process %d panicked: %v", p.rank, r)
 				}
 			}()
@@ -98,6 +141,9 @@ func (w *World) Run(body func(p *Proc)) (*Result, error) {
 		}()
 	}
 	wg.Wait()
+	if err := w.ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -163,16 +209,17 @@ func (p *Proc) MemWords(n float64) { p.Charge(n * p.world.model.MemTime) }
 // cost-model extensions such as modelling I/O devices).
 func (p *Proc) Idle(t float64) { p.world.t.Idle(p.rank, t) }
 
-// Send transmits data to process dst. bytes is the payload size used for
-// cost accounting (see Bytes helpers). tag is a protocol check: the
-// matching Recv must ask for the same tag. Send to self is a memory copy:
-// it costs copy time but no latency, and is delivered through the same
-// FIFO so program structure is uniform.
-func (p *Proc) Send(dst, tag int, data any, bytes int) {
+// Send transmits data to process dst. The payload's wire size for cost
+// accounting is computed by BytesOf — payload types outside its table
+// implement Sized. tag is a protocol check: the matching Recv must ask
+// for the same tag. Send to self is a memory copy: it costs copy time but
+// no latency, and is delivered through the same FIFO so program structure
+// is uniform.
+func (p *Proc) Send(dst, tag int, data any) {
 	if dst < 0 || dst >= p.world.n {
 		panic(fmt.Sprintf("spmd: process %d sent to invalid rank %d (world size %d)", p.rank, dst, p.world.n))
 	}
-	p.world.t.Send(p.rank, dst, tag, data, bytes)
+	p.world.t.Send(p.rank, dst, tag, data, BytesOf(data))
 }
 
 // Recv receives the next message from src, which must carry the given tag

@@ -18,14 +18,16 @@ func testModel() *machine.Model {
 }
 
 func TestPingTiming(t *testing.T) {
-	w := NewWorld(2, testModel())
+	w := MustWorld(2, testModel())
 	res, err := w.Run(func(p *Proc) {
 		if p.Rank() == 0 {
-			p.Send(1, 7, []byte("hi"), 1000)
+			payload := make([]byte, 1000)
+			copy(payload, "hi")
+			p.Send(1, 7, payload) // BytesOf prices the 1000-byte slice
 		} else {
 			got := Recv[[]byte](p, 0, 7)
-			if string(got) != "hi" {
-				t.Errorf("payload = %q", got)
+			if string(got[:2]) != "hi" {
+				t.Errorf("payload = %q", got[:2])
 			}
 		}
 	})
@@ -49,10 +51,10 @@ func TestPingTiming(t *testing.T) {
 func TestRecvWaitsForBusyReceiver(t *testing.T) {
 	// If the receiver is already past the arrival time, it pays only
 	// receive overhead.
-	w := NewWorld(2, testModel())
+	w := MustWorld(2, testModel())
 	res, err := w.Run(func(p *Proc) {
 		if p.Rank() == 0 {
-			p.Send(1, 1, nil, 0)
+			p.Send(1, 1, nil)
 		} else {
 			p.Charge(1.0) // busy for a full virtual second
 			p.Recv(0, 1)
@@ -69,7 +71,7 @@ func TestRecvWaitsForBusyReceiver(t *testing.T) {
 
 func TestComputeCharges(t *testing.T) {
 	m := testModel()
-	w := NewWorld(1, m)
+	w := MustWorld(1, m)
 	res, err := w.Run(func(p *Proc) {
 		p.Flops(100)
 		p.Cmps(50)
@@ -88,7 +90,7 @@ func TestPagingMultiplier(t *testing.T) {
 	m := testModel()
 	m.MemPerProc = 1000
 	m.PagingFactor = 4
-	w := NewWorld(1, m)
+	w := MustWorld(1, m)
 	res, err := w.Run(func(p *Proc) {
 		p.SetResident(500) // under capacity: no paging
 		p.Charge(1)
@@ -105,9 +107,9 @@ func TestPagingMultiplier(t *testing.T) {
 
 func TestSelfSendIsCopy(t *testing.T) {
 	m := testModel()
-	w := NewWorld(1, m)
+	w := MustWorld(1, m)
 	res, err := w.Run(func(p *Proc) {
-		p.Send(0, 3, []float64{1, 2}, 16)
+		p.Send(0, 3, []float64{1, 2})
 		v := Recv[[]float64](p, 0, 3)
 		if len(v) != 2 || v[0] != 1 {
 			t.Errorf("self-send payload corrupted: %v", v)
@@ -135,13 +137,13 @@ func TestDeterministicMakespan(t *testing.T) {
 		prev := (p.Rank() - 1 + n) % n
 		for round := 0; round < 5; round++ {
 			p.Flops(float64(1000 * (p.Rank() + 1)))
-			p.Send(next, 9, p.Rank(), 8)
+			p.Send(next, 9, p.Rank())
 			Recv[int](p, prev, 9)
 		}
 	}
 	var first float64
 	for trial := 0; trial < 10; trial++ {
-		res, err := NewWorld(7, testModel()).Run(prog)
+		res, err := MustWorld(7, testModel()).Run(prog)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -154,7 +156,7 @@ func TestDeterministicMakespan(t *testing.T) {
 }
 
 func TestPanicPropagates(t *testing.T) {
-	w := NewWorld(3, testModel())
+	w := MustWorld(3, testModel())
 	_, err := w.Run(func(p *Proc) {
 		if p.Rank() == 1 {
 			panic("boom")
@@ -169,10 +171,10 @@ func TestPanicPropagates(t *testing.T) {
 }
 
 func TestTagMismatchPanics(t *testing.T) {
-	w := NewWorld(2, testModel())
+	w := MustWorld(2, testModel())
 	_, err := w.Run(func(p *Proc) {
 		if p.Rank() == 0 {
-			p.Send(1, 5, nil, 0)
+			p.Send(1, 5, nil)
 		} else {
 			p.Recv(0, 6)
 		}
@@ -183,27 +185,30 @@ func TestTagMismatchPanics(t *testing.T) {
 }
 
 func TestInvalidRankPanics(t *testing.T) {
-	w := NewWorld(2, testModel())
-	if _, err := w.Run(func(p *Proc) { p.Send(5, 0, nil, 0) }); err == nil {
+	w := MustWorld(2, testModel())
+	if _, err := w.Run(func(p *Proc) { p.Send(5, 0, nil) }); err == nil {
 		t.Error("send to invalid rank should fail")
 	}
-	w2 := NewWorld(2, testModel())
+	w2 := MustWorld(2, testModel())
 	if _, err := w2.Run(func(p *Proc) { p.Recv(-1, 0) }); err == nil {
 		t.Error("recv from invalid rank should fail")
 	}
 }
 
 func TestWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0, testModel()); err == nil {
+		t.Error("NewWorld with n=0 should return an error")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Error("NewWorld with n=0 should panic")
+			t.Error("MustWorld with n=0 should panic")
 		}
 	}()
-	NewWorld(0, testModel())
+	MustWorld(0, testModel())
 }
 
 func TestIdleOnlyMovesForward(t *testing.T) {
-	w := NewWorld(1, testModel())
+	w := MustWorld(1, testModel())
 	res, err := w.Run(func(p *Proc) {
 		p.Charge(2)
 		p.Idle(1) // in the past: no effect
@@ -218,7 +223,7 @@ func TestIdleOnlyMovesForward(t *testing.T) {
 }
 
 func TestNegativeChargePanics(t *testing.T) {
-	w := NewWorld(1, testModel())
+	w := MustWorld(1, testModel())
 	if _, err := w.Run(func(p *Proc) { p.Charge(-1) }); err == nil {
 		t.Error("negative charge should panic")
 	}
@@ -227,11 +232,11 @@ func TestNegativeChargePanics(t *testing.T) {
 func TestManyProcsExchange(t *testing.T) {
 	// Smoke test at the scale of the paper's largest figure (100 procs).
 	const n = 100
-	w := NewWorld(n, testModel())
+	w := MustWorld(n, testModel())
 	res, err := w.Run(func(p *Proc) {
 		// Everyone sends its rank to everyone else, then sums receipts.
 		for k := 1; k < n; k++ {
-			p.Send((p.Rank()+k)%n, 11, p.Rank(), 8)
+			p.Send((p.Rank()+k)%n, 11, p.Rank())
 		}
 		sum := p.Rank()
 		for k := 1; k < n; k++ {

@@ -1,0 +1,42 @@
+package swirl
+
+import (
+	"context"
+	"fmt"
+
+	"repro/arch"
+	"repro/internal/meshspectral"
+)
+
+func init() {
+	arch.Register(arch.App{
+		Name:        "swirl",
+		Desc:        "axisymmetric spectral swirl (§3.7.3)",
+		DefaultSize: 128,
+		Run:         runApp,
+	})
+}
+
+// Program advances the swirling-flow code the given number of steps,
+// gathers the field at rank 0, and returns its kinetic energy.
+func Program(steps int) arch.Program[Params, float64] {
+	return arch.SPMDRoot(func(p *arch.Proc, pm Params) float64 {
+		s := NewSPMD(p, pm)
+		s.Run(steps)
+		full := meshspectral.GatherGrid(s.U, 0)
+		if p.Rank() != 0 {
+			return 0
+		}
+		return KineticEnergy(full)
+	})
+}
+
+func runApp(ctx context.Context, s arch.Settings) (string, arch.Report, error) {
+	n := s.Size
+	const steps = 50
+	energy, rep, err := arch.RunWith(ctx, Program(steps), s, DefaultParams(n+1, n))
+	if err != nil {
+		return "", rep, err
+	}
+	return fmt.Sprintf("swirl %dx%d, %d steps, kinetic energy %.4f", n+1, n, steps, energy), rep, nil
+}

@@ -132,7 +132,7 @@ func TestSPMDMatchesSeqBitIdentical(t *testing.T) {
 
 	for _, n := range []int{1, 2, 4} {
 		var got *array.Dense2D[complex128]
-		_, err := spmd.NewWorld(n, machine.IBMSP()).Run(func(p *spmd.Proc) {
+		_, err := spmd.MustWorld(n, machine.IBMSP()).Run(func(p *spmd.Proc) {
 			s := NewSPMD(p, pm)
 			s.Run(steps)
 			full := meshspectral.GatherGrid(s.U, 0)
@@ -156,7 +156,7 @@ func TestPagingModelEngages(t *testing.T) {
 	// resident set exceeds capacity — the Figure 18 mechanism.
 	pm := DefaultParams(17, 16)
 	runOn := func(m *machine.Model) float64 {
-		res, err := spmd.NewWorld(2, m).Run(func(p *spmd.Proc) {
+		res, err := spmd.MustWorld(2, m).Run(func(p *spmd.Proc) {
 			s := NewSPMD(p, pm)
 			s.Run(3)
 		})
