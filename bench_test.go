@@ -1,16 +1,14 @@
 package repro
 
 import (
-	"math"
 	"sort"
 	"testing"
 
 	"repro/internal/bnb"
-	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/figures"
+	"repro/internal/hostbench"
 	"repro/internal/machine"
-	"repro/internal/onedeep"
 	"repro/internal/pipeline"
 	"repro/internal/sortapp"
 	"repro/internal/spmd"
@@ -208,16 +206,13 @@ func BenchmarkKnapsackStrategies(b *testing.B) {
 }
 
 // --- Host-machine microbenchmarks (real time, not simulated): the
-// building blocks whose real cost dominates test runtime.
+// building blocks whose real cost dominates test runtime. The bodies
+// live in internal/hostbench so `go test -bench` here and the
+// BENCH_fabric.json baseline emitted by `archbench -json` measure the
+// same code; CI runs these with -benchtime=1x as a smoke gate.
 
 // BenchmarkRealSequentialMergesort measures the real mergesort.
-func BenchmarkRealSequentialMergesort(b *testing.B) {
-	data := sortapp.RandomInts(1<<17, 5)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		sortapp.MergeSort(core.Nop, data)
-	}
-}
+func BenchmarkRealSequentialMergesort(b *testing.B) { hostbench.BenchSequentialMergesort(b) }
 
 // BenchmarkRealStdlibSort is the stdlib reference for the above.
 func BenchmarkRealStdlibSort(b *testing.B) {
@@ -230,31 +225,14 @@ func BenchmarkRealStdlibSort(b *testing.B) {
 }
 
 // BenchmarkRealOneDeepWorld measures the end-to-end host cost of one
-// simulated 16-process one-deep mergesort world (goroutines + channels +
+// simulated 16-process one-deep mergesort world (goroutines + fabric +
 // real sorting).
-func BenchmarkRealOneDeepWorld(b *testing.B) {
-	data := sortapp.RandomInts(1<<16, 6)
-	spec := sortapp.OneDeepMergesort(onedeep.Centralized)
-	blocks := sortapp.BlockDistribute(data, 16)
-	model := machine.IntelDelta()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.Simulate(16, model, func(p *spmd.Proc) {
-			onedeep.RunSPMD(p, spec, blocks[p.Rank()])
-		}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkRealOneDeepWorld(b *testing.B) { hostbench.BenchOneDeepWorld(b) }
 
 // BenchmarkRealAllReduce measures the host cost of the recursive-doubling
 // all-reduce across 32 goroutine processes.
-func BenchmarkRealAllReduce(b *testing.B) {
-	model := machine.IBMSP()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.Simulate(32, model, func(p *spmd.Proc) {
-			collective.AllReduce(p, float64(p.Rank()), math.Max)
-		}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkRealAllReduce(b *testing.B) { hostbench.BenchAllReduce(b) }
+
+// BenchmarkRealWorldConstruction256 measures pure fabric construction and
+// teardown for a 256-process world.
+func BenchmarkRealWorldConstruction256(b *testing.B) { hostbench.BenchWorldConstruction256(b) }

@@ -8,6 +8,7 @@
 //	archbench -all              # everything
 //	archbench -fig 16 -scale 0.5 -maxprocs 36 -dir /tmp
 //	archbench -fig 12 -backend real   # run at hardware speed
+//	archbench -json BENCH_fabric.json # record the host-cost baseline
 //
 // Table figures print speedup tables; image figures (19, 20, 21) write
 // PGM files into -dir. -scale shrinks the workloads for quick runs.
@@ -18,6 +19,13 @@
 // interrupting the process (Ctrl-C) cancels the sweep's context and stops
 // it mid-flight. Figures dispatch off the figures registry, backends off
 // the backend registry — there are no hand-maintained tables here.
+//
+// -json switches to host-cost mode: instead of simulated figures it runs
+// the internal/hostbench suite (the Real* microbenchmarks plus two timed
+// figure sweeps) and writes the measurements to the given file. The
+// committed BENCH_fabric.json is this mode's output; CI regenerates it
+// every run and uploads it as an artifact, so the fabric's host cost has
+// a recorded trajectory.
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"repro/arch"
 	"repro/internal/core"
 	"repro/internal/figures"
+	"repro/internal/hostbench"
 )
 
 func main() {
@@ -44,8 +53,32 @@ func main() {
 		dir      = flag.String("dir", ".", "output directory for image figures")
 		csvOut   = flag.Bool("csv", false, "also write <dir>/fig<ID>.csv for table figures")
 		backName = flag.String("backend", "sim", "execution backend: "+strings.Join(arch.BackendNames(), ", "))
+		jsonOut  = flag.String("json", "", "write the host-cost benchmark baseline to this file and exit")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		rep, err := hostbench.Collect(ctx, os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "archbench: host benchmarks: %v\n", err)
+			os.Exit(1)
+		}
+		out, err := os.Create(*jsonOut)
+		if err == nil {
+			err = rep.WriteJSON(out)
+			if cerr := out.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "archbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+		return
+	}
 
 	if *list {
 		for _, f := range figures.All() {

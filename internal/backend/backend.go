@@ -51,7 +51,10 @@ type Result struct {
 // operations extracted from the simulator's World. A Transport serves
 // exactly one run of an n-process program; rank-indexed methods are only
 // called from the goroutine running that rank, while distinct ranks call
-// concurrently.
+// concurrently. In particular, Send(src, ...) runs on src's goroutine and
+// Recv/RecvAny(..., dst, ...) on dst's — the built-in fabric shards its
+// message accounting per sender and its delivery per destination on the
+// strength of that contract.
 type Transport interface {
 	// Charge accounts sec seconds of modeled computation on rank
 	// (non-negative; the caller validates). Virtual-time backends advance
@@ -78,6 +81,9 @@ type Transport interface {
 	// available messages depends on host scheduling.
 	RecvAny(dst, tag int) (int, any)
 	// Finish assembles the run summary after every process has returned.
+	// It may release the transport's internal fabric for reuse by later
+	// runs: the transport is dead afterwards, and no method (including
+	// Finish itself) may be called on it again.
 	Finish() Result
 }
 

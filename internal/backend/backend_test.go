@@ -1,10 +1,13 @@
 package backend_test
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/backend"
 	"repro/internal/machine"
@@ -52,19 +55,27 @@ func TestDuplicateRegisterPanics(t *testing.T) {
 }
 
 // TestRealWallClockMetering injects a fake clock and checks the makespan
-// is exactly the clock delta between construction and Finish.
+// is exactly the clock delta between Run starting (the transport is
+// created when the run starts, not when the world is built) and Finish.
 func TestRealWallClockMetering(t *testing.T) {
 	var now atomic.Value
 	now.Store(10.0)
 	r := backend.RealWithClock(func() float64 { return now.Load().(float64) })
 	w := spmd.MustWorldOn(r, 2, testModel())
-	now.Store(13.5)
 	res, err := w.Run(func(p *spmd.Proc) {
-		if got := p.Clock(); math.Abs(got-3.5) > 1e-12 {
-			t.Errorf("mid-run clock = %g, want 3.5", got)
+		if got := p.Clock(); got != 0 {
+			t.Errorf("run-start clock = %g, want 0 (the clock starts with the run)", got)
 		}
 		p.Charge(1e9) // discarded: real computation takes real time
 		p.Idle(1e12)  // no-op: a wall clock cannot be advanced
+		// Barrier so the clock step below happens after every process's
+		// zero-clock check, keeping the test deterministic.
+		peer := 1 - p.Rank()
+		p.Send(peer, 1, nil)
+		p.Recv(peer, 1)
+		if p.Rank() == 0 {
+			now.Store(13.5)
+		}
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -149,6 +160,71 @@ func TestRealRecvAny(t *testing.T) {
 	}
 	if sum != 1+2+3 {
 		t.Fatalf("sum = %d, want 6", sum)
+	}
+}
+
+// TestRecvAnyPerPairFIFO: with many concurrent senders racing into one
+// inbox, RecvAny may interleave sources arbitrarily but must preserve
+// each (src, dst) pair's FIFO order. Run under -race in CI, on both
+// backends.
+func TestRecvAnyPerPairFIFO(t *testing.T) {
+	const n, per = 5, 200
+	for _, name := range []string{"sim", "real"} {
+		r, _ := backend.ByName(name)
+		seen := make([]int, n)
+		counts := make([]int, n)
+		w := spmd.MustWorldOn(r, n, testModel())
+		_, err := w.Run(func(p *spmd.Proc) {
+			if p.Rank() == 0 {
+				for i := 0; i < (n-1)*per; i++ {
+					src, v := p.RecvAny(2)
+					if got := v.(int); got != seen[src] {
+						panic("pair FIFO violated")
+					}
+					seen[src]++
+					counts[src]++
+				}
+			} else {
+				for i := 0; i < per; i++ {
+					p.Send(0, 2, i)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for src := 1; src < n; src++ {
+			if counts[src] != per {
+				t.Fatalf("%s: source %d delivered %d messages, want %d", name, src, counts[src], per)
+			}
+		}
+	}
+}
+
+// TestRecvAnyCancellation is the regression test for the mailbox's old
+// impossible-branch handling: a process blocked in RecvAny must unwind
+// through the cancellation sentinel — surfacing as the context's error,
+// never as a process panic — on both backends.
+func TestRecvAnyCancellation(t *testing.T) {
+	for _, name := range []string{"sim", "real"} {
+		r, _ := backend.ByName(name)
+		ctx, cancel := context.WithCancel(context.Background())
+		w, err := spmd.NewWorldOn(ctx, r, 3, testModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			time.Sleep(20 * time.Millisecond)
+			cancel()
+		}()
+		_, err = w.Run(func(p *spmd.Proc) {
+			if p.Rank() == 0 {
+				p.RecvAny(1) // no one ever sends
+			}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: Run = %v, want context.Canceled", name, err)
+		}
 	}
 }
 

@@ -1,0 +1,173 @@
+package backend
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPopAnyArrivalOrder: popAny serves strictly in arrival order across
+// sources — the fabric's fairness guarantee — while preserving each
+// pair's FIFO. Pushes and pops run on one goroutine, so the expected
+// order is exact, not a smoke check.
+func TestPopAnyArrivalOrder(t *testing.T) {
+	mb := newMailbox(context.Background(), 4)
+	arrivals := []struct{ src, val int }{
+		{2, 10}, {0, 20}, {2, 11}, {1, 30}, {0, 21}, {3, 40},
+	}
+	for _, a := range arrivals {
+		mb.push(a.src, 0, message{tag: 7, data: a.val})
+	}
+	for i, want := range arrivals {
+		src, msg := mb.popAny(0, 7)
+		if src != want.src || msg.data.(int) != want.val {
+			t.Fatalf("popAny %d = (src %d, %v), want (src %d, %d)", i, src, msg.data, want.src, want.val)
+		}
+	}
+}
+
+// TestPopAnySkipsStaleTokens: a targeted pop consumes a message but not
+// its arrival token; popAny must skip the leftover token rather than
+// deliver a phantom or double-deliver.
+func TestPopAnySkipsStaleTokens(t *testing.T) {
+	mb := newMailbox(context.Background(), 3)
+	mb.push(1, 0, message{tag: 1, data: "a1"}) // token for 1
+	mb.push(2, 0, message{tag: 1, data: "b1"}) // token for 2
+	mb.push(1, 0, message{tag: 1, data: "a2"}) // token for 1
+	if got := mb.pop(1, 0, 1); got.data != "a1" {
+		t.Fatalf("pop(1) = %v, want a1", got.data)
+	}
+	// Token order is now [1 (stale for a1), 2, 1]; the first token's
+	// queue still has a2 queued, so arrival order delivers a2 then b1.
+	src, msg := mb.popAny(0, 1)
+	if src != 1 || msg.data != "a2" {
+		t.Fatalf("popAny = (src %d, %v), want (1, a2)", src, msg.data)
+	}
+	src, msg = mb.popAny(0, 1)
+	if src != 2 || msg.data != "b1" {
+		t.Fatalf("popAny = (src %d, %v), want (2, b1)", src, msg.data)
+	}
+}
+
+// TestPairFIFOThroughRingGrowth: per-pair order survives ring-buffer
+// growth (more messages than the initial ring capacity).
+func TestPairFIFOThroughRingGrowth(t *testing.T) {
+	mb := newMailbox(context.Background(), 2)
+	const n = 100 // well past the initial ring size of 8
+	for i := 0; i < n; i++ {
+		mb.push(1, 0, message{tag: 3, data: i})
+	}
+	for i := 0; i < n; i++ {
+		if got := mb.pop(1, 0, 3); got.data.(int) != i {
+			t.Fatalf("pop %d = %v, want %d", i, got.data, i)
+		}
+	}
+}
+
+// TestTokenRingBoundedByOutstanding: an inbox drained only by targeted
+// pops must not accumulate arrival tokens proportional to total traffic
+// — stale tokens are compacted away, so the ring tracks the outstanding
+// message count (here, 1) no matter how many messages flow.
+func TestTokenRingBoundedByOutstanding(t *testing.T) {
+	mb := newMailbox(context.Background(), 2)
+	for i := 0; i < 10000; i++ {
+		mb.push(1, 0, message{tag: 3, data: i})
+		if got := mb.pop(1, 0, 3); got.data.(int) != i {
+			t.Fatalf("pop %d = %v", i, got.data)
+		}
+	}
+	ib := &mb.f.inboxes[0]
+	if len(ib.order) > 8 {
+		t.Fatalf("token ring grew to %d entries for a Recv-only workload with 1 outstanding message", len(ib.order))
+	}
+}
+
+// TestPopAnyCancellationSentinel is the regression test for the old
+// popAny's impossible branch (a plain-string panic on a closed channel):
+// cancellation must be the only way a blocked popAny unwinds, and it must
+// unwind with the canceled sentinel that AsCanceled recognizes, not a
+// plain panic.
+func TestPopAnyCancellationSentinel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	mb := newMailbox(ctx, 2)
+	unwound := make(chan any, 1)
+	go func() {
+		defer func() { unwound <- recover() }()
+		mb.popAny(0, 1) // nothing will ever arrive
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case r := <-unwound:
+		err, ok := AsCanceled(r)
+		if !ok {
+			t.Fatalf("popAny unwound with %v, want the canceled sentinel", r)
+		}
+		if err != context.Canceled {
+			t.Fatalf("sentinel carries %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked popAny did not unwind on cancellation")
+	}
+}
+
+// TestPopTagMismatchMentionsRanks: the protocol panic stays descriptive.
+func TestPopTagMismatchMentionsRanks(t *testing.T) {
+	mb := newMailbox(context.Background(), 2)
+	mb.push(1, 0, message{tag: 5})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("tag mismatch did not panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "expected tag 6") {
+			t.Fatalf("panic = %v, want a tag-mismatch message", r)
+		}
+	}()
+	mb.pop(1, 0, 6)
+}
+
+// TestShardedCountsAggregate: per-sender shards sum to the run totals.
+func TestShardedCountsAggregate(t *testing.T) {
+	mb := newMailbox(context.Background(), 4)
+	mb.count(0, 10)
+	mb.count(3, 5)
+	mb.count(3, 7)
+	msgs, bytes := mb.totals()
+	if msgs != 3 || bytes != 22 {
+		t.Fatalf("totals = %d msgs %d bytes, want 3/22", msgs, bytes)
+	}
+}
+
+// TestFabricResetClearsState: a pooled fabric carries no messages,
+// counters, or tokens from its previous run, and drops payload
+// references so the pool cannot pin application data.
+func TestFabricResetClearsState(t *testing.T) {
+	f := newFabric(2)
+	mb := &mailbox{n: 2, f: f}
+	payload := make([]byte, 1024)
+	mb.push(0, 1, message{tag: 1, data: payload})
+	mb.push(1, 0, message{tag: 2, data: "x"})
+	mb.count(0, 99)
+	f.reset()
+	for d := range f.inboxes {
+		ib := &f.inboxes[d]
+		if ib.pending != 0 || ib.olen != 0 {
+			t.Fatalf("inbox %d not reset: pending %d, tokens %d", d, ib.pending, ib.olen)
+		}
+		for s := range ib.q {
+			if ib.q[s].n != 0 {
+				t.Fatalf("queue %d->%d not reset", s, d)
+			}
+			for i := range ib.q[s].buf {
+				if ib.q[s].buf[i].data != nil {
+					t.Fatalf("queue %d->%d ring still references payload %v", s, d, ib.q[s].buf[i].data)
+				}
+			}
+		}
+	}
+	if msgs, bytes := mb.totals(); msgs != 0 || bytes != 0 {
+		t.Fatalf("counters survived reset: %d msgs %d bytes", msgs, bytes)
+	}
+}

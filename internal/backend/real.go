@@ -72,7 +72,7 @@ func (t *realTransport) Idle(rank int, at float64) {}
 
 func (t *realTransport) Send(src, dst, tag int, data any, bytes int) {
 	if src != dst {
-		t.count(bytes)
+		t.count(src, bytes)
 	}
 	t.push(src, dst, message{tag: tag, data: data, bytes: bytes})
 }
@@ -93,6 +93,7 @@ func (t *realTransport) Finish() Result {
 		res.Clocks[i] = elapsed
 	}
 	res.Msgs, res.Bytes = t.totals()
+	t.release()
 	return res
 }
 

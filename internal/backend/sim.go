@@ -76,7 +76,7 @@ func (t *simTransport) Send(src, dst, tag int, data any, bytes int) {
 	}
 	t.clocks[src] += m.SendOverhead
 	avail := t.clocks[src] + m.Latency + float64(bytes)/m.Bandwidth
-	t.count(bytes)
+	t.count(src, bytes)
 	t.push(src, dst, message{tag: tag, data: data, bytes: bytes, avail: avail})
 }
 
@@ -112,6 +112,7 @@ func (t *simTransport) Finish() Result {
 		}
 	}
 	res.Msgs, res.Bytes = t.totals()
+	t.release()
 	return res
 }
 

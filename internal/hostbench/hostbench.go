@@ -1,0 +1,240 @@
+// Package hostbench measures the reproduction's host cost — real
+// nanoseconds and allocations, not simulated seconds — so the message
+// fabric and the compute kernels have a recorded performance trajectory.
+//
+// The package has two halves. The Micro list defines the Real*
+// microbenchmarks as ordinary testing.B bodies; the repository's
+// bench_test.go runs them under `go test -bench` and cmd/archbench runs
+// the same bodies through testing.Benchmark for its -json mode, so the
+// numbers in BENCH_fabric.json and the numbers a developer sees locally
+// come from one source of truth. Collect assembles a Report (micro
+// results plus wall-clock timings of two figure sweeps) and WriteJSON
+// serializes it; CI uploads the file as the run's perf artifact.
+package hostbench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/machine"
+	"repro/internal/onedeep"
+	"repro/internal/sortapp"
+	"repro/internal/spmd"
+)
+
+// Micro is one host-cost microbenchmark. The body returns an error
+// instead of calling b.Fatal: under `go test` the exported Bench*
+// wrappers turn errors into test failures, while Collect — which drives
+// the same bodies through testing.Benchmark inside a plain binary,
+// where b.Fatal would dereference a nil test context — reports them as
+// ordinary errors.
+type Micro struct {
+	Name string
+	body func(b *testing.B) error
+}
+
+// Micros returns the Real* microbenchmark suite in report order.
+func Micros() []Micro {
+	return []Micro{
+		{"RealSequentialMergesort", benchSequentialMergesort},
+		{"RealOneDeepWorld", benchOneDeepWorld},
+		{"RealAllReduce", benchAllReduce},
+		{"RealWorldConstruction256", benchWorldConstruction256},
+	}
+}
+
+// mustBench adapts an error-returning body to the `go test` driver.
+func mustBench(b *testing.B, body func(b *testing.B) error) {
+	if err := body(b); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchSequentialMergesort measures the real sequential mergesort kernel
+// on 2^17 random int32 values.
+func BenchSequentialMergesort(b *testing.B) { mustBench(b, benchSequentialMergesort) }
+
+func benchSequentialMergesort(b *testing.B) error {
+	data := sortapp.RandomInts(1<<17, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sortapp.MergeSort(core.Nop, data)
+	}
+	return nil
+}
+
+// BenchOneDeepWorld measures the end-to-end host cost of one simulated
+// 16-process one-deep mergesort world (goroutines + fabric + real
+// sorting).
+func BenchOneDeepWorld(b *testing.B) { mustBench(b, benchOneDeepWorld) }
+
+func benchOneDeepWorld(b *testing.B) error {
+	data := sortapp.RandomInts(1<<16, 6)
+	spec := sortapp.OneDeepMergesort(onedeep.Centralized)
+	blocks := sortapp.BlockDistribute(data, 16)
+	model := machine.IntelDelta()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Simulate(16, model, func(p *spmd.Proc) {
+			onedeep.RunSPMD(p, spec, blocks[p.Rank()])
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BenchAllReduce measures the host cost of the recursive-doubling
+// all-reduce across 32 goroutine processes.
+func BenchAllReduce(b *testing.B) { mustBench(b, benchAllReduce) }
+
+func benchAllReduce(b *testing.B) error {
+	model := machine.IBMSP()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Simulate(32, model, func(p *spmd.Proc) {
+			collective.AllReduce(p, float64(p.Rank()), math.Max)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BenchWorldConstruction256 measures building and tearing down a
+// 256-process world whose processes do nothing: pure fabric construction
+// cost, the term that used to dominate large sweeps.
+func BenchWorldConstruction256(b *testing.B) { mustBench(b, benchWorldConstruction256) }
+
+func benchWorldConstruction256(b *testing.B) error {
+	model := machine.IBMSP()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Simulate(256, model, func(p *spmd.Proc) {}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepSpec is one wall-clock figure sweep of the report: a figure run
+// end to end through the concurrent scheduler at reduced scale.
+type sweepSpec struct {
+	figure   string
+	scale    float64
+	maxProcs int
+}
+
+func sweepSpecs() []sweepSpec {
+	return []sweepSpec{
+		{figure: "6", scale: 0.25, maxProcs: 64},
+		{figure: "15", scale: 0.5, maxProcs: 36},
+	}
+}
+
+// MicroResult is one microbenchmark's measurement.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// SweepResult is one figure sweep's wall-clock measurement.
+type SweepResult struct {
+	Figure   string  `json:"figure"`
+	Scale    float64 `json:"scale"`
+	MaxProcs int     `json:"max_procs"`
+	Seconds  float64 `json:"seconds"`
+}
+
+// Report is the host-cost baseline serialized to BENCH_fabric.json.
+type Report struct {
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Micros     []MicroResult `json:"micros"`
+	Sweeps     []SweepResult `json:"sweeps"`
+}
+
+// Collect runs the microbenchmark suite through testing.Benchmark and
+// times the figure sweeps, reporting progress lines to log (nil
+// suppresses them). Cancelling ctx stops between measurements and aborts
+// a sweep in flight.
+func Collect(ctx context.Context, log io.Writer) (*Report, error) {
+	if log == nil {
+		log = io.Discard
+	}
+	rep := &Report{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, m := range Micros() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// testing.Benchmark has no failure channel outside a test binary
+		// (b.Fatal would nil-deref), so the body's error is captured on
+		// the side: once set, remaining calibration rounds return
+		// immediately and the error surfaces after Benchmark returns.
+		var benchErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			if benchErr != nil {
+				return
+			}
+			benchErr = m.body(b)
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("hostbench: %s: %w", m.Name, benchErr)
+		}
+		mr := MicroResult{
+			Name:        m.Name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: int64(res.AllocsPerOp()),
+			BytesPerOp:  int64(res.AllocedBytesPerOp()),
+		}
+		fmt.Fprintf(log, "%-26s %12.0f ns/op %8d B/op %6d allocs/op\n",
+			mr.Name, mr.NsPerOp, mr.BytesPerOp, mr.AllocsPerOp)
+		rep.Micros = append(rep.Micros, mr)
+	}
+	for _, s := range sweepSpecs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		f, ok := figures.ByID(s.figure)
+		if !ok {
+			return nil, fmt.Errorf("hostbench: figure %s not registered", s.figure)
+		}
+		opts := figures.Options{
+			Ctx: ctx, Out: io.Discard, Scale: s.scale,
+			MaxProcs: s.maxProcs, Backend: backend.Sim(),
+		}
+		start := time.Now()
+		if _, err := f.Run(opts); err != nil {
+			return nil, fmt.Errorf("hostbench: figure %s sweep: %w", s.figure, err)
+		}
+		sr := SweepResult{Figure: s.figure, Scale: s.scale, MaxProcs: s.maxProcs, Seconds: time.Since(start).Seconds()}
+		fmt.Fprintf(log, "figure %-3s sweep (scale %g, maxprocs %d) %10.3fs\n",
+			sr.Figure, sr.Scale, sr.MaxProcs, sr.Seconds)
+		rep.Sweeps = append(rep.Sweeps, sr)
+	}
+	return rep, nil
+}
+
+// WriteJSON serializes the report with stable indentation (the file is
+// committed and diffed).
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/spmd"
@@ -269,31 +270,48 @@ func (s *Scheduler) Curve(ctx context.Context, e *core.Experiment, procs []int) 
 // strategy ablations) dispatch through it. Cells run uncached: closures
 // have no identity to key a cache on. Cells not yet started when ctx is
 // cancelled are skipped, and Map returns ctx.Err().
+//
+// Map spawns min(n, pool size) worker goroutines that pull cell indices
+// from a shared counter rather than one goroutine per cell: a 256-cell
+// sweep through a 4-slot pool costs 4 goroutines, not 256 parked ones.
+// Workers still take a pool slot per cell, so concurrent Maps share the
+// scheduler's bound fairly.
 func Map[T any](ctx context.Context, s *Scheduler, n int, f func(i int) (T, error)) ([]T, error) {
 	s.init()
 	results := make([]T, n)
 	errs := make([]error, n)
+	runCell := func(i int) {
+		s.acquire()
+		defer s.release()
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = fmt.Errorf("sched: cell panicked: %v", r)
+			}
+		}()
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		results[i], errs[i] = f(i)
+	}
+	workers := min(n, cap(s.slots))
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	wg.Add(n)
-	for i := 0; i < n; i++ {
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			if err := ctx.Err(); err != nil {
-				errs[i] = err
-				return
-			}
-			s.acquire()
-			defer s.release()
-			defer func() {
-				if r := recover(); r != nil {
-					errs[i] = fmt.Errorf("sched: cell panicked: %v", r)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
 				}
-			}()
-			if err := ctx.Err(); err != nil {
-				errs[i] = err
-				return
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				runCell(i)
 			}
-			results[i], errs[i] = f(i)
 		}()
 	}
 	wg.Wait()

@@ -57,7 +57,10 @@ func TestCancelUnblocksReceive(t *testing.T) {
 	}
 }
 
-// TestCancelUnblocksSend: a sender blocked on a full FIFO unwinds too.
+// TestCancelUnblocksSend: inboxes are unbounded so senders never block,
+// but a sender still in its send loop when the run is cancelled must
+// unwind promptly through the entry check instead of queueing forever
+// into a world nobody will drain.
 func TestCancelUnblocksSend(t *testing.T) {
 	before := runtime.NumGoroutine()
 	ctx, cancel := context.WithCancel(context.Background())

@@ -129,6 +129,12 @@ func (g *Group) Send(dst, tag int, data any) {
 	g.Proc.Send(g.WorldRank(dst), tag, data)
 }
 
+// sendSized translates the group rank and forwards to the world process's
+// typed-send fast path.
+func (g *Group) sendSized(dst, tag int, data any, bytes int) {
+	g.Proc.sendSized(g.WorldRank(dst), tag, data, bytes)
+}
+
 // Recv receives from a group rank.
 func (g *Group) Recv(src, tag int) any {
 	return g.Proc.Recv(g.WorldRank(src), tag)

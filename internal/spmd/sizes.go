@@ -1,70 +1,102 @@
 package spmd
 
 // Sized is implemented by application payload types that know their own
-// wire size for cost accounting.
+// wire size for cost accounting. Implement VBytes with a value receiver:
+// payloads travel by value, so a pointer-receiver VBytes would be
+// invisible to BytesOf (the boxed value would not implement Sized and
+// would silently price at one word).
 type Sized interface {
 	VBytes() int
 }
 
 // BytesOf estimates the wire size of common payload types for cost
-// accounting. Types not covered here should implement Sized. Unknown types
-// are priced at one word, which under-counts — implement Sized for any
-// payload whose size matters to an experiment.
+// accounting. Types not covered here should implement Sized.
+//
+// Unknown types are priced at one word. That default is silent and
+// under-counts anything bigger than a scalar, so it is a trap for new
+// payload types: payload_sizes_test.go (repository root) asserts that
+// every payload type the registered apps actually put on the wire hits
+// an explicit case below or implements Sized, which keeps the default
+// from ever pricing real traffic.
 func BytesOf(v any) int {
+	if n, ok := bytesOfKnown(v); ok {
+		return n
+	}
+	return 8
+}
+
+// bytesOfKnown is BytesOf without the one-word fallback: it reports
+// whether the payload type is explicitly priced (including via Sized).
+func bytesOfKnown(v any) (int, bool) {
 	switch x := v.(type) {
 	case nil:
-		return 0
+		return 0, true
 	case Sized:
-		return x.VBytes()
+		return x.VBytes(), true
 	case []byte:
-		return len(x)
+		return len(x), true
 	case []int32:
-		return 4 * len(x)
+		return 4 * len(x), true
 	case []uint32:
-		return 4 * len(x)
+		return 4 * len(x), true
 	case []int64:
-		return 8 * len(x)
+		return 8 * len(x), true
 	case []int:
-		return 8 * len(x)
+		return 8 * len(x), true
 	case []float32:
-		return 4 * len(x)
+		return 4 * len(x), true
 	case []float64:
-		return 8 * len(x)
+		return 8 * len(x), true
 	case []complex64:
-		return 8 * len(x)
+		return 8 * len(x), true
 	case []complex128:
-		return 16 * len(x)
+		return 16 * len(x), true
 	case [][]float64:
 		n := 0
 		for _, row := range x {
 			n += 8 * len(row)
 		}
-		return n
+		return n, true
 	case [][3]float64:
-		return 24 * len(x)
+		return 24 * len(x), true
 	case [][4]float64:
-		return 32 * len(x)
+		return 32 * len(x), true
 	case [][]complex128:
 		n := 0
 		for _, row := range x {
 			n += 16 * len(row)
 		}
-		return n
+		return n, true
 	case bool, int8, uint8:
-		return 1
+		return 1, true
 	case int16, uint16:
-		return 2
+		return 2, true
 	case int32, uint32, float32:
-		return 4
+		return 4, true
 	case int, int64, uint64, float64, uintptr:
-		return 8
+		return 8, true
 	case complex64:
-		return 8
+		return 8, true
 	case complex128:
-		return 16
+		return 16, true
+	case [2]int64:
+		return 16, true
+	case [3]float64:
+		return 24, true
+	case [4]float64:
+		return 32, true
 	case string:
-		return len(x)
+		return len(x), true
 	default:
-		return 8
+		return 0, false
 	}
+}
+
+// SizeKnown reports whether BytesOf prices v explicitly — through a
+// dedicated case or the Sized interface — rather than through the silent
+// one-word default. Tests use it to assert that every payload type the
+// apps actually send is priced deliberately.
+func SizeKnown(v any) bool {
+	_, ok := bytesOfKnown(v)
+	return ok
 }

@@ -34,6 +34,11 @@ func TestBytesOf(t *testing.T) {
 		{complex64(1), 8},
 		{complex128(1), 16},
 		{"abcd", 4},
+		{[2]int64{1, 2}, 16},
+		{[3]float64{1, 2, 3}, 24},
+		{[4]float64{1, 2, 3, 4}, 32},
+		{[][3]float64{{1, 2, 3}}, 24},
+		{[][4]float64{{1, 2, 3, 4}}, 32},
 		{sizedThing{42}, 42},
 		{struct{ X int }{1}, 8}, // unknown type: one-word estimate
 	}
@@ -41,5 +46,17 @@ func TestBytesOf(t *testing.T) {
 		if got := BytesOf(tc.in); got != tc.want {
 			t.Errorf("BytesOf(%T %v) = %d, want %d", tc.in, tc.in, got, tc.want)
 		}
+	}
+}
+
+// TestSizeKnown: the one-word default is detectable, so coverage tests
+// (see payload_sizes_test.go at the repository root) can assert no app
+// payload silently falls through to it.
+func TestSizeKnown(t *testing.T) {
+	if !SizeKnown([]float64{1}) || !SizeKnown(sizedThing{1}) || !SizeKnown(nil) {
+		t.Error("explicitly priced types must report SizeKnown")
+	}
+	if SizeKnown(struct{ X int }{1}) || SizeKnown(map[int]int{}) {
+		t.Error("unknown types must not report SizeKnown")
 	}
 }

@@ -2,8 +2,8 @@
 // runtime on which archetype programs execute.
 //
 // A World runs N logical processes, one goroutine each, connected by
-// dedicated FIFO channels — the "multicomputer" of the paper. The channel
-// fabric, clock, and message pricing live behind a backend.Transport, so
+// per-pair FIFO message queues — the "multicomputer" of the paper. The
+// message fabric, clock, and pricing live behind a backend.Transport, so
 // the same program text runs on different execution substrates:
 //
 //   - backend.Sim (the default) carries a virtual clock per process,
@@ -35,12 +35,16 @@ import (
 )
 
 // World is a set of N communicating processes plus the machine model that
-// prices their communication and computation.
+// prices their communication and computation. The transport is created
+// when Run starts, not at construction: a world that is never run costs
+// nothing and registers no context watcher.
 type World struct {
-	ctx   context.Context
-	n     int
-	model *machine.Model
-	t     backend.Transport
+	ctx    context.Context
+	runner backend.Runner
+	n      int
+	model  *machine.Model
+	t      backend.Transport
+	ran    bool
 }
 
 // NewWorld creates a world of n processes over the given machine model on
@@ -67,7 +71,7 @@ func NewWorldOn(ctx context.Context, r backend.Runner, n int, m *machine.Model) 
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("spmd: %w", err)
 	}
-	return &World{ctx: ctx, n: n, model: m, t: r.NewTransport(ctx, n, m)}, nil
+	return &World{ctx: ctx, runner: r, n: n, model: m}, nil
 }
 
 // MustWorld is NewWorld for static configurations known to be valid
@@ -118,9 +122,16 @@ type Result struct {
 // is cancelled, processes blocked in communication unwind and Run returns
 // the context's error.
 func (w *World) Run(body func(p *Proc)) (*Result, error) {
+	if w.ran {
+		// A world is one run: Finish releases the transport's fabric for
+		// reuse, so running again would race a recycled substrate.
+		return nil, fmt.Errorf("spmd: world already run; create a new world per run")
+	}
+	w.ran = true
 	if err := w.ctx.Err(); err != nil {
 		return nil, err
 	}
+	w.t = w.runner.NewTransport(w.ctx, w.n, w.model)
 	errs := make([]error, w.n)
 	var wg sync.WaitGroup
 	wg.Add(w.n)
@@ -141,11 +152,17 @@ func (w *World) Run(body func(p *Proc)) (*Result, error) {
 		}()
 	}
 	wg.Wait()
+	// Every process has returned, so the transport must be finished on
+	// every exit path — Finish releases the fabric (and deregisters the
+	// context watcher) for reuse; skipping it on errors would pin the
+	// fabric and any undrained payloads to the run's context.
 	if err := w.ctx.Err(); err != nil {
+		w.t.Finish()
 		return nil, err
 	}
 	for _, err := range errs {
 		if err != nil {
+			w.t.Finish()
 			return nil, err
 		}
 	}
@@ -216,10 +233,18 @@ func (p *Proc) Idle(t float64) { p.world.t.Idle(p.rank, t) }
 // no latency, and is delivered through the same FIFO so program structure
 // is uniform.
 func (p *Proc) Send(dst, tag int, data any) {
+	p.sendSized(dst, tag, data, BytesOf(data))
+}
+
+// sendSized is the typed-send fast path: the caller (SendT, Chan) already
+// sized the payload statically, so the dynamic BytesOf switch is skipped.
+// The bytes value must equal BytesOf(data) — the typed layer guarantees it
+// so metering is identical on both paths.
+func (p *Proc) sendSized(dst, tag int, data any, bytes int) {
 	if dst < 0 || dst >= p.world.n {
 		panic(fmt.Sprintf("spmd: process %d sent to invalid rank %d (world size %d)", p.rank, dst, p.world.n))
 	}
-	p.world.t.Send(p.rank, dst, tag, data, BytesOf(data))
+	p.world.t.Send(p.rank, dst, tag, data, bytes)
 }
 
 // Recv receives the next message from src, which must carry the given tag

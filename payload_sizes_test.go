@@ -1,0 +1,68 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/closest"
+	"repro/internal/hull"
+	"repro/internal/skyline"
+	"repro/internal/spmd"
+)
+
+// TestAppPayloadsArePricedExplicitly is the vet-style guard on BytesOf's
+// silent one-word default: every payload type the registered apps
+// actually put on the wire must hit an explicit BytesOf case or
+// implement spmd.Sized. A new app payload outside this set under-counts
+// communication volume without any error; extend BytesOf (or implement
+// Sized) and add the type here.
+//
+// Wrapper types the runtime sends on the apps' behalf (collective's
+// partial[T], meshspectral's subBlock[T]/slab3[T], bnb's asyncMsg) are
+// unexported Sized implementations whose VBytes recurse into BytesOf for
+// their inner payload; the inner types are what can silently default, so
+// those are listed per wrapper.
+func TestAppPayloadsArePricedExplicitly(t *testing.T) {
+	payloads := []struct {
+		app string
+		v   any
+	}{
+		// sortapp (mergesort, quicksort): blocks, samples, splitters, and
+		// the all-to-all repartition all ship []int32.
+		{"mergesort/quicksort", []int32{1, 2, 3}},
+		// fft: redistributed sub-blocks and halo exchanges carry
+		// []complex128; the verification reduce carries float64.
+		{"fft", []complex128{1}},
+		{"fft", float64(0)},
+		// poisson: halo exchanges carry []float64; the residual reduce
+		// carries float64.
+		{"poisson", []float64{1}},
+		{"poisson", float64(0)},
+		// cfd: Cell = [4]float64, so halos carry [][4]float64.
+		{"cfd", [][4]float64{{1, 2, 3, 4}}},
+		// airshed: Conc = [3]float64 halos.
+		{"airshed", [][3]float64{{1, 2, 3}}},
+		// fdtd: Vec3 = [3]float64 slabs (slab3's inner Data).
+		{"fdtd", [][3]float64{{1, 2, 3}}},
+		// swirl: spectral grids exchange []complex128 and []float64.
+		{"swirl", []complex128{1}},
+		{"swirl", []float64{1}},
+		// hull: gathered local hulls are hull.Pts (Sized).
+		{"hull", hull.Pts{}},
+		// closest: samples/points are closest.Pts, the reduced result a
+		// closest.Pair (both Sized).
+		{"closest", closest.Pts{}},
+		{"closest", closest.Pair{}},
+		// skyline: gathered partial skylines are skyline.Skyline (Sized).
+		{"skyline", skyline.Skyline{}},
+		// bnb (driver workload): the sync solver all-reduces
+		// [2]int64{expanded, queued} inside collective's partial wrapper.
+		{"bnb", [2]int64{1, 2}},
+		// collective barriers and pipeline acks ship nil payloads.
+		{"runtime", nil},
+	}
+	for _, tc := range payloads {
+		if !spmd.SizeKnown(tc.v) {
+			t.Errorf("%s payload %T is priced by BytesOf's silent one-word default; add an explicit case or implement spmd.Sized", tc.app, tc.v)
+		}
+	}
+}
