@@ -18,8 +18,9 @@
 //     registry instead of hand-maintained tables. Importing repro/arch/apps
 //     for side effects populates the registry.
 //   - ResolveMachine and ResolveBackend translate the flag-level names
-//     ("ibm-sp", "sim") into models and runners with uniform
-//     "unknown X (have: ...)" errors.
+//     ("ibm-sp"; "sim", "real", "dist") into models and runners with
+//     uniform "unknown X (have: ...)" errors whose alternatives are
+//     listed in sorted order.
 //
 // Everything a facade user needs is re-exported here (Proc, Comm, Mode,
 // ...), so application code imports only this package plus the archetype
@@ -36,6 +37,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/spmd"
+
+	// The distributed backend registers itself ("dist") so every facade
+	// user can resolve it; its default self-spawn mode additionally needs
+	// the host binary's main to call dist.MaybeWorker (see cmd/archdemo).
+	_ "repro/internal/backend/dist"
 )
 
 // Re-exports: the types facade users write programs against, aliased so
@@ -48,8 +54,9 @@ type (
 	Comm = spmd.Comm
 	// Machine is a LogGP-style machine cost model.
 	Machine = machine.Model
-	// Backend is a named execution substrate (virtual-time simulator,
-	// shared-memory real backend, ...).
+	// Backend is a named execution substrate: the virtual-time simulator
+	// ("sim"), the shared-memory real backend ("real"), or the
+	// distributed TCP backend ("dist").
 	Backend = backend.Runner
 	// Mode selects sequential or concurrent execution for version-1
 	// (parfor) programs.

@@ -46,6 +46,53 @@ func TestRegistryComplete(t *testing.T) {
 	}
 }
 
+// TestResolveBackendErrorDeterministic pins the exact "have: ..." list:
+// sorted name order, so typo errors are stable across runs and map
+// iteration orders (and prove dist is registered through the facade).
+func TestResolveBackendErrorDeterministic(t *testing.T) {
+	_, err := arch.ResolveBackend("quantum")
+	if err == nil {
+		t.Fatal("ResolveBackend(quantum) succeeded")
+	}
+	want := `unknown backend "quantum" (have: dist, real, sim)`
+	if err.Error() != want {
+		t.Errorf("error = %q, want %q", err.Error(), want)
+	}
+	names := arch.BackendNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("BackendNames() not sorted: %v", names)
+		}
+	}
+	for _, name := range []string{"dist", "real", "sim"} {
+		r, err := arch.ResolveBackend(name)
+		if err != nil || r.Name() != name {
+			t.Errorf("ResolveBackend(%q) = %v, %v", name, r, err)
+		}
+	}
+}
+
+// TestRunAppOnDist runs a registry app end to end on the distributed
+// backend resolved by name through the facade: worker processes
+// self-spawn from this test binary (see TestMain).
+func TestRunAppOnDist(t *testing.T) {
+	dist, err := arch.ResolveBackend("dist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary, rep, err := arch.RunApp(context.Background(), "mergesort",
+		arch.WithProcs(2), arch.WithSize(1<<10), arch.WithBackend(dist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "verified sorted") {
+		t.Errorf("summary = %q, want verification note", summary)
+	}
+	if rep.Backend != "dist" || rep.Virtual || rep.Makespan <= 0 {
+		t.Errorf("report = %+v, want wall-clock dist report", rep)
+	}
+}
+
 func TestResolveErrors(t *testing.T) {
 	if _, err := arch.ResolveApp("nope"); err == nil || !strings.Contains(err.Error(), "unknown app") || !strings.Contains(err.Error(), "have:") {
 		t.Errorf("ResolveApp error = %v, want unknown-app with listing", err)

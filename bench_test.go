@@ -236,3 +236,30 @@ func BenchmarkRealAllReduce(b *testing.B) { hostbench.BenchAllReduce(b) }
 // BenchmarkRealWorldConstruction256 measures pure fabric construction and
 // teardown for a 256-process world.
 func BenchmarkRealWorldConstruction256(b *testing.B) { hostbench.BenchWorldConstruction256(b) }
+
+// BenchmarkRealPingPong measures per-message latency on the shared-memory
+// backend (1000 round trips per op): the in-process half of the
+// loopback-vs-shared-memory latency table in EXPERIMENTS.md.
+func BenchmarkRealPingPong(b *testing.B) { hostbench.BenchRealPingPong(b) }
+
+// --- Distributed-backend micros: the same fabric measurements with every
+// message crossing OS-process boundaries over loopback TCP. Worker
+// processes self-spawn from this test binary (see TestMain); the bodies
+// live in internal/hostbench so these and the BENCH_dist.json baseline
+// emitted by `archbench -json -backend=dist` measure the same code.
+
+// BenchmarkDistWorldStartup4 measures spawning, handshaking, and tearing
+// down a 4-worker dist world (pure substrate cost).
+func BenchmarkDistWorldStartup4(b *testing.B) { hostbench.BenchDistWorldStartup(b) }
+
+// BenchmarkDistOneDeepWorld measures a 4-process one-deep mergesort with
+// all messages over loopback TCP.
+func BenchmarkDistOneDeepWorld(b *testing.B) { hostbench.BenchDistOneDeepWorld(b) }
+
+// BenchmarkDistAllReduce measures the recursive-doubling all-reduce
+// across 8 worker processes.
+func BenchmarkDistAllReduce(b *testing.B) { hostbench.BenchDistAllReduce(b) }
+
+// BenchmarkDistPingPong measures per-message latency across worker
+// processes over loopback TCP (1000 round trips per op).
+func BenchmarkDistPingPong(b *testing.B) { hostbench.BenchDistPingPong(b) }

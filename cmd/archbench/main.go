@@ -25,7 +25,12 @@
 // figure sweeps) and writes the measurements to the given file. The
 // committed BENCH_fabric.json is this mode's output; CI regenerates it
 // every run and uploads it as an artifact, so the fabric's host cost has
-// a recorded trajectory.
+// a recorded trajectory. With -backend=dist the host-cost mode runs the
+// Dist* suite instead — the same fabric micros across worker OS
+// processes over loopback TCP (workers self-spawn from this binary) —
+// producing the committed BENCH_dist.json:
+//
+//	archbench -json BENCH_dist.json -backend=dist
 package main
 
 import (
@@ -38,12 +43,14 @@ import (
 	"strings"
 
 	"repro/arch"
+	"repro/internal/backend/dist"
 	"repro/internal/core"
 	"repro/internal/figures"
 	"repro/internal/hostbench"
 )
 
 func main() {
+	dist.MaybeWorker()
 	var (
 		fig      = flag.String("fig", "", "figure ID to run (see -list)")
 		all      = flag.Bool("all", false, "run every figure")
@@ -60,7 +67,11 @@ func main() {
 	if *jsonOut != "" {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
-		rep, err := hostbench.Collect(ctx, os.Stderr)
+		collect := hostbench.Collect
+		if *backName == "dist" {
+			collect = hostbench.CollectDist
+		}
+		rep, err := collect(ctx, os.Stderr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "archbench: host benchmarks: %v\n", err)
 			os.Exit(1)

@@ -10,13 +10,20 @@
 //	archdemo -app mergesort -procs 16
 //	archdemo -app poisson -procs 9 -size 65
 //	archdemo -app fdtd -machine ibm-sp
-//	archdemo -app fft -backend real   # run at hardware speed
+//	archdemo -app fft -backend real    # run at hardware speed
+//	archdemo -app fft -backend dist    # ... across OS processes over TCP
 //
 // -backend selects the execution substrate: "sim" prices the run on the
 // machine model's virtual clock; "real" runs the processes as goroutines
-// over native channels and reports wall-clock time. The computational
-// result (and its verification) is identical on both. Interrupting the
+// over native channels and reports wall-clock time; "dist" self-spawns
+// one worker OS process per rank (re-executing archdemo itself) and
+// routes every message over loopback TCP. The computational result (and
+// its verification) is identical on all of them. Interrupting the
 // process (Ctrl-C) cancels the run's context and aborts it mid-flight.
+//
+// archdemo can also serve as a bare dist worker: -worker ADDR joins the
+// coordinator listening at ADDR for one world and exits (the self-spawn
+// path does this automatically through dist.MaybeWorker).
 package main
 
 import (
@@ -29,18 +36,29 @@ import (
 
 	"repro/arch"
 	_ "repro/arch/apps"
+	"repro/internal/backend/dist"
 )
 
 func main() {
+	dist.MaybeWorker()
 	var (
-		name  = flag.String("app", "", "application to run (see -list)")
-		list  = flag.Bool("list", false, "list applications")
-		procs = flag.Int("procs", 8, "simulated process count")
-		size  = flag.Int("size", 0, "problem size (0 = per-app default)")
-		mach  = flag.String("machine", "ibm-sp", "machine profile: "+strings.Join(arch.MachineNames(), ", "))
-		back  = flag.String("backend", "sim", "execution backend: "+strings.Join(arch.BackendNames(), ", "))
+		name   = flag.String("app", "", "application to run (see -list)")
+		list   = flag.Bool("list", false, "list applications")
+		procs  = flag.Int("procs", 8, "simulated process count")
+		size   = flag.Int("size", 0, "problem size (0 = per-app default)")
+		mach   = flag.String("machine", "ibm-sp", "machine profile: "+strings.Join(arch.MachineNames(), ", "))
+		back   = flag.String("backend", "sim", "execution backend: "+strings.Join(arch.BackendNames(), ", "))
+		worker = flag.String("worker", "", "serve as a dist worker for the coordinator at this address, then exit")
 	)
 	flag.Parse()
+
+	if *worker != "" {
+		if err := dist.JoinWorld(*worker, ""); err != nil {
+			fmt.Fprintf(os.Stderr, "archdemo: worker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Printf("%-10s %9s  %-10s %s\n", "app", "size", "backends", "description")

@@ -23,9 +23,13 @@
 //
 // Programs run on pluggable execution backends: the virtual-time
 // simulator prices every run on a machine model's clocks (deterministic,
-// paper-shaped curves), while the real shared-memory backend runs the
-// same program text as goroutines over native channels at hardware speed
-// with wall-clock metering. Experiment matrices (program × machine model
+// paper-shaped curves); the real shared-memory backend runs the same
+// program text as goroutines over native channels at hardware speed with
+// wall-clock metering; and the distributed backend routes the same
+// program's messages across worker OS processes over TCP (self-spawned
+// localhost workers by default, attachable cmd/archworker processes
+// otherwise). Computational results and message/byte meters are
+// identical on all three. Experiment matrices (program × machine model
 // × process count × backend) are swept concurrently by a worker-pool
 // scheduler; sweeps and runs are cancellable mid-flight through their
 // context.
@@ -41,6 +45,8 @@
 //	internal/backend      pluggable execution backends: the Transport/Runner
 //	                      seam, the virtual-time simulator, and the real
 //	                      shared-memory backend (wall-clock metering)
+//	internal/backend/dist distributed backend: worker OS processes over TCP
+//	                      (framing, rank handshake, crash fail-fast)
 //	internal/sched        concurrent sweep scheduler: bounded worker pool,
 //	                      deduplicating result cache, streamed curves
 //	internal/spmd         SPMD process runtime over any backend; typed,
@@ -59,6 +65,7 @@
 //	internal/perfmodel    closed-form performance models, simulator-validated
 //	cmd/archbench         CLI for the figures
 //	cmd/archdemo          registry-driven CLI running any application
+//	cmd/archworker        standalone dist worker (attach/join modes)
 //	examples/             twelve runnable walkthroughs; quickstart, sorting,
 //	                      and poisson go through the arch facade
 //

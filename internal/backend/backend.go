@@ -9,7 +9,7 @@
 // tagged FIFO messages between ranks and owns the notion of time — and a
 // Runner is a named Transport factory, one per execution backend.
 //
-// Two backends are built in:
+// Two backends are built into this package:
 //
 //   - Sim: the original virtual-time simulator. Every process carries a
 //     virtual clock advanced by compute charges and machine.Model message
@@ -20,10 +20,15 @@
 //     bytes are still counted identically to Sim, so cost accounting is
 //     comparable across backends.
 //
+// A third backend lives in the backend/dist sub-package and registers
+// itself as "dist": the same Transport operations routed across worker
+// OS processes over TCP (wall-clock metering, identical msg/byte counts).
+//
 // Programs keep their communication structure and computational results on
-// either backend; only the meaning of time changes. spmd.World runs on any
-// Transport (see spmd.NewWorldOn), and internal/sched sweeps experiment
-// matrices over backends concurrently.
+// every backend; only the meaning of time (and, for dist, the address
+// space messages cross) changes. spmd.World runs on any Transport (see
+// spmd.NewWorldOn), and internal/sched sweeps experiment matrices over
+// backends concurrently.
 package backend
 
 import (
@@ -123,6 +128,15 @@ func AsCanceled(r any) (error, bool) {
 	}
 	return nil, false
 }
+
+// Canceled returns the sentinel panic value carrying err, for Transport
+// implementations outside this package (backend/dist): panicking with
+// Canceled(err) from a transport operation unwinds the process goroutine
+// and makes spmd.World.Run report err instead of a process panic. Besides
+// context cancellation, transports use it for substrate failures a
+// process cannot recover from — a lost worker connection fails the run as
+// an error, not a hang or a panic.
+func Canceled(err error) any { return canceled{err} }
 
 var (
 	registryMu sync.RWMutex

@@ -1,0 +1,558 @@
+// Package dist is the distributed execution backend: an SPMD world whose
+// message fabric spans OS processes connected by TCP.
+//
+// The paper's archetype claim is that one communication skeleton runs on
+// many execution substrates. The sim and real backends prove it for two
+// in-process substrates; this package makes the Transport seam cross
+// address spaces. A run on the dist backend launches (or attaches to) N
+// worker processes — one per rank — and routes every Send, Recv, and
+// RecvAny (and therefore every collective, which is built from them)
+// through those workers over length-prefixed TCP frames:
+//
+//	coordinator ── control conn ──> worker[src] ── peer conn ──> worker[dst]
+//	coordinator <── control conn ── worker[dst]
+//
+// Rank bodies execute as goroutines in the coordinating process (they are
+// ordinary Go closures; shipping code is out of scope), but every payload
+// genuinely leaves the coordinator's address space as spmd wire-codec
+// bytes, crosses between worker processes, and is reconstructed on
+// receive — the bit-identical parity table across sim/real/dist is the
+// proof the codec and routing are faithful.
+//
+// Lifecycle: NewTransport spawns the workers (by default re-executing the
+// current binary — see MaybeWorker — authenticated by a per-world secret),
+// collects their hellos, assigns ranks, and broadcasts the address book;
+// all n ready frames complete the world-start barrier. Finish runs the
+// mirror-image barrier (finish/bye), then reaps the processes. Messages
+// and bytes are metered on the coordinator exactly as the in-process
+// mailbox meters them, so cost accounting is identical across backends.
+//
+// Failure is fail-fast: cancelling the run's context, or any worker
+// process dying mid-run, closes every control connection; blocked
+// receives unwind with the same cancellation sentinel the in-process
+// mailbox raises, and the run returns an error instead of hanging.
+package dist
+
+import (
+	"bufio"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/machine"
+	"repro/internal/spmd"
+)
+
+// runner is the dist backend: a Transport factory whose configuration
+// (spawn command or attach addresses, handshake timeout) is fixed at
+// construction. The registered default self-spawns localhost workers.
+type runner struct {
+	// attach lists pre-started worker control addresses (cmd/archworker
+	// -listen); empty means self-spawn.
+	attach []string
+	// workerCmd overrides the spawned command (default: this binary,
+	// relying on MaybeWorker). The coordinator address and world secret
+	// travel in the environment either way.
+	workerCmd []string
+	// handshake bounds world start: every worker must hello and ready
+	// within it.
+	handshake time.Duration
+}
+
+// Option configures a dist runner.
+type Option func(*runner)
+
+// WithWorkers attaches to pre-started workers at the given control
+// addresses (see cmd/archworker) instead of self-spawning. A run of n
+// processes uses the first n addresses; fewer than n is a run error.
+func WithWorkers(addrs ...string) Option {
+	return func(r *runner) { r.attach = append([]string(nil), addrs...) }
+}
+
+// WithWorkerCommand spawns workers by running the given command instead
+// of re-executing the current binary. The command must end up in
+// JoinWorld — the usual shape is a binary whose main calls MaybeWorker
+// (the coordinator address and world secret are passed in the
+// environment), wrapped in whatever launcher (container, numactl, ssh to
+// localhost) the deployment needs.
+func WithWorkerCommand(name string, args ...string) Option {
+	return func(r *runner) { r.workerCmd = append([]string{name}, args...) }
+}
+
+// WithHandshakeTimeout bounds how long NewTransport waits for all workers
+// to connect and ready (default 30s).
+func WithHandshakeTimeout(d time.Duration) Option {
+	return func(r *runner) { r.handshake = d }
+}
+
+// New builds a dist backend runner. The zero configuration — what the
+// registry's "dist" entry uses — self-spawns one localhost worker process
+// per rank by re-executing the current binary, so any binary whose main
+// calls MaybeWorker supports it out of the box.
+func New(opts ...Option) backend.Runner {
+	r := &runner{handshake: 30 * time.Second}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+func (r *runner) Name() string { return "dist" }
+
+// Virtual reports false: dist runs are wall-clock measurements (and spawn
+// real processes), so sweeps serialize them like the real backend's.
+func (r *runner) Virtual() bool { return false }
+
+func (r *runner) NewTransport(ctx context.Context, n int, m *machine.Model) backend.Transport {
+	t, err := r.start(ctx, n)
+	if err != nil {
+		return &failedTransport{n: n, err: fmt.Errorf("dist: world start: %w", err)}
+	}
+	return t
+}
+
+// start spawns (or dials) the workers and runs the world-start barrier.
+// On any error it tears down whatever it had started and returns the
+// error; the caller wraps it into a failedTransport so every rank's first
+// transport operation reports it.
+func (r *runner) start(ctx context.Context, n int) (*transport, error) {
+	t := &transport{
+		ctx:      ctx,
+		n:        n,
+		conns:    make([]*workerConn, 0, n),
+		counters: make([]shard, n),
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			t.teardown()
+		}
+	}()
+
+	deadline := time.Now().Add(r.handshake)
+	pidRank := map[int]int{}
+
+	if len(r.attach) > 0 {
+		if len(r.attach) < n {
+			return nil, fmt.Errorf("%d attached workers for a world of %d", len(r.attach), n)
+		}
+		for i := 0; i < n; i++ {
+			c, err := net.DialTimeout("tcp", r.attach[i], time.Until(deadline))
+			if err != nil {
+				return nil, fmt.Errorf("dialing worker %d: %w", i, err)
+			}
+			t.conns = append(t.conns, newWorkerConn(c))
+		}
+		for _, wc := range t.conns {
+			if err := wc.expectHello(deadline, ""); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("control listener: %w", err)
+		}
+		defer ln.Close()
+		var secret [16]byte
+		if _, err := rand.Read(secret[:]); err != nil {
+			return nil, fmt.Errorf("world secret: %w", err)
+		}
+		token := hex.EncodeToString(secret[:])
+		env := append(os.Environ(),
+			envWorker+"="+ln.Addr().String(),
+			envToken+"="+token)
+		for i := 0; i < n; i++ {
+			var cmd *exec.Cmd
+			if len(r.workerCmd) > 0 {
+				cmd = exec.CommandContext(ctx, r.workerCmd[0], r.workerCmd[1:]...)
+			} else {
+				exe, err := os.Executable()
+				if err != nil {
+					return nil, fmt.Errorf("locating own binary: %w", err)
+				}
+				cmd = exec.CommandContext(ctx, exe)
+			}
+			cmd.Env = env
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				return nil, fmt.Errorf("spawning worker %d: %w", i, err)
+			}
+			t.procs = append(t.procs, cmd)
+		}
+		tcpLn := ln.(*net.TCPListener)
+		for len(t.conns) < n {
+			if err := tcpLn.SetDeadline(deadline); err != nil {
+				return nil, err
+			}
+			c, err := ln.Accept()
+			if err != nil {
+				return nil, fmt.Errorf("accepting workers (%d of %d connected; workers self-spawn by re-executing this binary — does its main call dist.MaybeWorker?): %w",
+					len(t.conns), n, err)
+			}
+			wc := newWorkerConn(c)
+			if err := wc.expectHello(deadline, token); err != nil {
+				// Not our worker (stray connection or stale world):
+				// drop it and keep listening until the deadline.
+				c.Close()
+				continue
+			}
+			t.conns = append(t.conns, wc)
+		}
+	}
+
+	// All n workers present: assign ranks in arrival order, publish the
+	// address book and the peer-plane secret (minted per world so a
+	// worker's data listener only accepts its own world's peers — the
+	// control token cannot serve, attach-mode workers have none), and
+	// wait for every ready — the world-start barrier.
+	var peerSecretRaw [16]byte
+	if _, err := rand.Read(peerSecretRaw[:]); err != nil {
+		return nil, fmt.Errorf("peer secret: %w", err)
+	}
+	peerSecret := hex.EncodeToString(peerSecretRaw[:])
+	addrs := make([]string, n)
+	for rank, wc := range t.conns {
+		addrs[rank] = wc.peerAddr
+		pidRank[wc.pid] = rank
+	}
+	for rank, wc := range t.conns {
+		if err := writeFrame(wc.c, opAssign, assignBody(rank, n, peerSecret, addrs)); err != nil {
+			return nil, fmt.Errorf("assigning rank %d: %w", rank, err)
+		}
+	}
+	for rank, wc := range t.conns {
+		op, _, err := wc.read(deadline)
+		if err != nil {
+			return nil, fmt.Errorf("awaiting ready from rank %d: %w", rank, err)
+		}
+		if op != opReady {
+			return nil, fmt.Errorf("rank %d sent op %d instead of ready", rank, op)
+		}
+	}
+
+	// Monitors: a worker process dying mid-run fails the whole world
+	// instead of hanging ranks that wait for its messages. Each monitor
+	// owns its process's Wait; teardown reaps by joining the monitors.
+	t.monitored = true
+	for _, cmd := range t.procs {
+		rank, okRank := pidRank[cmd.Process.Pid]
+		if !okRank {
+			rank = -1
+		}
+		t.procWG.Add(1)
+		go func(cmd *exec.Cmd, rank int) {
+			defer t.procWG.Done()
+			err := cmd.Wait()
+			if !t.quiescent() {
+				t.fail(fmt.Errorf("dist: worker process for rank %d exited mid-run: %v", rank, err))
+			}
+		}(cmd, rank)
+	}
+	if ctx.Done() != nil {
+		t.stopCancel = context.AfterFunc(ctx, func() {
+			t.fail(ctx.Err())
+		})
+	}
+	t.begin = time.Now()
+	ok = true
+	return t, nil
+}
+
+func init() { backend.Register(New()) }
+
+// workerConn is the coordinator's control connection to one worker. After
+// the handshake it is owned exclusively by that rank's process goroutine
+// (the Transport contract makes rank operations rank-serial), so reads
+// and writes need no locking; Close is the only concurrent call (from
+// fail) and net.Conn guarantees it is safe.
+type workerConn struct {
+	c        net.Conn
+	br       *bufio.Reader
+	buf      []byte // write scratch, rank-goroutine only
+	peerAddr string
+	pid      int
+}
+
+func newWorkerConn(c net.Conn) *workerConn {
+	return &workerConn{c: c, br: bufio.NewReader(c)}
+}
+
+// read returns the next frame; a zero deadline means block indefinitely.
+func (wc *workerConn) read(deadline time.Time) (byte, []byte, error) {
+	if err := wc.c.SetReadDeadline(deadline); err != nil {
+		return 0, nil, err
+	}
+	return readFrame(wc.br)
+}
+
+// expectHello consumes the worker's hello frame, checking the world
+// secret when one is required.
+func (wc *workerConn) expectHello(deadline time.Time, token string) error {
+	op, body, err := wc.read(deadline)
+	if err != nil {
+		return fmt.Errorf("awaiting hello: %w", err)
+	}
+	if op != opHello {
+		return fmt.Errorf("expected hello frame, got op %d", op)
+	}
+	got, peerAddr, pid, err := parseHello(body)
+	if err != nil {
+		return err
+	}
+	if token != "" && got != token {
+		return fmt.Errorf("hello with wrong world secret")
+	}
+	wc.peerAddr, wc.pid = peerAddr, pid
+	return nil
+}
+
+// write sends one frame through the connection's scratch buffer in a
+// single Write call.
+func (wc *workerConn) write(op byte, body []byte) error {
+	wc.buf = appendFrame(wc.buf[:0], op, body)
+	_, err := wc.c.Write(wc.buf)
+	return err
+}
+
+// shard is one rank's message/byte tally, written only by that rank's
+// goroutine and summed in Finish (after every process returned, so the
+// world's WaitGroup provides the happens-before edge), mirroring the
+// in-process mailbox's sharded meters.
+type shard struct {
+	msgs  int64
+	bytes int64
+	_     [112]byte
+}
+
+// transport is the coordinator side of one dist run.
+type transport struct {
+	ctx   context.Context
+	n     int
+	begin time.Time
+
+	conns    []*workerConn
+	procs    []*exec.Cmd
+	counters []shard
+
+	mu        sync.Mutex
+	err       error
+	finishing bool
+
+	// monitored reports whether per-process Wait monitors run (set once
+	// the world started); teardown reaps through them when they do.
+	monitored bool
+	procWG    sync.WaitGroup
+
+	stopCancel func() bool
+}
+
+// fail records the run's first fatal error and closes every control
+// connection, unwinding all blocked operations. After Finish has begun it
+// is a no-op (workers exiting at world end are not failures).
+func (t *transport) fail(err error) {
+	t.mu.Lock()
+	if t.finishing || t.err != nil {
+		t.mu.Unlock()
+		return
+	}
+	t.err = err
+	t.mu.Unlock()
+	for _, wc := range t.conns {
+		wc.c.Close()
+	}
+}
+
+// quiescent reports whether the run already failed or is finishing — the
+// states in which a worker exit is expected rather than fatal.
+func (t *transport) quiescent() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.finishing || t.err != nil
+}
+
+func (t *transport) runErr() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// raise converts an I/O failure on a control connection into the
+// cancellation sentinel, preferring the run's root cause (recorded fail,
+// then context cancellation) over the local symptom.
+func (t *transport) raise(rank int, ioErr error) {
+	if err := t.runErr(); err != nil {
+		panic(backend.Canceled(err))
+	}
+	if err := t.ctx.Err(); err != nil {
+		panic(backend.Canceled(err))
+	}
+	err := fmt.Errorf("dist: rank %d worker connection: %w", rank, ioErr)
+	t.fail(err)
+	panic(backend.Canceled(err))
+}
+
+// Charge discards modeled computation like the real backend: computation
+// takes real time here.
+func (t *transport) Charge(rank int, sec float64) {}
+
+// SetResident is a no-op: the host's memory system pages for real.
+func (t *transport) SetResident(rank int, bytes float64) {}
+
+func (t *transport) Clock(rank int) float64 { return time.Since(t.begin).Seconds() }
+
+// Idle cannot advance a wall clock.
+func (t *transport) Idle(rank int, at float64) {}
+
+func (t *transport) Send(src, dst, tag int, data any, bytes int) {
+	wc := t.conns[src]
+	hdr := msgHeader(dst, tag, bytes, nil)
+	body, err := spmd.AppendPayload(hdr, data)
+	if err != nil {
+		// A payload outside the wire codec is a programming error of the
+		// same class as a tag mismatch: panic with the reason rather
+		// than poisoning the run with a substrate error.
+		panic(fmt.Sprintf("dist: process %d: %v", src, err))
+	}
+	if err := wc.write(opSend, body); err != nil {
+		t.raise(src, err)
+	}
+	if src != dst {
+		sh := &t.counters[src]
+		sh.msgs++
+		sh.bytes += int64(bytes)
+	}
+}
+
+// recvMsg runs one request/response on dst's control connection and
+// decodes the delivered message.
+func (t *transport) recvMsg(dst int, reqOp byte, reqBody []byte) (src, tag int, data any) {
+	wc := t.conns[dst]
+	if err := wc.write(reqOp, reqBody); err != nil {
+		t.raise(dst, err)
+	}
+	op, body, err := wc.read(time.Time{})
+	if err != nil {
+		t.raise(dst, err)
+	}
+	if op != opMsg {
+		t.raise(dst, fmt.Errorf("expected message frame, got op %d", op))
+	}
+	src, tag, _, payload, err := parseMsgHeader(body)
+	if err != nil {
+		t.raise(dst, err)
+	}
+	data, _, err = spmd.DecodePayload(payload)
+	if err != nil {
+		t.raise(dst, fmt.Errorf("decoding message from %d: %w", src, err))
+	}
+	return src, tag, data
+}
+
+func (t *transport) Recv(src, dst, tag int) any {
+	from, mtag, data := t.recvMsg(dst, opRecv, recvBody(src))
+	if from != src {
+		t.raise(dst, fmt.Errorf("asked for a message from %d, worker delivered one from %d", src, from))
+	}
+	if mtag != tag {
+		panic(fmt.Sprintf("dist: process %d expected tag %d from %d, got %d", dst, tag, src, mtag))
+	}
+	return data
+}
+
+func (t *transport) RecvAny(dst, tag int) (int, any) {
+	src, mtag, data := t.recvMsg(dst, opRecvAny, nil)
+	if mtag != tag {
+		panic(fmt.Sprintf("dist: process %d expected tag %d from any source, got %d from %d",
+			dst, tag, mtag, src))
+	}
+	return src, data
+}
+
+// Finish runs the world-finish barrier (finish/bye with every live
+// worker), tears the substrate down, and assembles the run summary.
+func (t *transport) Finish() backend.Result {
+	elapsed := time.Since(t.begin).Seconds()
+	t.mu.Lock()
+	t.finishing = true
+	failedErr := t.err
+	t.mu.Unlock()
+	if t.stopCancel != nil {
+		t.stopCancel()
+		t.stopCancel = nil
+	}
+	if failedErr == nil && t.ctx.Err() == nil {
+		deadline := time.Now().Add(10 * time.Second)
+		for _, wc := range t.conns {
+			wc.write(opFinish, nil) //nolint:errcheck // teardown is best-effort
+		}
+		for _, wc := range t.conns {
+			wc.read(deadline) //nolint:errcheck // bye or EOF both end the world
+		}
+	}
+	t.teardown()
+	res := backend.Result{Makespan: elapsed, Clocks: make([]float64, t.n)}
+	for i := range res.Clocks {
+		res.Clocks[i] = elapsed
+	}
+	for i := range t.counters {
+		res.Msgs += t.counters[i].msgs
+		res.Bytes += t.counters[i].bytes
+	}
+	return res
+}
+
+// teardown closes connections and reaps worker processes. Workers exit on
+// their own once their control connection closes; the kill is the
+// backstop that bounds Wait.
+func (t *transport) teardown() {
+	if t.stopCancel != nil {
+		t.stopCancel()
+		t.stopCancel = nil
+	}
+	t.mu.Lock()
+	t.finishing = true
+	t.mu.Unlock()
+	for _, wc := range t.conns {
+		wc.c.Close()
+	}
+	for _, cmd := range t.procs {
+		cmd.Process.Kill() //nolint:errcheck // already-exited is fine
+	}
+	if t.monitored {
+		t.procWG.Wait()
+	} else {
+		for _, cmd := range t.procs {
+			cmd.Wait() //nolint:errcheck // reap; exit status is not news here
+		}
+	}
+	t.procs = nil
+}
+
+// failedTransport is what NewTransport returns when the world could not
+// start (the Runner interface has no error channel): every operation a
+// rank attempts raises the cancellation sentinel carrying the start
+// error, so the run reports it instead of executing on a half-built
+// substrate.
+type failedTransport struct {
+	n   int
+	err error
+}
+
+func (f *failedTransport) Charge(rank int, sec float64)         { panic(backend.Canceled(f.err)) }
+func (f *failedTransport) SetResident(rank int, bytes float64)  { panic(backend.Canceled(f.err)) }
+func (f *failedTransport) Clock(rank int) float64               { panic(backend.Canceled(f.err)) }
+func (f *failedTransport) Idle(rank int, at float64)            { panic(backend.Canceled(f.err)) }
+func (f *failedTransport) Send(src, dst, tag int, d any, b int) { panic(backend.Canceled(f.err)) }
+func (f *failedTransport) Recv(src, dst, tag int) any           { panic(backend.Canceled(f.err)) }
+func (f *failedTransport) RecvAny(dst, tag int) (int, any)      { panic(backend.Canceled(f.err)) }
+func (f *failedTransport) Finish() backend.Result {
+	return backend.Result{Clocks: make([]float64, f.n)}
+}

@@ -1,0 +1,264 @@
+package dist_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/backend/dist"
+	"repro/internal/collective"
+	"repro/internal/machine"
+	"repro/internal/spmd"
+)
+
+// TestMain lets this test binary serve as its own dist worker: the
+// backend's default mode self-spawns the current binary, and MaybeWorker
+// diverts those child processes into the worker loop before any test
+// runs.
+func TestMain(m *testing.M) {
+	dist.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+func runOn(t *testing.T, r backend.Runner, n int, body func(p *spmd.Proc)) (*spmd.Result, error) {
+	t.Helper()
+	w, err := spmd.NewWorldOn(context.Background(), r, n, machine.IBMSP())
+	if err != nil {
+		t.Fatalf("NewWorldOn: %v", err)
+	}
+	return w.Run(body)
+}
+
+// TestDistRegistered pins the registry entry the arch facade resolves.
+func TestDistRegistered(t *testing.T) {
+	r, ok := backend.ByName("dist")
+	if !ok {
+		t.Fatal(`backend "dist" not registered`)
+	}
+	if r.Virtual() {
+		t.Error("dist must be a wall-clock backend")
+	}
+}
+
+// TestDistExchange runs a ring exchange plus collectives across worker
+// processes and checks results and meters against the real backend: the
+// communication volume must be identical, only the substrate differs.
+func TestDistExchange(t *testing.T) {
+	const n = 4
+	prog := func(sums []float64) func(p *spmd.Proc) {
+		return func(p *spmd.Proc) {
+			rank := p.Rank()
+			next, prev := (rank+1)%n, (rank+n-1)%n
+			spmd.SendT(p, next, 7, []float64{float64(rank), float64(rank * rank)})
+			got := spmd.Recv[[]float64](p, prev, 7)
+			if got[0] != float64(prev) || got[1] != float64(prev*prev) {
+				panic(fmt.Sprintf("rank %d: bad ring payload %v", rank, got))
+			}
+			// Self-send exercises the local short-circuit path.
+			p.Send(rank, 9, int32(rank))
+			if v := spmd.Recv[int32](p, rank, 9); v != int32(rank) {
+				panic("self-send corrupted")
+			}
+			sum := collective.AllReduce(p, float64(rank+1), func(a, b float64) float64 { return a + b })
+			sums[rank] = sum
+		}
+	}
+
+	distSums := make([]float64, n)
+	distRes, err := runOn(t, dist.New(), n, prog(distSums))
+	if err != nil {
+		t.Fatalf("dist run: %v", err)
+	}
+	realSums := make([]float64, n)
+	realRes, err := runOn(t, backend.Real(), n, prog(realSums))
+	if err != nil {
+		t.Fatalf("real run: %v", err)
+	}
+	for rank, sum := range distSums {
+		if sum != 10 {
+			t.Errorf("rank %d: allreduce sum = %g, want 10", rank, sum)
+		}
+		if sum != realSums[rank] {
+			t.Errorf("rank %d: dist %g != real %g", rank, sum, realSums[rank])
+		}
+	}
+	if distRes.Msgs != realRes.Msgs || distRes.Bytes != realRes.Bytes {
+		t.Errorf("meters differ: dist %d msgs/%d bytes, real %d msgs/%d bytes",
+			distRes.Msgs, distRes.Bytes, realRes.Msgs, realRes.Bytes)
+	}
+	if distRes.Makespan <= 0 {
+		t.Errorf("dist makespan = %g, want positive wall-clock", distRes.Makespan)
+	}
+}
+
+// TestDistRecvAny checks cross-source receives: rank 0 collects one
+// tagged message from every other rank, in whatever order they arrive.
+func TestDistRecvAny(t *testing.T) {
+	const n = 4
+	got := make([]bool, n)
+	_, err := runOn(t, dist.New(), n, func(p *spmd.Proc) {
+		if p.Rank() != 0 {
+			spmd.SendT(p, 0, 3, p.Rank())
+			return
+		}
+		for i := 1; i < n; i++ {
+			src, v := p.RecvAny(3)
+			if v.(int) != src {
+				panic(fmt.Sprintf("payload %v from %d", v, src))
+			}
+			got[src] = true
+		}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for src := 1; src < n; src++ {
+		if !got[src] {
+			t.Errorf("no message received from rank %d", src)
+		}
+	}
+}
+
+// TestDistCancellation pins the unwinding contract: cancelling the run's
+// context must release ranks blocked in cross-process receives and
+// return the context's error, exactly like the in-process mailbox
+// sentinel path.
+func TestDistCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	w, err := spmd.NewWorldOn(ctx, dist.New(), 2, machine.IBMSP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Run(func(p *spmd.Proc) {
+			p.Recv((p.Rank()+1)%2, 1) // nobody sends: blocks until cancelled
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled dist run did not unwind")
+	}
+}
+
+// TestDistCrashedWorker is the crash-hardening regression: killing one
+// worker process mid-run must surface as a run error on every rank —
+// including ranks blocked waiting for the dead rank's messages — not as
+// a hang.
+func TestDistCrashedWorker(t *testing.T) {
+	t.Setenv("ARCHDIST_CRASH_RANK", "1") // worker for rank 1 dies on its first send
+	const n = 4
+	done := make(chan error, 1)
+	go func() {
+		_, err := runOn(t, dist.New(), n, func(p *spmd.Proc) {
+			rank := p.Rank()
+			spmd.SendT(p, (rank+1)%n, 5, rank)
+			spmd.Recv[int](p, (rank+n-1)%n, 5)
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("run with a crashed worker returned nil error")
+		}
+		if errors.Is(err, context.Canceled) {
+			t.Fatalf("crash surfaced as cancellation, want a worker failure: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("run with a crashed worker hung")
+	}
+}
+
+// TestDistAttach exercises attach mode: workers pre-started on their own
+// listeners (cmd/archworker's loop, run in-process here), a coordinator
+// that dials instead of spawning.
+func TestDistAttach(t *testing.T) {
+	const n = 3
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		addrs[i] = ln.Addr().String()
+		go dist.Serve(ln) //nolint:errcheck // ends when the listener closes
+	}
+	var got int
+	res, err := runOn(t, dist.New(dist.WithWorkers(addrs...)), n, func(p *spmd.Proc) {
+		v := collective.Reduce(p, 0, p.Rank()+1, func(a, b int) int { return a + b })
+		if p.Rank() == 0 {
+			got = v
+		}
+	})
+	if err != nil {
+		t.Fatalf("attach run: %v", err)
+	}
+	if got != 6 {
+		t.Errorf("reduce = %d, want 6", got)
+	}
+	if res.Msgs != n-1 {
+		t.Errorf("msgs = %d, want %d", res.Msgs, n-1)
+	}
+}
+
+// TestDistStartFailures pins that unstartable worlds report errors
+// instead of hanging or half-running.
+func TestDistStartFailures(t *testing.T) {
+	t.Run("too-few-attached-workers", func(t *testing.T) {
+		_, err := runOn(t, dist.New(dist.WithWorkers("127.0.0.1:1")), 2, func(p *spmd.Proc) {
+			p.Charge(0)
+		})
+		if err == nil || !strings.Contains(err.Error(), "world start") {
+			t.Fatalf("err = %v, want world start error", err)
+		}
+	})
+	t.Run("unspawnable-worker-command", func(t *testing.T) {
+		r := dist.New(dist.WithWorkerCommand("/nonexistent/archdist-worker"), dist.WithHandshakeTimeout(5*time.Second))
+		_, err := runOn(t, r, 2, func(p *spmd.Proc) {
+			p.Charge(0)
+		})
+		if err == nil || !strings.Contains(err.Error(), "world start") {
+			t.Fatalf("err = %v, want world start error", err)
+		}
+	})
+}
+
+// TestDistSizedPayloads sends an app-style Sized wrapper type through the
+// reflection fallback of the wire codec, across real process boundaries.
+func TestDistSizedPayloads(t *testing.T) {
+	type block struct {
+		X0, X1 int
+		Data   []float64
+	}
+	const n = 2
+	_, err := runOn(t, dist.New(), n, func(p *spmd.Proc) {
+		if p.Rank() == 0 {
+			spmd.SendT(p, 1, 11, block{X0: 2, X1: 5, Data: []float64{1.5, 2.5, 3.5}})
+			return
+		}
+		b := spmd.Recv[block](p, 0, 11)
+		if b.X0 != 2 || b.X1 != 5 || len(b.Data) != 3 || b.Data[2] != 3.5 {
+			panic(fmt.Sprintf("corrupted block %+v", b))
+		}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -1,0 +1,230 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The wire protocol: every connection carries length-prefixed frames
+//
+//	[u32 big-endian length] [u8 op] [body...]
+//
+// where length counts the op byte plus the body. Three kinds of
+// connection speak it:
+//
+//   - control (coordinator ↔ worker): the handshake (hello/assign/ready),
+//     then the coordinator-driven operation stream — opSend (fire and
+//     forget), opRecv/opRecvAny (request) answered by opMsg (response),
+//     and the opFinish/opBye finish barrier. The Transport contract makes
+//     rank r's operations rank-serial, so a control connection never has
+//     more than one outstanding request.
+//   - peer (worker ↔ worker): one opPeerHello identifying the dialer,
+//     then a one-way opData stream. Peer connections are dialed lazily on
+//     the first send toward that rank.
+//
+// Message payloads inside opSend/opData/opMsg are spmd wire-codec bytes;
+// workers forward them opaquely and only the coordinator encodes and
+// decodes.
+const (
+	opHello byte = 1 + iota
+	opAssign
+	opReady
+	opSend
+	opRecv
+	opRecvAny
+	opMsg
+	opFinish
+	opBye
+	opPeerHello
+	opData
+)
+
+// maxFrame bounds a frame so a corrupt or hostile length prefix cannot
+// trigger a gigantic allocation.
+const maxFrame = 1 << 30
+
+// appendFrame appends a complete frame to buf (a reusable scratch
+// buffer) so the caller can issue it as one Write.
+func appendFrame(buf []byte, op byte, body []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(1+len(body)))
+	buf = append(buf, op)
+	return append(buf, body...)
+}
+
+// writeFrame sends one frame in a single Write call.
+func writeFrame(w io.Writer, op byte, body []byte) error {
+	_, err := w.Write(appendFrame(make([]byte, 0, 5+len(body)), op, body))
+	return err
+}
+
+// readFrame reads one frame. The returned body is freshly allocated and
+// owned by the caller.
+func readFrame(br *bufio.Reader) (op byte, body []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	length := binary.BigEndian.Uint32(hdr[:4])
+	if length == 0 || length > maxFrame {
+		return 0, nil, fmt.Errorf("dist: invalid frame length %d", length)
+	}
+	body = make([]byte, length-1)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], body, nil
+}
+
+// Handshake and header bodies are hand-rolled uvarint/fixed-width
+// encodings, tiny cousins of the spmd payload codec.
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// reader cursors over a frame body; its err field latches the first
+// truncation so call sites check once.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("dist: truncated frame body at offset %d", r.off)
+	}
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) string() string {
+	if r.err != nil {
+		return ""
+	}
+	n, w := binary.Uvarint(r.b[r.off:])
+	// Compare in uint64 space: a corrupt huge length must fail cleanly,
+	// not overflow the int conversion into a passing bounds check (the
+	// coordinator parses hello frames from arbitrary connections).
+	if w <= 0 || n > uint64(len(r.b)-r.off-w) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.off+w : r.off+w+int(n)])
+	r.off += w + int(n)
+	return s
+}
+
+func (r *reader) rest() []byte {
+	if r.err != nil {
+		return nil
+	}
+	return r.b[r.off:]
+}
+
+// hello (worker → coordinator): authenticate and advertise.
+func helloBody(token, peerAddr string, pid int) []byte {
+	buf := appendString(nil, token)
+	buf = appendString(buf, peerAddr)
+	return binary.BigEndian.AppendUint64(buf, uint64(pid))
+}
+
+func parseHello(b []byte) (token, peerAddr string, pid int, err error) {
+	r := &reader{b: b}
+	token, peerAddr = r.string(), r.string()
+	pid = int(r.u64())
+	return token, peerAddr, pid, r.err
+}
+
+// assign (coordinator → worker): rank, world size, the peer-plane
+// secret, and every rank's peer address. Sent only after all n hellos
+// arrived — the world-start barrier's first half. The secret is minted
+// per world by the coordinator and echoed in every peerhello, so a
+// worker's data plane only accepts connections from its own world (the
+// control-plane token cannot serve here: attach-mode workers have none).
+func assignBody(rank, n int, peerSecret string, addrs []string) []byte {
+	buf := binary.BigEndian.AppendUint32(nil, uint32(rank))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(n))
+	buf = appendString(buf, peerSecret)
+	for _, a := range addrs {
+		buf = appendString(buf, a)
+	}
+	return buf
+}
+
+func parseAssign(b []byte) (rank, n int, peerSecret string, addrs []string, err error) {
+	r := &reader{b: b}
+	rank, n = int(r.u32()), int(r.u32())
+	if r.err == nil && (n <= 0 || n > maxFrame) {
+		return 0, 0, "", nil, fmt.Errorf("dist: invalid assign world size %d", n)
+	}
+	peerSecret = r.string()
+	addrs = make([]string, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		addrs = append(addrs, r.string())
+	}
+	return rank, n, peerSecret, addrs, r.err
+}
+
+// send (coordinator → worker) / data (worker → worker) / msg (worker →
+// coordinator) share one header shape: the varying rank field (dst for
+// send, src for data and msg), the tag, the metered byte count, then the
+// opaque payload.
+func msgHeader(rank, tag, metered int, payload []byte) []byte {
+	buf := make([]byte, 0, 20+len(payload))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(rank))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(int64(tag)))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(int64(metered)))
+	return append(buf, payload...)
+}
+
+func parseMsgHeader(b []byte) (rank, tag, metered int, payload []byte, err error) {
+	r := &reader{b: b}
+	rank = int(r.u32())
+	tag = int(int64(r.u64()))
+	metered = int(int64(r.u64()))
+	return rank, tag, metered, r.rest(), r.err
+}
+
+func recvBody(src int) []byte {
+	return binary.BigEndian.AppendUint32(nil, uint32(src))
+}
+
+func parseRecv(b []byte) (src int, err error) {
+	r := &reader{b: b}
+	src = int(r.u32())
+	return src, r.err
+}
+
+func peerHelloBody(from int, peerSecret string) []byte {
+	buf := binary.BigEndian.AppendUint32(nil, uint32(from))
+	return appendString(buf, peerSecret)
+}
+
+func parsePeerHello(b []byte) (from int, peerSecret string, err error) {
+	r := &reader{b: b}
+	from = int(r.u32())
+	peerSecret = r.string()
+	return from, peerSecret, r.err
+}

@@ -1,0 +1,63 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// TestProtoRoundTrip pins the frame-body encodings both planes speak.
+func TestProtoRoundTrip(t *testing.T) {
+	token, addr, pid, err := parseHello(helloBody("tok", "127.0.0.1:9", 42))
+	if err != nil || token != "tok" || addr != "127.0.0.1:9" || pid != 42 {
+		t.Fatalf("hello round trip = %q %q %d %v", token, addr, pid, err)
+	}
+	rank, n, secret, addrs, err := parseAssign(assignBody(2, 3, "s3cret", []string{"a", "b", "c"}))
+	if err != nil || rank != 2 || n != 3 || secret != "s3cret" || len(addrs) != 3 || addrs[1] != "b" {
+		t.Fatalf("assign round trip = %d %d %q %v %v", rank, n, secret, addrs, err)
+	}
+	from, psec, err := parsePeerHello(peerHelloBody(1, "s3cret"))
+	if err != nil || from != 1 || psec != "s3cret" {
+		t.Fatalf("peerhello round trip = %d %q %v", from, psec, err)
+	}
+	r, tag, metered, payload, err := parseMsgHeader(msgHeader(5, -7, 16, []byte{1, 2}))
+	if err != nil || r != 5 || tag != -7 || metered != 16 || !bytes.Equal(payload, []byte{1, 2}) {
+		t.Fatalf("msg header round trip = %d %d %d %v %v", r, tag, metered, payload, err)
+	}
+}
+
+// TestProtoMalformedFrames pins that forged or corrupt frames surface as
+// errors, never panics: the coordinator's control listener parses hello
+// frames from arbitrary connections.
+func TestProtoMalformedFrames(t *testing.T) {
+	// A string whose uvarint length is astronomically larger than the
+	// body: the overflow-bait case.
+	huge := binary.AppendUvarint(nil, 1<<62)
+	if _, _, _, err := parseHello(huge); err == nil {
+		t.Error("parseHello(huge length): want error")
+	}
+	if _, _, _, _, err := parseAssign(append(binary.BigEndian.AppendUint32(binary.BigEndian.AppendUint32(nil, 0), 2), huge...)); err == nil {
+		t.Error("parseAssign(huge length): want error")
+	}
+	if _, _, err := parsePeerHello(append(binary.BigEndian.AppendUint32(nil, 1), huge...)); err == nil {
+		t.Error("parsePeerHello(huge length): want error")
+	}
+	for _, b := range [][]byte{nil, {1}, {1, 2, 3}} {
+		if _, _, _, err := parseHello(b); err == nil {
+			t.Errorf("parseHello(%v): want error", b)
+		}
+		if _, _, _, _, err := parseMsgHeader(b); err == nil {
+			t.Errorf("parseMsgHeader(%v): want error", b)
+		}
+	}
+	// Zero and oversized frame lengths are rejected before allocation.
+	for _, hdr := range [][]byte{
+		{0, 0, 0, 0, 0},
+		{0xFF, 0xFF, 0xFF, 0xFF, 0},
+	} {
+		if _, _, err := readFrame(bufio.NewReader(bytes.NewReader(hdr))); err == nil {
+			t.Errorf("readFrame(length %v): want error", hdr[:4])
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package dist
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+)
+
+// Environment keys of the self-spawn protocol: the coordinator launches
+// its own binary again with envWorker pointing at its control listener,
+// and MaybeWorker turns that process into a worker before the host
+// program's main logic runs.
+const (
+	envWorker = "ARCHDIST_WORKER"
+	envToken  = "ARCHDIST_TOKEN"
+	// envCrashRank is a test hook: the worker whose assigned rank matches
+	// kills itself upon its first send, simulating a mid-run crash.
+	envCrashRank = "ARCHDIST_CRASH_RANK"
+)
+
+// MaybeWorker turns the current process into a dist worker when it was
+// self-spawned by a dist coordinator (the ARCHDIST_WORKER environment
+// variable is set) and never returns in that case; otherwise it is a
+// no-op. Call it first thing in main (and in TestMain) of any binary
+// that should support the dist backend's default self-spawn mode —
+// cmd/archdemo, cmd/archbench, cmd/archworker, and the repository's test
+// binaries all do.
+func MaybeWorker() {
+	addr := os.Getenv(envWorker)
+	if addr == "" {
+		return
+	}
+	if err := JoinWorld(addr, os.Getenv(envToken)); err != nil {
+		fmt.Fprintf(os.Stderr, "dist worker: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// JoinWorld dials a coordinator's control address and serves one world as
+// a worker, returning when the world finishes (nil) or dies (the error).
+// An empty token falls back to the ARCHDIST_TOKEN environment variable,
+// so explicit worker entry points (archworker -join, archdemo -worker)
+// authenticate the same way self-spawned workers do.
+func JoinWorld(addr, token string) error {
+	if token == "" {
+		token = os.Getenv(envToken)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dist: dialing coordinator %s: %w", addr, err)
+	}
+	return ServeConn(conn, token)
+}
+
+// Serve accepts coordinator connections on l and serves one world per
+// connection, concurrently — the attach-mode worker loop behind
+// cmd/archworker. It returns only when the listener fails (closing l is
+// the way to stop it).
+func Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			if err := ServeConn(conn, ""); err != nil {
+				fmt.Fprintf(os.Stderr, "dist worker: world failed: %v\n", err)
+			}
+		}()
+	}
+}
+
+// ServeConn speaks the worker side of the control protocol on an
+// established coordinator connection: handshake (hello → assign → ready),
+// then the operation stream until opFinish (returns nil), the
+// coordinator's disappearance (returns nil — a cancelled run tears
+// workers down by closing their connections), or a substrate failure
+// (returns the error; in a spawned worker process the nonzero exit is
+// what tells the coordinator's process monitor the world is dead). token
+// travels in the hello frame; self-spawned workers relay the coordinator's
+// secret, attach-mode workers send the empty string (the coordinator
+// dialed them, so the connection itself is the introduction).
+func ServeConn(conn net.Conn, token string) error {
+	defer conn.Close()
+
+	// Peer listener: other workers dial here. Bind the same interface the
+	// coordinator reached us on so multi-host attach topologies work.
+	host, _, err := net.SplitHostPort(conn.LocalAddr().String())
+	if err != nil {
+		return fmt.Errorf("dist: worker local addr: %w", err)
+	}
+	peerLn, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		return fmt.Errorf("dist: worker peer listener: %w", err)
+	}
+	defer peerLn.Close()
+
+	if err := writeFrame(conn, opHello, helloBody(token, peerLn.Addr().String(), os.Getpid())); err != nil {
+		return fmt.Errorf("dist: worker hello: %w", err)
+	}
+	br := bufio.NewReader(conn)
+	op, body, err := readFrame(br)
+	if err != nil {
+		return fmt.Errorf("dist: worker awaiting assignment: %w", err)
+	}
+	if op != opAssign {
+		return fmt.Errorf("dist: worker expected assign frame, got op %d", op)
+	}
+	rank, n, peerSecret, addrs, err := parseAssign(body)
+	if err != nil {
+		return err
+	}
+	if rank < 0 || rank >= n {
+		return fmt.Errorf("dist: assigned rank %d outside world of %d", rank, n)
+	}
+
+	w := &worker{
+		rank:    rank,
+		n:       n,
+		addrs:   addrs,
+		secret:  peerSecret,
+		peers:   make([]net.Conn, n),
+		q:       newInQueue(n),
+		control: conn,
+	}
+	w.crash = os.Getenv(envCrashRank) == strconv.Itoa(rank)
+	defer w.closePeers()
+
+	go w.acceptPeers(peerLn)
+
+	if err := writeFrame(conn, opReady, nil); err != nil {
+		return fmt.Errorf("dist: worker ready: %w", err)
+	}
+
+	// The reader feeds frames to the handler so a vanished coordinator
+	// unblocks a handler parked in a queue wait: on read failure the
+	// queue closes and the handler returns.
+	type frame struct {
+		op   byte
+		body []byte
+	}
+	frames := make(chan frame, 64)
+	handlerDone := make(chan struct{})
+	defer close(handlerDone)
+	go func() {
+		defer close(frames)
+		defer w.q.close()
+		for {
+			op, body, err := readFrame(br)
+			if err != nil {
+				return
+			}
+			select {
+			case frames <- frame{op, body}:
+			case <-handlerDone:
+				return
+			}
+		}
+	}()
+
+	for f := range frames {
+		switch f.op {
+		case opSend:
+			if w.crash {
+				// Test hook: die exactly where a real fault would —
+				// mid-run, with peers blocked on messages that will
+				// never arrive.
+				os.Exit(3)
+			}
+			dst, tag, metered, payload, err := parseMsgHeader(f.body)
+			if err != nil {
+				return err
+			}
+			if dst < 0 || dst >= n {
+				return fmt.Errorf("dist: worker %d: send to invalid rank %d", rank, dst)
+			}
+			if err := w.forward(dst, tag, metered, payload); err != nil {
+				return err
+			}
+		case opRecv:
+			src, err := parseRecv(f.body)
+			if err != nil {
+				return err
+			}
+			if src < 0 || src >= n {
+				return fmt.Errorf("dist: worker %d: recv from invalid rank %d", rank, src)
+			}
+			m, ok := w.q.pop(src)
+			if !ok {
+				return nil
+			}
+			if err := writeFrame(conn, opMsg, msgHeader(m.src, m.tag, m.metered, m.payload)); err != nil {
+				return fmt.Errorf("dist: worker %d: delivering message: %w", rank, err)
+			}
+		case opRecvAny:
+			m, ok := w.q.popAny()
+			if !ok {
+				return nil
+			}
+			if err := writeFrame(conn, opMsg, msgHeader(m.src, m.tag, m.metered, m.payload)); err != nil {
+				return fmt.Errorf("dist: worker %d: delivering message: %w", rank, err)
+			}
+		case opFinish:
+			// Finish barrier: acknowledge, then tear down.
+			if err := writeFrame(conn, opBye, nil); err != nil {
+				return fmt.Errorf("dist: worker %d: bye: %w", rank, err)
+			}
+			return nil
+		default:
+			return fmt.Errorf("dist: worker %d: unexpected control op %d", rank, f.op)
+		}
+	}
+	// Control connection gone without a finish frame: the coordinator
+	// cancelled or crashed. Exiting quietly is the cancellation path.
+	return nil
+}
+
+// worker is one rank's message endpoint: the per-rank OS process (or, in
+// attach mode, per-world goroutine set) owning that rank's inbox and its
+// outbound peer connections.
+type worker struct {
+	rank, n int
+	addrs   []string
+	// secret is the world's peer-plane secret from the assign frame:
+	// sent in every outgoing peerhello, required on every incoming one.
+	secret  string
+	peers   []net.Conn // lazily dialed, handler-goroutine only
+	q       *inQueue
+	control net.Conn
+	crash   bool
+}
+
+// forward routes a message from this worker's rank toward dst: local
+// enqueue for self-sends, a peer connection otherwise (dialed on first
+// use — per-peer connection management).
+func (w *worker) forward(dst, tag, metered int, payload []byte) error {
+	if dst == w.rank {
+		w.q.push(inMsg{src: w.rank, tag: tag, metered: metered, payload: payload})
+		return nil
+	}
+	pc := w.peers[dst]
+	if pc == nil {
+		c, err := net.Dial("tcp", w.addrs[dst])
+		if err != nil {
+			return fmt.Errorf("dist: worker %d dialing peer %d: %w", w.rank, dst, err)
+		}
+		if err := writeFrame(c, opPeerHello, peerHelloBody(w.rank, w.secret)); err != nil {
+			c.Close()
+			return fmt.Errorf("dist: worker %d greeting peer %d: %w", w.rank, dst, err)
+		}
+		w.peers[dst] = c
+		pc = c
+	}
+	if err := writeFrame(pc, opData, msgHeader(w.rank, tag, metered, payload)); err != nil {
+		return fmt.Errorf("dist: worker %d forwarding to peer %d: %w", w.rank, dst, err)
+	}
+	return nil
+}
+
+// acceptPeers drains incoming peer connections into the inbox, one
+// goroutine per peer. It ends when the peer listener closes (world
+// teardown).
+func (w *worker) acceptPeers(l net.Listener) {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer c.Close()
+			br := bufio.NewReader(c)
+			op, body, err := readFrame(br)
+			if err != nil || op != opPeerHello {
+				return
+			}
+			from, secret, err := parsePeerHello(body)
+			if err != nil || from < 0 || from >= w.n || secret != w.secret {
+				// Wrong world (or not a worker at all): drop the
+				// connection before any data frame reaches the inbox.
+				return
+			}
+			for {
+				op, body, err := readFrame(br)
+				if err != nil || op != opData {
+					return
+				}
+				src, tag, metered, payload, err := parseMsgHeader(body)
+				if err != nil || src != from {
+					return
+				}
+				w.q.push(inMsg{src: src, tag: tag, metered: metered, payload: payload})
+			}
+		}()
+	}
+}
+
+func (w *worker) closePeers() {
+	for _, c := range w.peers {
+		if c != nil {
+			c.Close()
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/backend"
+	"repro/internal/backend/dist"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/meshspectral"
@@ -19,10 +20,12 @@ import (
 )
 
 // TestBackendParity is the reproduction's cross-backend contract: the
-// same deterministic archetype program, run on the virtual-time simulator
-// and on the real shared-memory backend, must produce bit-identical
-// computational results and identical message/byte counts at every
-// process count. Only the meaning of time differs between backends.
+// same deterministic archetype program, run on the virtual-time
+// simulator, on the real shared-memory backend, and on the distributed
+// backend (self-spawned localhost worker processes over TCP), must
+// produce bit-identical computational results and identical message/byte
+// counts at every process count. Only the meaning of time — and, for
+// dist, the address space the messages cross — differs between backends.
 func TestBackendParity(t *testing.T) {
 	model := machine.IBMSP()
 	// Each case returns a comparable snapshot of the computation's output;
@@ -85,28 +88,32 @@ func TestBackendParity(t *testing.T) {
 		},
 	}
 
+	backends := []backend.Runner{backend.Sim(), backend.Real(), dist.New()}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			for _, np := range []int{1, 2, 4} {
 				simProg, simSnap := tc.prog(np)
-				simRes, err := core.Run(context.Background(), backend.Sim(), np, model, simProg)
+				simRes, err := core.Run(context.Background(), backends[0], np, model, simProg)
 				if err != nil {
 					t.Fatalf("P=%d sim: %v", np, err)
 				}
-				realProg, realSnap := tc.prog(np)
-				realRes, err := core.Run(context.Background(), backend.Real(), np, model, realProg)
-				if err != nil {
-					t.Fatalf("P=%d real: %v", np, err)
-				}
-				if !reflect.DeepEqual(simSnap(), realSnap()) {
-					t.Fatalf("P=%d: computational results differ across backends", np)
-				}
-				if simRes.Msgs != realRes.Msgs || simRes.Bytes != realRes.Bytes {
-					t.Fatalf("P=%d: communication volume differs: sim %d msgs/%d bytes, real %d msgs/%d bytes",
-						np, simRes.Msgs, simRes.Bytes, realRes.Msgs, realRes.Bytes)
-				}
 				if simRes.Makespan <= 0 {
 					t.Fatalf("P=%d: sim makespan %g, want positive virtual time", np, simRes.Makespan)
+				}
+				want := simSnap()
+				for _, b := range backends[1:] {
+					prog, snap := tc.prog(np)
+					res, err := core.Run(context.Background(), b, np, model, prog)
+					if err != nil {
+						t.Fatalf("P=%d %s: %v", np, b.Name(), err)
+					}
+					if !reflect.DeepEqual(want, snap()) {
+						t.Fatalf("P=%d: %s results differ from sim", np, b.Name())
+					}
+					if simRes.Msgs != res.Msgs || simRes.Bytes != res.Bytes {
+						t.Fatalf("P=%d: communication volume differs: sim %d msgs/%d bytes, %s %d msgs/%d bytes",
+							np, simRes.Msgs, simRes.Bytes, b.Name(), res.Msgs, res.Bytes)
+					}
 				}
 			}
 		})

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/backend/dist"
 	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/figures"
@@ -50,6 +51,23 @@ func Micros() []Micro {
 		{"RealOneDeepWorld", benchOneDeepWorld},
 		{"RealAllReduce", benchAllReduce},
 		{"RealWorldConstruction256", benchWorldConstruction256},
+		{"RealPingPong", benchRealPingPong},
+	}
+}
+
+// DistMicros returns the Dist* suite: the distributed backend's
+// equivalents of the Real* fabric micros, run over loopback TCP with
+// self-spawned localhost worker processes. World sizes are smaller than
+// the Real* ones because every iteration pays real process spawns; the
+// ping-pong micro is the directly comparable pair (same program, same
+// world size, substrate swapped), which is what the loopback-vs-shared-
+// memory latency table in EXPERIMENTS.md is built from.
+func DistMicros() []Micro {
+	return []Micro{
+		{"DistWorldStartup4", benchDistWorldStartup},
+		{"DistOneDeepWorld", benchDistOneDeepWorld},
+		{"DistAllReduce", benchDistAllReduce},
+		{"DistPingPong", benchDistPingPong},
 	}
 }
 
@@ -131,6 +149,112 @@ func benchWorldConstruction256(b *testing.B) error {
 	return nil
 }
 
+// pingPongRounds is the number of send/recv round trips one ping-pong
+// benchmark iteration performs; per-message one-way latency is
+// ns_per_op / (2 * pingPongRounds).
+const pingPongRounds = 1000
+
+// benchPingPong runs a 2-process ping-pong of a one-word payload on the
+// given backend: the standard latency microbenchmark, identical program
+// on every substrate.
+func benchPingPong(b *testing.B, r backend.Runner) error {
+	model := machine.IBMSP()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(context.Background(), r, 2, model, func(p *spmd.Proc) {
+			peer := 1 - p.Rank()
+			msg := []float64{1}
+			for round := 0; round < pingPongRounds; round++ {
+				if p.Rank() == 0 {
+					spmd.SendT(p, peer, 1, msg)
+					spmd.Recv[[]float64](p, peer, 1)
+				} else {
+					spmd.Recv[[]float64](p, peer, 1)
+					spmd.SendT(p, peer, 1, msg)
+				}
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BenchRealPingPong measures per-message latency on the shared-memory
+// backend (1000 round trips per op).
+func BenchRealPingPong(b *testing.B) { mustBench(b, benchRealPingPong) }
+
+func benchRealPingPong(b *testing.B) error { return benchPingPong(b, backend.Real()) }
+
+// BenchDistPingPong measures per-message latency across worker processes
+// over loopback TCP (1000 round trips per op, world spawn included).
+func BenchDistPingPong(b *testing.B) { mustBench(b, benchDistPingPong) }
+
+func benchDistPingPong(b *testing.B) error { return benchPingPong(b, dist.New()) }
+
+// BenchDistWorldStartup measures spawning, handshaking, and tearing down
+// a 4-worker dist world whose processes do nothing: the distributed
+// analogue of RealWorldConstruction256 (pure substrate cost).
+func BenchDistWorldStartup(b *testing.B) { mustBench(b, benchDistWorldStartup) }
+
+func benchDistWorldStartup(b *testing.B) error {
+	model := machine.IBMSP()
+	r := dist.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(context.Background(), r, 4, model, func(p *spmd.Proc) {}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BenchDistOneDeepWorld measures an end-to-end 4-process one-deep
+// mergesort with every message crossing process boundaries (the
+// distributed equivalent of RealOneDeepWorld, at a smaller world and
+// input because each iteration spawns real processes).
+func BenchDistOneDeepWorld(b *testing.B) { mustBench(b, benchDistOneDeepWorld) }
+
+func benchDistOneDeepWorld(b *testing.B) error {
+	data := sortapp.RandomInts(1<<14, 6)
+	spec := sortapp.OneDeepMergesort(onedeep.Centralized)
+	blocks := sortapp.BlockDistribute(data, 4)
+	model := machine.IntelDelta()
+	r := dist.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(context.Background(), r, 4, model, func(p *spmd.Proc) {
+			onedeep.RunSPMD(p, spec, blocks[p.Rank()])
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BenchDistAllReduce measures the recursive-doubling all-reduce across 8
+// worker processes over loopback (the distributed equivalent of
+// RealAllReduce's 32-goroutine world).
+func BenchDistAllReduce(b *testing.B) { mustBench(b, benchDistAllReduce) }
+
+func benchDistAllReduce(b *testing.B) error {
+	model := machine.IBMSP()
+	r := dist.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(context.Background(), r, 8, model, func(p *spmd.Proc) {
+			collective.AllReduce(p, float64(p.Rank()), math.Max)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // sweepSpec is one wall-clock figure sweep of the report: a figure run
 // end to end through the concurrent scheduler at reduced scale.
 type sweepSpec struct {
@@ -170,16 +294,29 @@ type Report struct {
 	Sweeps     []SweepResult `json:"sweeps"`
 }
 
-// Collect runs the microbenchmark suite through testing.Benchmark and
-// times the figure sweeps, reporting progress lines to log (nil
-// suppresses them). Cancelling ctx stops between measurements and aborts
-// a sweep in flight.
+// Collect runs the default microbenchmark suite through
+// testing.Benchmark and times the figure sweeps, reporting progress
+// lines to log (nil suppresses them). Cancelling ctx stops between
+// measurements and aborts a sweep in flight.
 func Collect(ctx context.Context, log io.Writer) (*Report, error) {
+	return collectSuite(ctx, log, Micros(), sweepSpecs())
+}
+
+// CollectDist runs the distributed-backend suite (see DistMicros); its
+// output is the committed BENCH_dist.json baseline. The caller's binary
+// must support dist self-spawn (main calls dist.MaybeWorker) — archbench
+// does. No figure sweeps: dist figure sweeps would measure process spawn
+// rates, not the fabric.
+func CollectDist(ctx context.Context, log io.Writer) (*Report, error) {
+	return collectSuite(ctx, log, DistMicros(), nil)
+}
+
+func collectSuite(ctx context.Context, log io.Writer, micros []Micro, sweeps []sweepSpec) (*Report, error) {
 	if log == nil {
 		log = io.Discard
 	}
 	rep := &Report{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
-	for _, m := range Micros() {
+	for _, m := range micros {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -207,7 +344,7 @@ func Collect(ctx context.Context, log io.Writer) (*Report, error) {
 			mr.Name, mr.NsPerOp, mr.BytesPerOp, mr.AllocsPerOp)
 		rep.Micros = append(rep.Micros, mr)
 	}
-	for _, s := range sweepSpecs() {
+	for _, s := range sweeps {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}

@@ -14,6 +14,9 @@
 //     are regenerated from these virtual makespans.
 //   - backend.Real runs the processes at hardware speed over native
 //     channels and meters the run with the wall clock.
+//   - backend/dist routes the same operations across worker OS processes
+//     over TCP (payloads travel through this package's wire codec,
+//     AppendPayload/DecodePayload).
 //
 // Programs written against Proc are ordinary Go: they really compute their
 // results (sorts really sort, solvers really solve); the clock — virtual
