@@ -241,3 +241,33 @@ func TestReportString(t *testing.T) {
 		}
 	}
 }
+
+// TestRunAppUnsupportedBackendListingDeterministic pins RunApp's
+// `does not support backend %q (have: ...)` listing: sorted name order,
+// matching the ResolveBackend convention, no matter how the app
+// declared its Backends slice.
+func TestRunAppUnsupportedBackendListingDeterministic(t *testing.T) {
+	arch.Register(arch.App{
+		Name:        "backendpin",
+		Desc:        "test app with a deliberately unsorted backend list",
+		DefaultSize: 1,
+		Backends:    []string{"sim", "dist"}, // unsorted on purpose
+		Run: func(ctx context.Context, s arch.Settings) (string, arch.Report, error) {
+			return "ran", arch.Report{}, nil
+		},
+	})
+	real_, err := arch.ResolveBackend("real")
+	if err != nil {
+		t.Fatalf("ResolveBackend(real): %v", err)
+	}
+	want := `app "backendpin" does not support backend "real" (have: dist, sim)`
+	for i := 0; i < 3; i++ {
+		_, _, err := arch.RunApp(context.Background(), "backendpin", arch.WithBackend(real_))
+		if err == nil {
+			t.Fatal("RunApp on unsupported backend succeeded")
+		}
+		if got := err.Error(); got != want {
+			t.Fatalf("run %d: error = %q, want %q", i, got, want)
+		}
+	}
+}

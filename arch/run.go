@@ -54,7 +54,7 @@ func WithSize(n int) Option { return func(s *Settings) { s.Size = n } }
 // model, the default backend, concurrent version-1 mode, per-app size.
 func NewSettings(opts ...Option) Settings {
 	s := Settings{
-		Procs:   8,
+		Procs:   defaultProcs,
 		Machine: machine.IBMSP(),
 		Backend: backend.Default(),
 		Mode:    core.Concurrent,

@@ -24,6 +24,16 @@
 // archdemo can also serve as a bare dist worker: -worker ADDR joins the
 // coordinator listening at ADDR for one world and exits (the self-spawn
 // path does this automatically through dist.MaybeWorker).
+//
+// With -remote URL, archdemo runs nothing locally: it submits the run
+// to an archserve daemon at URL (POST /runs), polls to completion, and
+// prints the served summary and report — marked "(cached)" when the
+// service answered from its persistent result cache instead of
+// executing. The names in -app/-machine/-backend are validated by the
+// service in that mode, so the client works against any archserve,
+// whatever apps and backends it registers.
+//
+//	archdemo -remote http://localhost:8080 -app mergesort -procs 16
 package main
 
 import (
@@ -37,6 +47,7 @@ import (
 	"repro/arch"
 	_ "repro/arch/apps"
 	"repro/internal/backend/dist"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -49,6 +60,7 @@ func main() {
 		mach   = flag.String("machine", "ibm-sp", "machine profile: "+strings.Join(arch.MachineNames(), ", "))
 		back   = flag.String("backend", "sim", "execution backend: "+strings.Join(arch.BackendNames(), ", "))
 		worker = flag.String("worker", "", "serve as a dist worker for the coordinator at this address, then exit")
+		remote = flag.String("remote", "", "submit the run to the archserve daemon at this URL instead of running locally")
 	)
 	flag.Parse()
 
@@ -60,11 +72,19 @@ func main() {
 		return
 	}
 
-	if *list {
+	if *list && *remote == "" {
 		fmt.Printf("%-10s %9s  %-10s %s\n", "app", "size", "backends", "description")
 		for _, a := range arch.Apps() {
 			fmt.Printf("%-10s %9d  %-10s %s\n",
 				a.Name, a.DefaultSize, strings.Join(a.BackendNames(), ","), a.Desc)
+		}
+		return
+	}
+
+	if *remote != "" {
+		if err := runRemote(*remote, *list, *name, *procs, *size, *mach, *back); err != nil {
+			fmt.Fprintf(os.Stderr, "archdemo: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -100,4 +120,45 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("%s on %s\n", summary, rep)
+}
+
+// runRemote is archdemo's client mode: list the remote registry or
+// submit one run to an archserve daemon and wait for its result. Name
+// resolution happens server-side; the flag defaults ("ibm-sp", "sim")
+// are sent as-is and the service canonicalizes them.
+func runRemote(base string, list bool, name string, procs, size int, mach, back string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	client := &serve.Client{Base: base}
+
+	if list {
+		apps, err := client.Apps(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %9s  %-10s %s\n", "app", "size", "backends", "description")
+		for _, a := range apps {
+			fmt.Printf("%-10s %9d  %-10s %s\n",
+				a.Name, a.DefaultSize, strings.Join(a.Backends, ","), a.Desc)
+		}
+		return nil
+	}
+	if name == "" {
+		return fmt.Errorf("no -app given (use -list)")
+	}
+	st, err := client.Run(ctx, arch.Spec{
+		App: name, Size: size, Procs: procs, Machine: mach, Backend: back,
+	})
+	if err != nil {
+		return err
+	}
+	if st.State != serve.StateDone {
+		return fmt.Errorf("run %s %s: %s", st.ID[:12], st.State, st.Error)
+	}
+	tag := ""
+	if st.Cached {
+		tag = " (cached)"
+	}
+	fmt.Printf("%s on %s%s\n", st.Summary, *st.Report, tag)
+	return nil
 }

@@ -34,6 +34,15 @@
 // scheduler; sweeps and runs are cancellable mid-flight through their
 // context.
 //
+// The registry can also be served: cmd/archserve is a long-lived HTTP
+// daemon (package internal/serve) accepting serialized run specs
+// (arch.Spec), with bounded admission over the sched worker pool,
+// singleflight coalescing of identical in-flight requests, and a
+// content-addressed persistent result cache (internal/rescache, keyed
+// by SHA-256 of the canonical spec) that makes repeated requests
+// near-free across process restarts. archdemo -remote is the matching
+// client.
+//
 // Layout:
 //
 //	arch                  public facade: typed programs, option-based runs,
@@ -48,7 +57,12 @@
 //	internal/backend/dist distributed backend: worker OS processes over TCP
 //	                      (framing, rank handshake, crash fail-fast)
 //	internal/sched        concurrent sweep scheduler: bounded worker pool,
-//	                      deduplicating result cache, streamed curves
+//	                      deduplicating result cache (LRU-bounded), string-
+//	                      keyed Flight singleflight, streamed curves
+//	internal/serve        the archetype service: HTTP/JSON submissions, SSE
+//	                      progress, admission control, result deduplication
+//	internal/rescache     content-addressed persistent result cache
+//	                      (canonical spec -> SHA-256 -> atomic JSON blob)
 //	internal/spmd         SPMD process runtime over any backend; typed,
 //	                      self-metering messaging (SendT, Chan, BytesOf)
 //	internal/collective   broadcast/gather/scatter/all-to-all/reduce/barrier
@@ -64,7 +78,9 @@
 //	internal/bnb          the nondeterministic branch-and-bound archetype
 //	internal/perfmodel    closed-form performance models, simulator-validated
 //	cmd/archbench         CLI for the figures
-//	cmd/archdemo          registry-driven CLI running any application
+//	cmd/archdemo          registry-driven CLI running any application,
+//	                      locally or against archserve (-remote)
+//	cmd/archserve         the archetype service daemon
 //	cmd/archworker        standalone dist worker (attach/join modes)
 //	examples/             twelve runnable walkthroughs; quickstart, sorting,
 //	                      and poisson go through the arch facade

@@ -1,0 +1,296 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/spmd"
+)
+
+// TestFlightCoalesces: N concurrent Do calls with one key run the work
+// once; every caller gets the one result and at least one side reports
+// it as shared.
+func TestFlightCoalesces(t *testing.T) {
+	f := &Flight[int]{Sched: &Scheduler{Workers: 4}}
+	var runs atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	const callers = 8
+	var shared atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i == 0 {
+				<-started // ensure caller 0 isn't first: any caller may run it
+			}
+			v, sh, err := f.Do(context.Background(), "k", func() (int, error) {
+				runs.Add(1)
+				close(started)
+				<-release
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+			if sh {
+				shared.Add(1)
+			}
+		}(i)
+	}
+	go func() {
+		<-started
+		// Give waiters a moment to pile onto the in-flight cell.
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Errorf("work ran %d times, want 1", got)
+	}
+	if shared.Load() == 0 {
+		t.Error("no caller observed the result as shared")
+	}
+	if f.Pending() != 0 {
+		t.Errorf("Pending = %d after completion, want 0", f.Pending())
+	}
+}
+
+// TestFlightDropsCompleted: a finished flight is forgotten — the next
+// Do with the same key runs the work again (memoization is the
+// persistent cache's job, not the flight's).
+func TestFlightDropsCompleted(t *testing.T) {
+	f := &Flight[string]{Sched: &Scheduler{Workers: 2}}
+	var runs atomic.Int32
+	for i := 0; i < 3; i++ {
+		v, sh, err := f.Do(context.Background(), "k", func() (string, error) {
+			runs.Add(1)
+			return "v", nil
+		})
+		if err != nil || v != "v" || sh {
+			t.Fatalf("Do #%d = %q, shared=%v, %v", i, v, sh, err)
+		}
+	}
+	if got := runs.Load(); got != 3 {
+		t.Errorf("work ran %d times, want 3 (no memoization)", got)
+	}
+}
+
+// TestFlightErrorsShared: a failing flight hands every coalesced waiter
+// the same error, and a panic becomes an error, not a crash.
+func TestFlightErrorsShared(t *testing.T) {
+	f := &Flight[int]{Sched: &Scheduler{Workers: 2}}
+	boom := errors.New("boom")
+	if _, _, err := f.Do(context.Background(), "e", func() (int, error) {
+		return 0, boom
+	}); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want %v", err, boom)
+	}
+	_, _, err := f.Do(context.Background(), "p", func() (int, error) {
+		panic("kaboom")
+	})
+	if err == nil || err.Error() != `sched: flight "p" panicked: kaboom` {
+		t.Errorf("panic err = %v", err)
+	}
+}
+
+// TestFlightCancelledRunnerNotInherited: a waiter with a live context
+// does not inherit the runner's cancellation — it re-runs the work
+// itself, mirroring the cell cache's discipline.
+func TestFlightCancelledRunnerNotInherited(t *testing.T) {
+	f := &Flight[int]{Sched: &Scheduler{Workers: 2}}
+	runnerCtx, cancelRunner := context.WithCancel(context.Background())
+	inWork := make(chan struct{})
+	runnerDone := make(chan struct{})
+	go func() {
+		defer close(runnerDone)
+		_, _, err := f.Do(runnerCtx, "k", func() (int, error) {
+			close(inWork)
+			<-runnerCtx.Done()
+			return 0, runnerCtx.Err()
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("runner err = %v, want Canceled", err)
+		}
+	}()
+	<-inWork
+	waiterResult := make(chan error, 1)
+	go func() {
+		_, _, err := f.Do(context.Background(), "k", func() (int, error) {
+			return 7, nil
+		})
+		waiterResult <- err
+	}()
+	// Let the waiter join the in-flight cell, then cancel the runner.
+	time.Sleep(20 * time.Millisecond)
+	cancelRunner()
+	<-runnerDone
+	if err := <-waiterResult; err != nil {
+		t.Errorf("waiter err = %v, want nil (re-run under live context)", err)
+	}
+}
+
+// TestFlightWaiterCancellation: a waiter whose own context dies stops
+// waiting with its ctx.Err() while the flight keeps running.
+func TestFlightWaiterCancellation(t *testing.T) {
+	f := &Flight[int]{Sched: &Scheduler{Workers: 2}}
+	inWork := make(chan struct{})
+	release := make(chan struct{})
+	go f.Do(context.Background(), "k", func() (int, error) {
+		close(inWork)
+		<-release
+		return 1, nil
+	})
+	<-inWork
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := f.Do(ctx, "k", func() (int, error) { return 2, nil }); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled waiter err = %v, want Canceled", err)
+	}
+	close(release)
+}
+
+// lruExperiments builds n distinct experiments for cache-bound tests.
+func lruExperiments(n int) []*core.Experiment {
+	exps := make([]*core.Experiment, n)
+	for i := range exps {
+		exps[i] = &core.Experiment{
+			Name:  fmt.Sprintf("lru-%d", i),
+			Model: machine.IBMSP(),
+			Par: func(p *spmd.Proc) {
+				if p.N() > 1 {
+					if p.Rank() == 0 {
+						p.Send(1, 0, int32(1))
+					} else if p.Rank() == 1 {
+						p.Recv(0, 0)
+					}
+				}
+			},
+		}
+	}
+	return exps
+}
+
+// TestCellCacheLRUBound: a MaxCells scheduler retains at most MaxCells
+// completed cells, evicting least-recently-used; re-running an evicted
+// cell recomputes it, re-running a retained one is a cache hit.
+func TestCellCacheLRUBound(t *testing.T) {
+	s := &Scheduler{Workers: 2, MaxCells: 3}
+	exps := lruExperiments(5)
+	ctx := context.Background()
+	run := func(e *core.Experiment) *spmd.Result {
+		res, err := s.run(ctx, pointKey(e, 2), func() (*spmd.Result, error) {
+			return e.Point(ctx, 2)
+		})
+		if err != nil {
+			t.Fatalf("run %s: %v", e.Name, err)
+		}
+		return res
+	}
+	for _, e := range exps {
+		run(e)
+	}
+	s.mu.Lock()
+	n, lruLen := len(s.cache), s.lru.Len()
+	s.mu.Unlock()
+	if n != 3 || lruLen != 3 {
+		t.Fatalf("cache holds %d cells (lru %d), want 3", n, lruLen)
+	}
+	// exps[2..4] survived; exps[4] is MRU. Touch exps[2] (LRU) so
+	// exps[3] becomes the eviction victim for the next insertion.
+	r2a := run(exps[2])
+	r2b := run(exps[2])
+	if r2a != r2b {
+		t.Error("retained cell recomputed, want pointer-identical cached result")
+	}
+	run(exps[0]) // re-insert: must evict exps[3], not exps[2]
+	s.mu.Lock()
+	_, have2 := s.cache[pointKey(exps[2], 2)]
+	_, have3 := s.cache[pointKey(exps[3], 2)]
+	s.mu.Unlock()
+	if !have2 || have3 {
+		t.Errorf("LRU order wrong after touch: have2=%v have3=%v, want true/false", have2, have3)
+	}
+}
+
+// TestCellCacheLRUNeverEvictsInFlight: filling the cache past MaxCells
+// while another cell is still running never evicts the in-flight cell —
+// its waiters still coalesce onto the single execution.
+func TestCellCacheLRUNeverEvictsInFlight(t *testing.T) {
+	s := &Scheduler{Workers: 4, MaxCells: 1}
+	ctx := context.Background()
+	slowKey := cellKey{backend: "test", procs: 99}
+	inWork := make(chan struct{})
+	release := make(chan struct{})
+	var runs atomic.Int32
+	done := make(chan *spmd.Result, 2)
+	claim := func() {
+		res, err := s.run(ctx, slowKey, func() (*spmd.Result, error) {
+			runs.Add(1)
+			close(inWork)
+			<-release
+			return &spmd.Result{Makespan: 1}, nil
+		})
+		if err != nil {
+			t.Errorf("slow cell: %v", err)
+		}
+		done <- res
+	}
+	go claim()
+	<-inWork
+	// Complete enough other cells to trigger eviction pressure.
+	for i := 0; i < 4; i++ {
+		k := cellKey{backend: "test", procs: i}
+		if _, err := s.run(ctx, k, func() (*spmd.Result, error) {
+			return &spmd.Result{}, nil
+		}); err != nil {
+			t.Fatalf("filler cell %d: %v", i, err)
+		}
+	}
+	s.mu.Lock()
+	_, inCache := s.cache[slowKey]
+	s.mu.Unlock()
+	if !inCache {
+		t.Fatal("in-flight cell evicted by LRU pressure")
+	}
+	// A second claimant must coalesce, not re-run.
+	go claim()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	r1, r2 := <-done, <-done
+	if runs.Load() != 1 {
+		t.Errorf("in-flight cell ran %d times, want 1", runs.Load())
+	}
+	if r1 != r2 {
+		t.Error("claimants got different results, want coalesced")
+	}
+}
+
+// TestCellCacheUnboundedByDefault: MaxCells zero keeps every completed
+// cell (the historical sweep behavior).
+func TestCellCacheUnboundedByDefault(t *testing.T) {
+	s := &Scheduler{Workers: 2}
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		k := cellKey{backend: "test", procs: i}
+		if _, err := s.run(ctx, k, func() (*spmd.Result, error) {
+			return &spmd.Result{}, nil
+		}); err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+	}
+	s.mu.Lock()
+	n := len(s.cache)
+	s.mu.Unlock()
+	if n != 10 {
+		t.Errorf("cache holds %d cells, want all 10", n)
+	}
+}

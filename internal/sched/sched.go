@@ -29,6 +29,7 @@
 package sched
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -48,11 +49,22 @@ type Scheduler struct {
 	// runtime.GOMAXPROCS(0).
 	Workers int
 
+	// MaxCells bounds how many completed cell results the in-memory
+	// cache retains, evicted least-recently-used. Zero means unbounded
+	// (the historical behavior, fine for one-shot sweeps; long-lived
+	// servers should set it). Only completed cells are counted and
+	// evicted — in-flight singleflight entries always stay so concurrent
+	// claimants keep coalescing.
+	MaxCells int
+
 	initOnce sync.Once
 	slots    chan struct{}
 
 	mu    sync.Mutex
 	cache map[cellKey]*cell
+	// lru orders completed cellKeys most-recently-used first; in-flight
+	// cells are not in it (their elem is nil until completion).
+	lru *list.List
 }
 
 // cellKey identifies one cell of the experiment matrix. Experiments are
@@ -69,6 +81,10 @@ type cellKey struct {
 // claimants wait for done.
 type cell struct {
 	done chan struct{}
+	// elem is the cell's LRU node, set (under the scheduler's mu) when
+	// the cell completes and enters the bounded cache; nil while the
+	// cell is in flight.
+	elem *list.Element
 	res  *spmd.Result
 	err  error
 }
@@ -81,6 +97,7 @@ func (s *Scheduler) init() {
 		}
 		s.slots = make(chan struct{}, n)
 		s.cache = make(map[cellKey]*cell)
+		s.lru = list.New()
 	})
 }
 
@@ -104,6 +121,8 @@ func (s *Scheduler) run(ctx context.Context, key cellKey, f func() (*spmd.Result
 	if !hit {
 		c = &cell{done: make(chan struct{})}
 		s.cache[key] = c
+	} else if c.elem != nil {
+		s.lru.MoveToFront(c.elem)
 	}
 	s.mu.Unlock()
 	if hit {
@@ -129,14 +148,28 @@ func (s *Scheduler) run(ctx context.Context, key cellKey, f func() (*spmd.Result
 			if r := recover(); r != nil {
 				c.err = fmt.Errorf("sched: cell panicked: %v", r)
 			}
+			s.mu.Lock()
 			if c.err != nil && ctx.Err() != nil {
 				// Cancelled, not failed: forget the cell so a live
 				// context can run it later.
 				c.err = ctx.Err()
-				s.mu.Lock()
 				delete(s.cache, key)
-				s.mu.Unlock()
+			} else if s.cache[key] == c {
+				// Completed (result or real failure): enter the LRU and
+				// enforce the cap. Eviction targets only completed cells
+				// — anything in the lru — so in-flight claimants are
+				// never orphaned. A cell orphaned by a concurrent Reset
+				// (the map no longer holds it) stays out of the new LRU.
+				c.elem = s.lru.PushFront(key)
+				if s.MaxCells > 0 {
+					for s.lru.Len() > s.MaxCells {
+						last := s.lru.Back()
+						s.lru.Remove(last)
+						delete(s.cache, last.Value.(cellKey))
+					}
+				}
 			}
+			s.mu.Unlock()
 		}()
 		c.res, c.err = f()
 	}()
@@ -363,6 +396,7 @@ func (s *Scheduler) Reset() {
 	s.init()
 	s.mu.Lock()
 	s.cache = make(map[cellKey]*cell)
+	s.lru.Init()
 	s.mu.Unlock()
 }
 

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/arch"
+)
+
+// Client is a minimal archetype-service client: what archdemo -remote
+// uses to submit a spec and wait for its result. The zero value is
+// invalid; set Base to the service root (e.g. "http://127.0.0.1:8080").
+type Client struct {
+	// Base is the service root URL, without a trailing slash.
+	Base string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+	// Poll is the status polling interval for Wait; zero means 50ms.
+	Poll time.Duration
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string { return strings.TrimRight(c.Base, "/") + path }
+
+// decode reads one JSON response, turning the service's error envelope
+// into a Go error for non-2xx statuses.
+func decode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("serve client: read response: %w", err)
+	}
+	if resp.StatusCode >= 300 {
+		var eb errorBody
+		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("serve client: %s: %s", resp.Status, eb.Error)
+		}
+		return fmt.Errorf("serve client: %s", resp.Status)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("serve client: decode response: %w", err)
+	}
+	return nil
+}
+
+// Apps fetches the registry listing.
+func (c *Client) Apps(ctx context.Context) ([]AppInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/apps"), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	var out []AppInfo
+	return out, decode(resp, &out)
+}
+
+// Submit posts one run spec and returns the job's admission status
+// (which may already be terminal on a cache hit).
+func (c *Client) Submit(ctx context.Context, sp arch.Spec) (JobStatus, error) {
+	blob, err := json.Marshal(sp)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/runs"), bytes.NewReader(blob))
+	if err != nil {
+		return JobStatus{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	return st, decode(resp, &st)
+}
+
+// Status fetches one job's current status.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/runs/"+id), nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	return st, decode(resp, &st)
+}
+
+// Wait polls the job until it reaches a terminal state (or ctx ends).
+func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
+	poll := c.Poll
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return JobStatus{}, ctx.Err()
+		}
+	}
+}
+
+// Run submits sp and waits for its terminal status: the remote
+// equivalent of arch.RunSpec.
+func (c *Client) Run(ctx context.Context, sp arch.Spec) (JobStatus, error) {
+	st, err := c.Submit(ctx, sp)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if st.Terminal() {
+		return st, nil
+	}
+	return c.Wait(ctx, st.ID)
+}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/arch"
+	"repro/internal/rescache"
+)
+
+// Job lifecycle states.
+const (
+	// StateQueued: admitted, waiting for a worker slot.
+	StateQueued = "queued"
+	// StateRunning: executing (or coalesced onto an identical in-flight
+	// execution).
+	StateRunning = "running"
+	// StateDone: finished with a result.
+	StateDone = "done"
+	// StateFailed: finished with an error.
+	StateFailed = "failed"
+)
+
+// JobStatus is one job's externally visible state: what GET /runs/{id}
+// returns and what each SSE event carries.
+type JobStatus struct {
+	// ID is the job's content address — the SHA-256 of its canonical
+	// spec — so identical experiments have identical IDs by
+	// construction.
+	ID string `json:"id"`
+	// State is one of queued, running, done, failed.
+	State string `json:"state"`
+	// Spec is the canonical spec the job answers.
+	Spec arch.Spec `json:"spec"`
+	// Summary is the app's verification summary (terminal states only).
+	Summary string `json:"summary,omitempty"`
+	// Report is the run's full cost report (state done only).
+	Report *arch.Report `json:"report,omitempty"`
+	// Error is the failure message (state failed only).
+	Error string `json:"error,omitempty"`
+	// Cached reports that the result came from the persistent result
+	// cache rather than an execution in this process.
+	Cached bool `json:"cached"`
+	// Coalesced reports that this job shared an identical in-flight
+	// execution instead of running its own.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Elapsed is seconds from submission to completion (or to now for
+	// live jobs).
+	Elapsed float64 `json:"elapsed"`
+}
+
+// Terminal reports whether the status is final.
+func (st JobStatus) Terminal() bool { return st.State == StateDone || st.State == StateFailed }
+
+// job is the server-side state of one admitted (or cache-revived) run.
+type job struct {
+	id      string
+	spec    arch.Spec // canonical
+	created time.Time
+
+	mu        sync.Mutex
+	state     string
+	summary   string
+	report    arch.Report
+	errMsg    string
+	cached    bool
+	coalesced bool
+	finished  time.Time
+	// changed is closed and replaced on every state transition; watch
+	// hands it to SSE streams so they wake exactly when the status
+	// moves.
+	changed chan struct{}
+}
+
+func newJob(id string, spec arch.Spec) *job {
+	return &job{
+		id:      id,
+		spec:    spec,
+		created: time.Now(),
+		state:   StateQueued,
+		changed: make(chan struct{}),
+	}
+}
+
+// transition mutates the job under its lock and wakes every watcher.
+func (j *job) transition(f func()) {
+	j.mu.Lock()
+	f()
+	close(j.changed)
+	j.changed = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// setRunning marks the job executing. A job that already finished
+// (cache-completed at admission) stays terminal.
+func (j *job) setRunning() {
+	j.transition(func() {
+		if j.state == StateQueued {
+			j.state = StateRunning
+		}
+	})
+}
+
+// finish resolves the job from a flight outcome.
+func (j *job) finish(out runOutcome, coalesced bool, err error) {
+	j.transition(func() {
+		j.finished = time.Now()
+		j.coalesced = coalesced
+		if err != nil {
+			j.state = StateFailed
+			j.errMsg = err.Error()
+			return
+		}
+		j.state = StateDone
+		j.summary = out.summary
+		j.report = out.report
+		j.cached = out.cached
+	})
+}
+
+// completeCached resolves the job directly from a persistent cache
+// entry, never having run.
+func (j *job) completeCached(e *rescache.Entry) {
+	j.transition(func() {
+		j.state = StateDone
+		j.summary = e.Summary
+		j.report = e.Report
+		j.cached = true
+		j.finished = time.Now()
+	})
+}
+
+// snapshot renders the job's current JobStatus.
+func (j *job) snapshot() JobStatus {
+	st, _ := j.watch()
+	return st
+}
+
+// watch returns the current status together with the channel that
+// closes on the job's next transition.
+func (j *job) watch() (JobStatus, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Spec:      j.spec,
+		Summary:   j.summary,
+		Error:     j.errMsg,
+		Cached:    j.cached,
+		Coalesced: j.coalesced,
+	}
+	if j.state == StateDone {
+		rep := j.report
+		st.Report = &rep
+	}
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	st.Elapsed = end.Sub(j.created).Seconds()
+	return st, j.changed
+}

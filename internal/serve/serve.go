@@ -1,0 +1,390 @@
+// Package serve is the archetype service: an HTTP/JSON daemon that puts
+// the arch app registry behind a long-lived server, so the paper's
+// reusable artifacts are served instead of re-built — submit a run,
+// watch its progress, fetch its result, and pay for each distinct
+// experiment once.
+//
+// The request surface is small and shaped by the facade it fronts:
+//
+//	GET  /apps             the registry: name, description, default size, backends
+//	POST /runs             submit a run spec {app, size, procs, machine, backend, mode}
+//	GET  /runs/{id}        one job's status (poll until state done/failed)
+//	GET  /runs/{id}/events the same status stream as server-sent events
+//	GET  /healthz          liveness probe
+//
+// A submission is canonicalized (arch.Spec.Canonical) and addressed by
+// content: the job ID is the SHA-256 of the canonical spec
+// (rescache.Key), so "the same experiment" is a protocol-level notion,
+// not a server-side heuristic. That one decision buys the three layers
+// of deduplication the service is built around:
+//
+//   - Identical requests while a job exists map to the same job — a
+//     resubmission is a status read.
+//   - Identical requests in flight coalesce through a sched.Flight
+//     singleflight keyed by the same address, so the work runs once on
+//     the bounded worker pool no matter how many clients asked.
+//   - Finished results persist in the content-addressed rescache; a
+//     warm request — even in a freshly restarted process — is a file
+//     read, never a recomputation.
+//
+// Admission control is two bounds: the sched worker pool caps how many
+// runs execute concurrently, and QueueDepth caps how many admitted jobs
+// may be pending at once — past it, POST /runs answers 429 so overload
+// is visible back-pressure, not an unbounded queue. Shutdown stops
+// admitting (503), drains in-flight jobs, and only cancels them if the
+// drain deadline expires.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/arch"
+	"repro/internal/rescache"
+	"repro/internal/sched"
+)
+
+// Config configures a Server. The zero value is usable: default worker
+// pool, default queue depth, no persistent cache.
+type Config struct {
+	// Workers bounds how many runs execute concurrently (the sched pool
+	// size). Zero means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds how many admitted jobs may be pending (queued or
+	// running) at once; past it POST /runs returns 429. Zero means 64.
+	QueueDepth int
+	// Cache is the persistent content-addressed result store; nil runs
+	// the service memoryless (every cold request recomputes).
+	Cache *rescache.Cache
+	// Log receives service events; nil means the standard logger.
+	Log *log.Logger
+}
+
+// defaultQueueDepth is the admitted-jobs bound when Config leaves
+// QueueDepth zero.
+const defaultQueueDepth = 64
+
+// runOutcome is what one executed (or cache-served) run hands back
+// through the singleflight.
+type runOutcome struct {
+	summary string
+	report  arch.Report
+	cached  bool
+}
+
+// Server is the archetype service. Create one with New; it implements
+// http.Handler.
+type Server struct {
+	cfg    Config
+	logger *log.Logger
+	pool   *sched.Scheduler
+	flight sched.Flight[runOutcome]
+	mux    *http.ServeMux
+
+	// runCtx parents every job execution; stopRuns cancels it when a
+	// drain deadline expires.
+	runCtx   context.Context
+	stopRuns context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	active   int  // admitted, not yet terminal — the QueueDepth gauge
+	draining bool // true once Shutdown starts: no new admissions
+
+	wg sync.WaitGroup // one count per admitted job, for drain
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	logger := cfg.Log
+	if logger == nil {
+		logger = log.Default()
+	}
+	runCtx, stopRuns := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		logger:   logger,
+		pool:     &sched.Scheduler{Workers: cfg.Workers},
+		mux:      http.NewServeMux(),
+		runCtx:   runCtx,
+		stopRuns: stopRuns,
+		jobs:     make(map[string]*job),
+	}
+	s.flight.Sched = s.pool
+	s.mux.HandleFunc("GET /apps", s.handleApps)
+	s.mux.HandleFunc("POST /runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /runs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP dispatches to the service's routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// queueDepth returns the effective admission bound.
+func (s *Server) queueDepth() int {
+	if s.cfg.QueueDepth > 0 {
+		return s.cfg.QueueDepth
+	}
+	return defaultQueueDepth
+}
+
+// AppInfo is one registry entry as GET /apps reports it.
+type AppInfo struct {
+	Name        string   `json:"name"`
+	Desc        string   `json:"desc"`
+	DefaultSize int      `json:"defaultSize"`
+	Backends    []string `json:"backends"`
+}
+
+// handleApps serves the registry listing.
+func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
+	apps := arch.Apps()
+	out := make([]AppInfo, len(apps))
+	for i, a := range apps {
+		out[i] = AppInfo{Name: a.Name, Desc: a.Desc, DefaultSize: a.DefaultSize, Backends: a.BackendNames()}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleSubmit admits one run submission: canonicalize, address, dedup
+// against live jobs and the persistent cache, then admit under the
+// queue bound.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sp arch.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad run spec: %v", err))
+		return
+	}
+	spec, err := sp.Canonical()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key, err := rescache.Key(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// Warm path: a persisted result answers immediately, no admission
+	// needed. (Checked before the job table so a restarted server's
+	// first resubmission short-circuits too.)
+	var warm *rescache.Entry
+	if s.cfg.Cache != nil {
+		warm, _ = s.cfg.Cache.Get(key)
+	}
+
+	s.mu.Lock()
+	if j, ok := s.jobs[key]; ok {
+		// A live or successful job answers the resubmission. A failed
+		// one does not pin its failure: fall through and re-admit, so
+		// transient errors are retryable by resubmitting.
+		if st := j.snapshot(); !st.Terminal() || st.State != StateFailed {
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+	}
+	if warm != nil {
+		j := newJob(key, spec)
+		j.completeCached(warm)
+		s.jobs[key] = j
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, j.snapshot())
+		return
+	}
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if s.active >= s.queueDepth() {
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("queue full: %d jobs pending (limit %d)", s.active, s.queueDepth()))
+		return
+	}
+	j := newJob(key, spec)
+	s.jobs[key] = j
+	s.active++
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.runJob(j)
+	w.Header().Set("Location", "/runs/"+key)
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// runJob executes one admitted job through the singleflight and the
+// worker pool, persists the result, and resolves the job.
+func (s *Server) runJob(j *job) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		s.active--
+		s.mu.Unlock()
+	}()
+	j.setRunning()
+	out, shared, err := s.flight.Do(s.runCtx, j.id, func() (runOutcome, error) {
+		// Re-check the persistent cache inside the flight: another
+		// process sharing the cache directory may have finished this
+		// exact experiment since admission.
+		if s.cfg.Cache != nil {
+			if e, ok := s.cfg.Cache.Get(j.id); ok {
+				return runOutcome{summary: e.Summary, report: e.Report, cached: true}, nil
+			}
+		}
+		summary, rep, err := arch.RunSpec(s.runCtx, j.spec)
+		if err != nil {
+			return runOutcome{}, err
+		}
+		if s.cfg.Cache != nil {
+			e := &rescache.Entry{Spec: j.spec, Summary: summary, Report: rep, Created: time.Now().UTC()}
+			if err := s.cfg.Cache.Put(j.id, e); err != nil {
+				s.logger.Printf("serve: persist %s: %v", j.id[:12], err)
+			}
+		}
+		return runOutcome{summary: summary, report: rep}, nil
+	})
+	j.finish(out, shared, err)
+}
+
+// lookupJob finds the job for id, reviving it from the persistent cache
+// if the server has never seen it but a prior process finished it.
+func (s *Server) lookupJob(id string) (*job, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if ok {
+		return j, true
+	}
+	if s.cfg.Cache == nil {
+		return nil, false
+	}
+	e, ok := s.cfg.Cache.Get(id)
+	if !ok {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok { // lost a revival race; use the winner
+		return j, true
+	}
+	j = newJob(id, e.Spec)
+	j.completeCached(e)
+	s.jobs[id] = j
+	return j, true
+}
+
+// handleStatus serves one job's current status.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleEvents streams one job's status transitions as server-sent
+// events ("status" events carrying the JobStatus JSON), ending after
+// the terminal event.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	for {
+		st, changed := j.watch()
+		if err := writeEvent(w, st); err != nil {
+			return
+		}
+		fl.Flush()
+		if st.Terminal() {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeEvent renders one SSE status event.
+func writeEvent(w http.ResponseWriter, st JobStatus) error {
+	blob, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: status\ndata: %s\n\n", blob)
+	return err
+}
+
+// Shutdown stops admitting jobs and drains the in-flight ones. If ctx
+// expires first, the remaining runs are cancelled and Shutdown returns
+// ctx.Err() once they unwind. The HTTP listener is the caller's to
+// close (http.Server.Shutdown); this drains the work behind it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	pending := s.active
+	s.mu.Unlock()
+	s.logger.Printf("serve: draining %d in-flight jobs", pending)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.logger.Printf("serve: drained")
+		return nil
+	case <-ctx.Done():
+		s.stopRuns()
+		<-done
+		s.logger.Printf("serve: drain deadline expired, cancelled remaining jobs")
+		return ctx.Err()
+	}
+}
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil && !errors.Is(err, http.ErrHandlerTimeout) {
+		// The connection is gone; nothing useful to do.
+		_ = err
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
