@@ -16,5 +16,7 @@ import (
 	_ "repro/internal/poisson"
 	_ "repro/internal/skyline"
 	_ "repro/internal/sortapp"
+	_ "repro/internal/streamfft"
+	_ "repro/internal/streamhist"
 	_ "repro/internal/swirl"
 )

@@ -25,10 +25,27 @@ type App struct {
 	// Backends lists the supported backend names; nil or empty means
 	// every registered backend.
 	Backends []string
+	// Kind classifies the app: KindBatch (the default, "" included) or
+	// KindStream for long-lived streaming apps.
+	Kind string
 	// Run generates the app's input at the configured size, executes it,
 	// verifies the result, and returns a one-line human summary of what
-	// was computed and verified.
+	// was computed and verified. Streaming apps provide it too (it is
+	// RunStream without an observer) so batch drivers can run every app.
 	Run func(ctx context.Context, s Settings) (string, Report, error)
+	// RunStream is the streaming entry point, required exactly when Kind
+	// is KindStream: the same contract as Run plus progress windows
+	// delivered to obs while elements flow (nil obs is allowed).
+	RunStream func(ctx context.Context, s Settings, obs StreamObserver) (string, Report, error)
+}
+
+// KindName returns the app's effective kind: Kind with the empty string
+// normalized to KindBatch.
+func (a App) KindName() string {
+	if a.Kind == "" {
+		return KindBatch
+	}
+	return a.Kind
 }
 
 // SupportsBackend reports whether the app runs on the named backend.
@@ -69,6 +86,18 @@ func Register(a App) {
 	}
 	if a.Run == nil {
 		panic("arch: Register " + a.Name + " with nil Run")
+	}
+	switch a.Kind {
+	case "", KindBatch:
+		if a.RunStream != nil {
+			panic("arch: Register " + a.Name + ": batch app with RunStream")
+		}
+	case KindStream:
+		if a.RunStream == nil {
+			panic("arch: Register " + a.Name + ": stream app with nil RunStream")
+		}
+	default:
+		panic("arch: Register " + a.Name + ": unknown kind " + a.Kind)
 	}
 	appsMu.Lock()
 	defer appsMu.Unlock()

@@ -39,6 +39,12 @@ type Spec struct {
 	// Mode is the version-1 execution mode name ("sequential" or
 	// "concurrent"); "" means concurrent.
 	Mode string `json:"mode"`
+	// Kind is the app kind this spec expects, "batch" or "stream"; ""
+	// means whatever kind the named app registered. Canonical fills it
+	// from the registry and rejects a mismatch, so the service can
+	// dispatch a spec to the batch or the streaming path before running
+	// anything.
+	Kind string `json:"kind"`
 }
 
 // ModeNames returns the valid version-1 execution mode names, sorted.
@@ -102,6 +108,17 @@ func (sp Spec) Canonical() (Spec, error) {
 	}
 	if _, err := ResolveMode(sp.Mode); err != nil {
 		return Spec{}, err
+	}
+	if sp.Kind == "" {
+		sp.Kind = a.KindName()
+	}
+	switch sp.Kind {
+	case KindBatch, KindStream:
+	default:
+		return Spec{}, fmt.Errorf("unknown kind %q (have: %s)", sp.Kind, strings.Join(KindNames(), ", "))
+	}
+	if sp.Kind != a.KindName() {
+		return Spec{}, fmt.Errorf("app %q is a %s app, not %s", sp.App, a.KindName(), sp.Kind)
 	}
 	return sp, nil
 }

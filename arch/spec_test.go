@@ -18,7 +18,7 @@ func TestSpecCanonicalFillsDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Canonical: %v", err)
 	}
-	want := arch.Spec{App: "mergesort", Size: 1 << 19, Procs: 8, Machine: "ibm-sp", Backend: "sim", Mode: "concurrent"}
+	want := arch.Spec{App: "mergesort", Size: 1 << 19, Procs: 8, Machine: "ibm-sp", Backend: "sim", Mode: "concurrent", Kind: arch.KindBatch}
 	if c != want {
 		t.Fatalf("Canonical = %+v, want %+v", c, want)
 	}
@@ -67,6 +67,8 @@ func TestSpecCanonicalRejects(t *testing.T) {
 		{"unknown mode", arch.Spec{App: "mergesort", Mode: "turbo"}, "unknown mode"},
 		{"negative procs", arch.Spec{App: "mergesort", Procs: -1}, "process count"},
 		{"negative size", arch.Spec{App: "mergesort", Size: -5}, "problem size"},
+		{"unknown kind", arch.Spec{App: "mergesort", Kind: "firehose"}, "unknown kind"},
+		{"kind mismatch", arch.Spec{App: "mergesort", Kind: "stream"}, "is a batch app"},
 	}
 	for _, tc := range cases {
 		_, err := tc.sp.Canonical()

@@ -1,0 +1,109 @@
+package arch_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/arch"
+)
+
+// TestRegisterKindValidation: the registry rejects malformed app kinds
+// at registration time — stream apps must carry RunStream, batch apps
+// must not.
+func TestRegisterKindValidation(t *testing.T) {
+	run := func(ctx context.Context, s arch.Settings) (string, arch.Report, error) {
+		return "", arch.Report{}, nil
+	}
+	runStream := func(ctx context.Context, s arch.Settings, obs arch.StreamObserver) (string, arch.Report, error) {
+		return "", arch.Report{}, nil
+	}
+	cases := []struct {
+		name string
+		app  arch.App
+		want string
+	}{
+		{"stream without RunStream", arch.App{Name: "t1", DefaultSize: 1, Kind: arch.KindStream, Run: run}, "nil RunStream"},
+		{"batch with RunStream", arch.App{Name: "t2", DefaultSize: 1, Run: run, RunStream: runStream}, "batch app with RunStream"},
+		{"unknown kind", arch.App{Name: "t3", DefaultSize: 1, Kind: "firehose", Run: run}, "unknown kind"},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("%s: Register did not panic", tc.name)
+					return
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, tc.want) {
+					t.Errorf("%s: panic %v, want containing %q", tc.name, r, tc.want)
+				}
+			}()
+			arch.Register(tc.app)
+		}()
+	}
+}
+
+// TestKindName: the zero Kind normalizes to batch.
+func TestKindName(t *testing.T) {
+	if got := (arch.App{}).KindName(); got != arch.KindBatch {
+		t.Errorf("zero-kind KindName = %q, want %q", got, arch.KindBatch)
+	}
+	if got := (arch.App{Kind: arch.KindStream}).KindName(); got != arch.KindStream {
+		t.Errorf("stream KindName = %q", got)
+	}
+}
+
+// TestRunAppStreamRejectsBatchApps: observing a batch app's stream is a
+// type error, reported before anything runs.
+func TestRunAppStreamRejectsBatchApps(t *testing.T) {
+	_, _, err := arch.RunAppStream(context.Background(), "mergesort", nil)
+	if err == nil || !strings.Contains(err.Error(), "not stream") {
+		t.Fatalf("RunAppStream(mergesort) err = %v, want 'not stream'", err)
+	}
+}
+
+// TestRunSpecStreamMatchesRunSpec: for a streaming app, the observed
+// entry point and the batch entry point run the identical experiment —
+// same summary, same meters — the observer being a pure tap.
+func TestRunSpecStreamMatchesRunSpec(t *testing.T) {
+	sp := arch.Spec{App: "streamhist", Size: 4096, Procs: 5}
+	var wins int
+	sum1, rep1, err := arch.RunSpecStream(context.Background(), sp, func(arch.StreamWindow) { wins++ })
+	if err != nil {
+		t.Fatalf("RunSpecStream: %v", err)
+	}
+	if wins == 0 {
+		t.Error("observer saw no windows")
+	}
+	sum2, rep2, err := arch.RunSpec(context.Background(), sp)
+	if err != nil {
+		t.Fatalf("RunSpec: %v", err)
+	}
+	if sum1 != sum2 {
+		t.Errorf("summary differs: %q vs %q", sum1, sum2)
+	}
+	if rep1.Msgs != rep2.Msgs || rep1.Bytes != rep2.Bytes {
+		t.Errorf("meters differ: %+v vs %+v", rep1, rep2)
+	}
+}
+
+// TestSpecCanonicalFillsStreamKind: a spec naming a streaming app
+// canonicalizes with kind "stream", and the kind participates in the
+// canonical JSON (so stream and batch addresses can never collide).
+func TestSpecCanonicalFillsStreamKind(t *testing.T) {
+	c, err := arch.Spec{App: "streamfft"}.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	if c.Kind != arch.KindStream {
+		t.Errorf("Kind = %q, want %q", c.Kind, arch.KindStream)
+	}
+	blob, err := c.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"kind":"stream"`) {
+		t.Errorf("canonical JSON misses kind: %s", blob)
+	}
+}

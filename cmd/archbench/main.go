@@ -31,12 +31,22 @@
 // producing the committed BENCH_dist.json:
 //
 //	archbench -json BENCH_dist.json -backend=dist
+//
+// -family selects the host-cost family: "micro" (the latency suites
+// above) or "stream", the streaming subsystem's sustained-throughput
+// matrix (elements/sec and msgs/sec at varying batch sizes and farm
+// widths across all three backends), producing the committed
+// BENCH_stream.json. -scale shrinks the stream element counts for
+// smoke runs:
+//
+//	archbench -json BENCH_stream.json -family stream
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -61,6 +71,7 @@ func main() {
 		csvOut   = flag.Bool("csv", false, "also write <dir>/fig<ID>.csv for table figures")
 		backName = flag.String("backend", "sim", "execution backend: "+strings.Join(arch.BackendNames(), ", "))
 		jsonOut  = flag.String("json", "", "write the host-cost benchmark baseline to this file and exit")
+		family   = flag.String("family", "micro", `host-cost family for -json: "micro" (latency suite) or "stream" (sustained throughput matrix)`)
 	)
 	flag.Parse()
 
@@ -68,8 +79,18 @@ func main() {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
 		collect := hostbench.Collect
-		if *backName == "dist" {
-			collect = hostbench.CollectDist
+		switch *family {
+		case "micro":
+			if *backName == "dist" {
+				collect = hostbench.CollectDist
+			}
+		case "stream":
+			collect = func(ctx context.Context, log io.Writer) (*hostbench.Report, error) {
+				return hostbench.CollectStream(ctx, log, *scale)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "archbench: unknown family %q (have: micro, stream)\n", *family)
+			os.Exit(2)
 		}
 		rep, err := collect(ctx, os.Stderr)
 		if err != nil {

@@ -73,10 +73,10 @@ func main() {
 	}
 
 	if *list && *remote == "" {
-		fmt.Printf("%-10s %9s  %-10s %s\n", "app", "size", "backends", "description")
+		fmt.Printf("%-10s %-6s %9s  %-13s %s\n", "app", "kind", "size", "backends", "description")
 		for _, a := range arch.Apps() {
-			fmt.Printf("%-10s %9d  %-10s %s\n",
-				a.Name, a.DefaultSize, strings.Join(a.BackendNames(), ","), a.Desc)
+			fmt.Printf("%-10s %-6s %9d  %-13s %s\n",
+				a.Name, a.KindName(), a.DefaultSize, strings.Join(a.BackendNames(), ","), a.Desc)
 		}
 		return
 	}
@@ -136,21 +136,43 @@ func runRemote(base string, list bool, name string, procs, size int, mach, back 
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-10s %9s  %-10s %s\n", "app", "size", "backends", "description")
+		fmt.Printf("%-10s %-6s %9s  %-13s %s\n", "app", "kind", "size", "backends", "description")
 		for _, a := range apps {
-			fmt.Printf("%-10s %9d  %-10s %s\n",
-				a.Name, a.DefaultSize, strings.Join(a.Backends, ","), a.Desc)
+			fmt.Printf("%-10s %-6s %9d  %-13s %s\n",
+				a.Name, a.Kind, a.DefaultSize, strings.Join(a.Backends, ","), a.Desc)
 		}
 		return nil
 	}
 	if name == "" {
 		return fmt.Errorf("no -app given (use -list)")
 	}
-	st, err := client.Run(ctx, arch.Spec{
+	st, err := client.Submit(ctx, arch.Spec{
 		App: name, Size: size, Procs: procs, Machine: mach, Backend: back,
 	})
 	if err != nil {
 		return err
+	}
+	switch {
+	case st.Terminal():
+		// Answered at submission (a cache hit or a failed admission).
+	case st.Kind == arch.KindStream:
+		// A live stream job: follow its SSE feed and narrate each
+		// progress window instead of polling quietly.
+		last := 0
+		st, err = client.Follow(ctx, st.ID, func(ev serve.JobStatus) {
+			if ev.Stream != nil && ev.Stream.Window > last {
+				last = ev.Stream.Window
+				fmt.Printf("window %d: %d elems, %.0f elems/s\n", ev.Stream.Window, ev.Stream.Elems, ev.Stream.Rate)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	default:
+		st, err = client.Wait(ctx, st.ID)
+		if err != nil {
+			return err
+		}
 	}
 	if st.State != serve.StateDone {
 		return fmt.Errorf("run %s %s: %s", st.ID[:12], st.State, st.Error)

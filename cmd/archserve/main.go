@@ -20,7 +20,10 @@
 //
 // Identical submissions coalesce while in flight and hit the persistent
 // cache once finished — across restarts too, since the cache key is the
-// SHA-256 of the canonical run spec, not anything process-local. On
+// SHA-256 of the canonical run spec, not anything process-local.
+// Submissions naming a streaming app (kind "stream") become long-lived
+// jobs instead: bounded by -streams, never cached, with per-window
+// throughput on the SSE feed and -keepalive comments between events. On
 // SIGINT/SIGTERM the daemon stops admitting (503), drains in-flight
 // jobs, and exits 0; -drain bounds how long the drain may take before
 // remaining jobs are cancelled.
@@ -55,6 +58,8 @@ func main() {
 		cacheDir = flag.String("cache", "", `persistent result cache directory ("" = per-user default, "off" = disabled)`)
 		workers  = flag.Int("workers", 0, "max runs executing concurrently (0 = GOMAXPROCS)")
 		queue    = flag.Int("queue", 0, "max admitted pending jobs before 429 (0 = 64)")
+		streams  = flag.Int("streams", 0, "max stream jobs running concurrently before 429 (0 = 4)")
+		keep     = flag.Duration("keepalive", 0, "SSE keep-alive comment interval (0 = 15s, negative = off)")
 		drain    = flag.Duration("drain", 30*time.Second, "max time to drain in-flight jobs on shutdown")
 	)
 	flag.Parse()
@@ -83,6 +88,8 @@ func main() {
 	svc := serve.New(serve.Config{
 		Workers:    *workers,
 		QueueDepth: *queue,
+		StreamJobs: *streams,
+		KeepAlive:  *keep,
 		Cache:      cache,
 		Log:        logger,
 	})

@@ -43,6 +43,15 @@
 // near-free across process restarts. archdemo -remote is the matching
 // client.
 //
+// Beyond batch runs, internal/stream adds the streaming archetype:
+// elements flow through a typed stage graph with bounded per-stage
+// buffers, credit-based backpressure (a stalled sink provably stalls
+// the source), element batching, and order-restoring farm stages.
+// Streaming apps are a first-class registry kind (arch.App.Kind,
+// arch.RunAppStream/RunSpecStream with a windowed StreamObserver);
+// archserve runs them as long-lived jobs with SSE progress, excluded
+// from the result cache.
+//
 // Layout:
 //
 //	arch                  public facade: typed programs, option-based runs,
@@ -63,6 +72,11 @@
 //	                      progress, admission control, result deduplication
 //	internal/rescache     content-addressed persistent result cache
 //	                      (canonical spec -> SHA-256 -> atomic JSON blob)
+//	internal/stream       streaming archetype runtime: typed stage graphs,
+//	                      batching, credit backpressure, order-restoring
+//	                      farm stages, windowed progress
+//	internal/streamfft    streaming app: FFT frames through row/column farms
+//	internal/streamhist   streaming app: windowed histogram aggregation
 //	internal/spmd         SPMD process runtime over any backend; typed,
 //	                      self-metering messaging (SendT, Chan, BytesOf)
 //	internal/collective   broadcast/gather/scatter/all-to-all/reduce/barrier

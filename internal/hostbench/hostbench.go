@@ -286,12 +286,16 @@ type SweepResult struct {
 	Seconds  float64 `json:"seconds"`
 }
 
-// Report is the host-cost baseline serialized to BENCH_fabric.json.
+// Report is one host-cost baseline as serialized to the committed
+// BENCH_*.json files: latency micros and figure sweeps
+// (BENCH_fabric.json, BENCH_dist.json) or the streaming throughput
+// matrix (BENCH_stream.json), whichever the collector filled.
 type Report struct {
-	GoVersion  string        `json:"go_version"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Micros     []MicroResult `json:"micros"`
-	Sweeps     []SweepResult `json:"sweeps"`
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Micros     []MicroResult  `json:"micros,omitempty"`
+	Sweeps     []SweepResult  `json:"sweeps,omitempty"`
+	Streams    []StreamResult `json:"streams,omitempty"`
 }
 
 // Collect runs the default microbenchmark suite through

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -125,6 +126,59 @@ func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
 			return JobStatus{}, ctx.Err()
 		}
 	}
+}
+
+// Follow attaches to the job's SSE feed and invokes fn on every status
+// event until the job reaches a terminal state, which it returns. It is
+// how a client watches a long-lived stream job's windowed progress
+// without polling; keep-alive comment lines are consumed silently. A
+// feed that ends before a terminal status is an error.
+func (c *Client) Follow(ctx context.Context, id string, fn func(JobStatus)) (JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/runs/"+id+"/events"), nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var st JobStatus
+		return st, decode(resp, &st) // reuse the error-envelope path
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "": // blank line ends one event
+			if len(data) == 0 {
+				continue
+			}
+			var st JobStatus
+			if err := json.Unmarshal(data, &st); err != nil {
+				return JobStatus{}, fmt.Errorf("serve client: decode event: %w", err)
+			}
+			data = data[:0]
+			if fn != nil {
+				fn(st)
+			}
+			if st.Terminal() {
+				return st, nil
+			}
+		case strings.HasPrefix(line, ":"): // keep-alive comment
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return JobStatus{}, fmt.Errorf("serve client: event stream: %w", err)
+	}
+	return JobStatus{}, fmt.Errorf("serve client: event stream ended before a terminal status")
 }
 
 // Run submits sp and waits for its terminal status: the remote

@@ -47,6 +47,26 @@ type JobStatus struct {
 	// Elapsed is seconds from submission to completion (or to now for
 	// live jobs).
 	Elapsed float64 `json:"elapsed"`
+	// Kind is the spec's app kind ("batch" or "stream"), duplicated out
+	// of Spec so clients can dispatch without canonicalizing.
+	Kind string `json:"kind,omitempty"`
+	// Stream is the latest progress window of a running stream job (and
+	// the final one on its terminal status).
+	Stream *StreamProgress `json:"stream,omitempty"`
+}
+
+// StreamProgress is a stream job's latest progress window: the live
+// throughput view a long-lived job exposes while it runs.
+type StreamProgress struct {
+	// Window is the 1-based progress-window number.
+	Window int `json:"window"`
+	// Elems is the cumulative count of elements through the stream's
+	// sink.
+	Elems int64 `json:"elems"`
+	// Elapsed is wall-clock seconds of streaming so far.
+	Elapsed float64 `json:"elapsed"`
+	// Rate is elements per second within the latest window.
+	Rate float64 `json:"rate"`
 }
 
 // Terminal reports whether the status is final.
@@ -65,6 +85,7 @@ type job struct {
 	errMsg    string
 	cached    bool
 	coalesced bool
+	stream    *StreamProgress
 	finished  time.Time
 	// changed is closed and replaced on every state transition; watch
 	// hands it to SSE streams so they wake exactly when the status
@@ -118,6 +139,14 @@ func (j *job) finish(out runOutcome, coalesced bool, err error) {
 	})
 }
 
+// progress records a stream job's latest progress window and wakes
+// every watcher, so each window is one SSE event.
+func (j *job) progress(w arch.StreamWindow) {
+	j.transition(func() {
+		j.stream = &StreamProgress{Window: w.Index, Elems: w.Elems, Elapsed: w.Elapsed, Rate: w.Rate}
+	})
+}
+
 // completeCached resolves the job directly from a persistent cache
 // entry, never having run.
 func (j *job) completeCached(e *rescache.Entry) {
@@ -149,6 +178,11 @@ func (j *job) watch() (JobStatus, <-chan struct{}) {
 		Error:     j.errMsg,
 		Cached:    j.cached,
 		Coalesced: j.coalesced,
+		Kind:      j.spec.Kind,
+	}
+	if j.stream != nil {
+		p := *j.stream
+		st.Stream = &p
 	}
 	if j.state == StateDone {
 		rep := j.report

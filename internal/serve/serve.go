@@ -33,6 +33,14 @@
 // is visible back-pressure, not an unbounded queue. Shutdown stops
 // admitting (503), drains in-flight jobs, and only cancels them if the
 // drain deadline expires.
+//
+// Specs naming a streaming app (kind "stream") become long-lived jobs
+// instead: they run on their own goroutines under the separate
+// StreamJobs bound, their SSE feed carries a status event per progress
+// window (elements/sec at the sink) with periodic keep-alive comments
+// in between, and their results are never persisted to the result cache
+// — a stream's value is its progress while running, not a memoizable
+// answer. Resubmitting a finished stream spec re-runs it.
 package serve
 
 import (
@@ -60,15 +68,34 @@ type Config struct {
 	// running) at once; past it POST /runs returns 429. Zero means 64.
 	QueueDepth int
 	// Cache is the persistent content-addressed result store; nil runs
-	// the service memoryless (every cold request recomputes).
+	// the service memoryless (every cold request recomputes). Stream
+	// jobs never touch it: a long-lived run is not a cacheable result.
 	Cache *rescache.Cache
+	// StreamJobs bounds how many stream jobs may run concurrently;
+	// past it POST /runs on a stream spec returns 429. Zero means 4.
+	// Stream jobs run on their own goroutines, not the sched pool, so
+	// long-lived streams cannot starve batch runs of workers.
+	StreamJobs int
+	// KeepAlive is the idle interval after which SSE streams emit a
+	// keep-alive comment so proxies and idle timeouts don't sever
+	// long-lived connections. Zero means 15s; negative disables.
+	KeepAlive time.Duration
 	// Log receives service events; nil means the standard logger.
 	Log *log.Logger
 }
 
-// defaultQueueDepth is the admitted-jobs bound when Config leaves
-// QueueDepth zero.
-const defaultQueueDepth = 64
+// Defaults for Config's zero fields.
+const (
+	// defaultQueueDepth is the admitted-jobs bound when Config leaves
+	// QueueDepth zero.
+	defaultQueueDepth = 64
+	// defaultStreamJobs is the concurrent stream-job bound when Config
+	// leaves StreamJobs zero.
+	defaultStreamJobs = 4
+	// defaultKeepAlive is the SSE keep-alive interval when Config leaves
+	// KeepAlive zero.
+	defaultKeepAlive = 15 * time.Second
+)
 
 // runOutcome is what one executed (or cache-served) run hands back
 // through the singleflight.
@@ -92,10 +119,11 @@ type Server struct {
 	runCtx   context.Context
 	stopRuns context.CancelFunc
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	active   int  // admitted, not yet terminal — the QueueDepth gauge
-	draining bool // true once Shutdown starts: no new admissions
+	mu           sync.Mutex
+	jobs         map[string]*job
+	active       int  // admitted batch jobs, not yet terminal — the QueueDepth gauge
+	streamActive int  // running stream jobs — the StreamJobs gauge
+	draining     bool // true once Shutdown starts: no new admissions
 
 	wg sync.WaitGroup // one count per admitted job, for drain
 }
@@ -139,12 +167,33 @@ func (s *Server) queueDepth() int {
 	return defaultQueueDepth
 }
 
+// streamJobs returns the effective concurrent stream-job bound.
+func (s *Server) streamJobs() int {
+	if s.cfg.StreamJobs > 0 {
+		return s.cfg.StreamJobs
+	}
+	return defaultStreamJobs
+}
+
+// keepAlive returns the effective SSE keep-alive interval; 0 means
+// disabled.
+func (s *Server) keepAlive() time.Duration {
+	switch {
+	case s.cfg.KeepAlive > 0:
+		return s.cfg.KeepAlive
+	case s.cfg.KeepAlive < 0:
+		return 0
+	}
+	return defaultKeepAlive
+}
+
 // AppInfo is one registry entry as GET /apps reports it.
 type AppInfo struct {
 	Name        string   `json:"name"`
 	Desc        string   `json:"desc"`
 	DefaultSize int      `json:"defaultSize"`
 	Backends    []string `json:"backends"`
+	Kind        string   `json:"kind"`
 }
 
 // handleApps serves the registry listing.
@@ -152,7 +201,8 @@ func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
 	apps := arch.Apps()
 	out := make([]AppInfo, len(apps))
 	for i, a := range apps {
-		out[i] = AppInfo{Name: a.Name, Desc: a.Desc, DefaultSize: a.DefaultSize, Backends: a.BackendNames()}
+		out[i] = AppInfo{Name: a.Name, Desc: a.Desc, DefaultSize: a.DefaultSize,
+			Backends: a.BackendNames(), Kind: a.KindName()}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -176,6 +226,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	key, err := rescache.Key(spec)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if spec.Kind == arch.KindStream {
+		s.submitStream(w, key, spec)
 		return
 	}
 
@@ -226,6 +280,61 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	go s.runJob(j)
 	w.Header().Set("Location", "/runs/"+key)
 	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// submitStream admits one stream-job submission. Stream jobs bypass the
+// batch path's three deduplication layers on purpose: no warm lookup
+// and no persistence (a long-lived run is not a cacheable result — only
+// non-terminal progress exists while it matters), and no singleflight
+// (re-running a stream is the point of resubmitting one). A live stream
+// job still answers resubmissions with its status; a terminal one is
+// re-admitted, replacing the finished job under the same content
+// address.
+func (s *Server) submitStream(w http.ResponseWriter, key string, spec arch.Spec) {
+	s.mu.Lock()
+	if j, ok := s.jobs[key]; ok {
+		if st := j.snapshot(); !st.Terminal() {
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+	}
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if s.streamActive >= s.streamJobs() {
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("stream jobs full: %d running (limit %d)", s.streamActive, s.streamJobs()))
+		return
+	}
+	j := newJob(key, spec)
+	s.jobs[key] = j
+	s.streamActive++
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.runStreamJob(j)
+	w.Header().Set("Location", "/runs/"+key)
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// runStreamJob executes one admitted stream job on its own goroutine
+// (not the sched pool — a long-lived stream would pin a worker), feeding
+// each progress window into the job so SSE watchers see live
+// throughput. The outcome resolves the job but is never persisted.
+func (s *Server) runStreamJob(j *job) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		s.streamActive--
+		s.mu.Unlock()
+	}()
+	j.setRunning()
+	summary, rep, err := arch.RunSpecStream(s.runCtx, j.spec, j.progress)
+	j.finish(runOutcome{summary: summary, report: rep}, false, err)
 }
 
 // runJob executes one admitted job through the singleflight and the
@@ -315,6 +424,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-store")
+
+	// Keep-alive: when a job sits between transitions longer than the
+	// interval (a long-lived stream between progress windows, a deep
+	// queue), emit an SSE comment so proxies and idle timeouts keep the
+	// connection open. Comments are invisible to event parsers.
+	var keep <-chan time.Time
+	if ka := s.keepAlive(); ka > 0 {
+		t := time.NewTicker(ka)
+		defer t.Stop()
+		keep = t.C
+	}
 	for {
 		st, changed := j.watch()
 		if err := writeEvent(w, st); err != nil {
@@ -324,8 +444,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		if st.Terminal() {
 			return
 		}
+	wait:
 		select {
 		case <-changed:
+		case <-keep:
+			if _, err := fmt.Fprint(w, ": keep-alive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+			goto wait
 		case <-r.Context().Done():
 			return
 		}

@@ -1,0 +1,260 @@
+package serve_test
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/arch"
+	"repro/internal/serve"
+)
+
+// The "servestreamtest" app is a controllable streaming app: it emits
+// Size progress windows, counts its executions, and can be held
+// mid-stream after the first window — the "slow stream" the SSE
+// keep-alive and admission tests need.
+var (
+	streamRuns   atomic.Int32
+	streamGateMu sync.Mutex
+	streamGate   chan struct{}
+)
+
+// holdStreams gates servestreamtest runs after their first window until
+// the returned release func.
+func holdStreams() (release func()) {
+	g := make(chan struct{})
+	streamGateMu.Lock()
+	streamGate = g
+	streamGateMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			streamGateMu.Lock()
+			streamGate = nil
+			streamGateMu.Unlock()
+			close(g)
+		})
+	}
+}
+
+func runStreamTest(ctx context.Context, s arch.Settings, obs arch.StreamObserver) (string, arch.Report, error) {
+	streamRuns.Add(1)
+	for i := 1; i <= s.Size; i++ {
+		if obs != nil {
+			obs(arch.StreamWindow{Index: i, Elems: int64(10 * i), Elapsed: float64(i), Rate: 100})
+		}
+		if i == 1 {
+			streamGateMu.Lock()
+			g := streamGate
+			streamGateMu.Unlock()
+			if g != nil {
+				select {
+				case <-g:
+				case <-ctx.Done():
+					return "", arch.Report{}, ctx.Err()
+				}
+			}
+		}
+	}
+	return "servestreamtest streamed", arch.Report{Backend: s.Backend.Name(), Procs: s.Procs, Msgs: int64(s.Size)}, nil
+}
+
+func init() {
+	arch.Register(arch.App{
+		Name:        "servestreamtest",
+		Desc:        "controllable streaming test app for the serve package",
+		DefaultSize: 4,
+		Kind:        arch.KindStream,
+		Run: func(ctx context.Context, s arch.Settings) (string, arch.Report, error) {
+			return runStreamTest(ctx, s, nil)
+		},
+		RunStream: runStreamTest,
+	})
+}
+
+// TestStreamJobLifecycle: a stream spec becomes a long-lived job whose
+// SSE feed carries windowed progress, whose result is never persisted
+// to the rescache, and whose terminal job re-admits (re-runs) on
+// resubmission instead of answering from a cache.
+func TestStreamJobLifecycle(t *testing.T) {
+	cache := openCache(t, t.TempDir())
+	_, c := newService(t, serve.Config{Cache: cache})
+	streamRuns.Store(0)
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, arch.Spec{App: "servestreamtest", Size: 4})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if st.Kind != arch.KindStream {
+		t.Errorf("submitted job kind = %q, want stream", st.Kind)
+	}
+	var wins []serve.StreamProgress
+	final, err := c.Follow(ctx, st.ID, func(ev serve.JobStatus) {
+		if ev.Stream != nil {
+			wins = append(wins, *ev.Stream)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Follow: %v", err)
+	}
+	if final.State != serve.StateDone {
+		t.Fatalf("final state = %s (%s)", final.State, final.Error)
+	}
+	if final.Summary != "servestreamtest streamed" {
+		t.Errorf("summary = %q", final.Summary)
+	}
+	if len(wins) == 0 {
+		t.Error("SSE feed carried no progress windows")
+	}
+	if final.Stream == nil || final.Stream.Window != 4 {
+		t.Errorf("terminal status stream progress = %+v, want window 4", final.Stream)
+	}
+	if final.Cached {
+		t.Error("stream job reported cached")
+	}
+
+	// Never persisted: the content address must miss in the rescache.
+	if _, ok := cache.Get(st.ID); ok {
+		t.Error("stream job result was persisted to the rescache")
+	}
+	if got := streamRuns.Load(); got != 1 {
+		t.Fatalf("app ran %d times, want 1", got)
+	}
+
+	// Resubmission of a finished stream re-runs it (held mid-stream so
+	// the re-admission is observable as a live job).
+	release := holdStreams()
+	defer release()
+	st2, err := c.Submit(ctx, arch.Spec{App: "servestreamtest", Size: 4})
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if st2.ID != st.ID {
+		t.Errorf("resubmitted job ID changed: %s vs %s", st2.ID, st.ID)
+	}
+	if st2.Terminal() {
+		t.Fatalf("resubmitted stream answered terminally (%s): stream jobs must re-run", st2.State)
+	}
+	release()
+	if final2, err := c.Follow(ctx, st.ID, nil); err != nil || final2.State != serve.StateDone {
+		t.Fatalf("second run: %v / %+v", err, final2)
+	}
+	if got := streamRuns.Load(); got != 2 {
+		t.Errorf("app ran %d times after resubmit, want 2", got)
+	}
+}
+
+// TestStreamSSEKeepAlive: an idle streaming connection (job held
+// mid-stream) receives periodic keep-alive comments so proxies and idle
+// timeouts keep it open, and still sees the terminal event after
+// release.
+func TestStreamSSEKeepAlive(t *testing.T) {
+	_, c := newService(t, serve.Config{KeepAlive: 20 * time.Millisecond})
+	release := holdStreams()
+	defer release()
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, arch.Spec{App: "servestreamtest", Size: 2})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/runs/"+st.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	defer resp.Body.Close()
+
+	// Read the feed while the job is stalled: expect keep-alive comments
+	// between status events, then a terminal event after release.
+	type lineOrErr struct {
+		line string
+		err  error
+	}
+	lines := make(chan lineOrErr)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- lineOrErr{line: sc.Text()}
+		}
+		lines <- lineOrErr{err: sc.Err()}
+		close(lines)
+	}()
+
+	var keepalives, events int
+	released := false
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case l, ok := <-lines:
+			if !ok || l.err != nil {
+				t.Fatalf("feed ended early (err=%v, keepalives=%d)", l.err, keepalives)
+			}
+			switch {
+			case strings.HasPrefix(l.line, ":"):
+				keepalives++
+				if keepalives >= 2 && !released {
+					released = true
+					release()
+				}
+			case strings.HasPrefix(l.line, "data:"):
+				events++
+				if strings.Contains(l.line, `"done"`) {
+					if keepalives < 2 {
+						t.Errorf("saw %d keep-alive comments before completion, want >= 2", keepalives)
+					}
+					if events < 2 {
+						t.Errorf("saw %d status events, want >= 2", events)
+					}
+					return
+				}
+			}
+		case <-deadline:
+			t.Fatalf("no terminal event after 5s (keepalives=%d events=%d)", keepalives, events)
+		}
+	}
+}
+
+// TestStreamJobsAdmissionCap: concurrent stream jobs are bounded by
+// StreamJobs, separately from the batch queue — the cap answers 429 and
+// frees up when a stream finishes.
+func TestStreamJobsAdmissionCap(t *testing.T) {
+	_, c := newService(t, serve.Config{StreamJobs: 1})
+	release := holdStreams()
+	defer release()
+	ctx := context.Background()
+
+	st1, err := c.Submit(ctx, arch.Spec{App: "servestreamtest", Size: 100})
+	if err != nil {
+		t.Fatalf("first stream: %v", err)
+	}
+	// A different stream spec (different size → different address) must
+	// bounce off the cap while the first is live.
+	_, err = c.Submit(ctx, arch.Spec{App: "servestreamtest", Size: 101})
+	if err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("second stream err = %v, want 429", err)
+	}
+	// Batch jobs are not subject to the stream cap.
+	if st, err := c.Run(ctx, arch.Spec{App: "servetest", Size: 32, Procs: 2}); err != nil || st.State != serve.StateDone {
+		t.Fatalf("batch run under stream cap: %v / %+v", err, st)
+	}
+
+	release()
+	if final, err := c.Follow(ctx, st1.ID, nil); err != nil || final.State != serve.StateDone {
+		t.Fatalf("first stream completion: %v / %+v", err, final)
+	}
+	// Cap freed: a new stream admits again.
+	if _, err := c.Submit(ctx, arch.Spec{App: "servestreamtest", Size: 102}); err != nil {
+		t.Fatalf("stream after cap freed: %v", err)
+	}
+}

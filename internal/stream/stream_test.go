@@ -1,0 +1,316 @@
+package stream_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/spmd"
+	"repro/internal/stream"
+)
+
+// countingPipeline is the test workload: int64-ish floats through a
+// doubling farm, with the source counting every element it generates so
+// tests can observe how far ahead of the sink it ran.
+func countingPipeline(workers int, produced *atomic.Int64) *stream.Pipeline[float64] {
+	return &stream.Pipeline[float64]{
+		Name:  "count",
+		Width: 1,
+		Source: func(c spmd.Comm, i int64, dst []float64) []float64 {
+			if produced != nil {
+				produced.Add(1)
+			}
+			return append(dst, float64(i))
+		},
+		Stages: []stream.Stage[float64]{{
+			Name:    "double",
+			Workers: workers,
+			Fn: func(c spmd.Comm, _ any, in []float64) []float64 {
+				for k := range in {
+					in[k] *= 2
+				}
+				return in
+			},
+		}},
+	}
+}
+
+// TestOrderRestoration: a farm of any width must deliver the stream to
+// the sink in exact global element order, whatever the batch size —
+// including batches that don't divide the element count.
+func TestOrderRestoration(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 5} {
+		for _, batch := range []int{1, 7, 32} {
+			pl := countingPipeline(workers, nil)
+			cfg := stream.Config{Elems: 1000, Batch: batch, Credits: 2}
+			var out []float64
+			_, err := core.Run(context.Background(), backend.Real(), pl.Procs(), model(), func(p *spmd.Proc) {
+				if res := stream.Run(p, pl, cfg); res != nil {
+					out = res
+				}
+			})
+			if err != nil {
+				t.Fatalf("w=%d b=%d: %v", workers, batch, err)
+			}
+			if len(out) != 1000 {
+				t.Fatalf("w=%d b=%d: sink got %d elems, want 1000", workers, batch, len(out))
+			}
+			for i, v := range out {
+				if v != float64(2*i) {
+					t.Fatalf("w=%d b=%d: out[%d] = %g, want %d (order not restored)", workers, batch, i, v, 2*i)
+				}
+			}
+		}
+	}
+}
+
+// TestStagesReshapeStream: a cardinality-changing stateful stage
+// (pairwise sum, half the elements, width change) composed after a farm
+// keeps exact semantics, with Flush emitting the buffered tail.
+func TestStagesReshapeStream(t *testing.T) {
+	// Stage 2 sums non-overlapping pairs into 2-wide elements
+	// (sum, count), carrying an odd leftover across batches in state and
+	// flushing it at end of stream.
+	type carry struct {
+		have bool
+		val  float64
+	}
+	pl := &stream.Pipeline[float64]{
+		Name:  "reshape",
+		Width: 1,
+		Source: func(c spmd.Comm, i int64, dst []float64) []float64 {
+			return append(dst, float64(i))
+		},
+		Stages: []stream.Stage[float64]{
+			{
+				Name:    "inc",
+				Workers: 3,
+				Fn: func(c spmd.Comm, _ any, in []float64) []float64 {
+					for k := range in {
+						in[k]++
+					}
+					return in
+				},
+			},
+			{
+				Name:     "pairs",
+				OutWidth: 2,
+				State:    func(c spmd.Comm) any { return &carry{} },
+				Fn: func(c spmd.Comm, state any, in []float64) []float64 {
+					st := state.(*carry)
+					var out []float64
+					for _, v := range in {
+						if st.have {
+							out = append(out, st.val+v, 2)
+							st.have = false
+						} else {
+							st.val, st.have = v, true
+						}
+					}
+					return out
+				},
+				Flush: func(c spmd.Comm, state any) []float64 {
+					st := state.(*carry)
+					if !st.have {
+						return nil
+					}
+					return []float64{st.val, 1}
+				},
+			},
+		},
+	}
+	if got, want := pl.OutWidth(), 2; got != want {
+		t.Fatalf("OutWidth = %d, want %d", got, want)
+	}
+	const elems = 101 // odd: exercises the flush path
+	cfg := stream.Config{Elems: elems, Batch: 7, Credits: 3}
+	var out []float64
+	_, err := core.Run(context.Background(), backend.Real(), pl.Procs(), model(), func(p *spmd.Proc) {
+		if res := stream.Run(p, pl, cfg); res != nil {
+			out = res
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != (elems/2)*2+2 {
+		t.Fatalf("sink got %d scalars, want %d", len(out), (elems/2)*2+2)
+	}
+	for k := 0; k < elems/2; k++ {
+		// Pair k sums elements 2k and 2k+1, each incremented by one.
+		if want := float64(2*k+1) + float64(2*k+2); out[2*k] != want || out[2*k+1] != 2 {
+			t.Fatalf("pair %d = (%g, %g), want (%g, 2)", k, out[2*k], out[2*k+1], want)
+		}
+	}
+	if out[len(out)-2] != float64(elems) || out[len(out)-1] != 1 {
+		t.Fatalf("flushed tail = (%g, %g), want (%d, 1)", out[len(out)-2], out[len(out)-1], elems)
+	}
+}
+
+func model() *machine.Model { return machine.IBMSP() }
+
+// TestBackpressureStallsSource is the bounded-buffer invariant: with the
+// sink withholding acknowledgements (a blocking OnWindow), the source
+// must stop producing once every credit window in the pipeline is full —
+// at most (S+1)·Credits + S+1 elements at batch size 1 — instead of
+// running ahead through the unbounded fabric.
+func TestBackpressureStallsSource(t *testing.T) {
+	const credits = 2
+	const elems = 500
+	bound := int64(2*credits + 2) // S=1 stage: (S+1)*credits + S+1
+
+	var produced atomic.Int64
+	pl := countingPipeline(1, &produced)
+	release := make(chan struct{})
+	var windows atomic.Int64
+	cfg := stream.Config{
+		Elems: elems, Batch: 1, Credits: credits,
+		Window: 1,
+		OnWindow: func(w stream.Window) {
+			if windows.Add(1) == 1 {
+				<-release // stall the sink on its first window
+			}
+		},
+	}
+	var out []float64
+	done := make(chan error, 1)
+	go func() {
+		_, err := core.Run(context.Background(), backend.Real(), pl.Procs(), model(), func(p *spmd.Proc) {
+			if res := stream.Run(p, pl, cfg); res != nil {
+				out = res
+			}
+		})
+		done <- err
+	}()
+
+	// Give the stalled pipeline ample time to overrun the bound if it
+	// were going to (an unbounded pipeline drains 500 elements in well
+	// under a millisecond here).
+	time.Sleep(200 * time.Millisecond)
+	if got := produced.Load(); got > bound {
+		t.Errorf("stalled sink: source produced %d elements, bound is %d", got, bound)
+	} else if got == elems {
+		t.Errorf("source finished all %d elements against a stalled sink", elems)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if produced.Load() != elems {
+		t.Errorf("after release: produced %d, want %d", produced.Load(), elems)
+	}
+	if len(out) != elems {
+		t.Fatalf("sink got %d elems, want %d", len(out), elems)
+	}
+	for i, v := range out {
+		if v != float64(2*i) {
+			t.Fatalf("out[%d] = %g, want %d after stall/release", i, v, 2*i)
+		}
+	}
+}
+
+// TestCancelMidStream: cancelling the world's context while elements
+// are in flight unwinds every rank — source, farm workers, sink — with
+// no goroutine leaks and a prompt context.Canceled from the run.
+func TestCancelMidStream(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var produced atomic.Int64
+	pl := countingPipeline(3, &produced)
+	cfg := stream.Config{Elems: 1 << 40, Batch: 4, Credits: 2} // far more than any test will stream
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := core.Run(ctx, backend.Real(), pl.Procs(), model(), func(p *spmd.Proc) {
+		stream.Run(p, pl, cfg)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run after cancel = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("cancellation took %v, want prompt", d)
+	}
+	if produced.Load() == 0 {
+		t.Error("cancelled before any element flowed; test proved nothing")
+	}
+	limit := time.Now().Add(2 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > before+1 && time.Now().Before(limit) {
+		time.Sleep(5 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	if n > before+1 {
+		t.Errorf("goroutines leaked after cancel: %d before, %d after", before, n)
+	}
+}
+
+// TestSplitWorkers pins the even-split-with-extras-first rule and the
+// too-few-ranks panic.
+func TestSplitWorkers(t *testing.T) {
+	cases := []struct {
+		avail, stages int
+		want          []int
+	}{
+		{2, 2, []int{1, 1}},
+		{5, 2, []int{3, 2}},
+		{7, 3, []int{3, 2, 2}},
+		{6, 2, []int{3, 3}},
+	}
+	for _, tc := range cases {
+		got := stream.SplitWorkers(tc.avail, tc.stages)
+		if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+			t.Errorf("SplitWorkers(%d, %d) = %v, want %v", tc.avail, tc.stages, got, tc.want)
+		}
+	}
+	for _, fn := range []func(){
+		func() { stream.SplitWorkers(1, 2) },
+		func() { stream.SplitWorkers(3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("SplitWorkers misuse did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestPipelineValidation: malformed pipelines panic at plan time, not
+// deep inside a running world.
+func TestPipelineValidation(t *testing.T) {
+	for name, pl := range map[string]*stream.Pipeline[float64]{
+		"zero width": {Width: 0, Source: func(c spmd.Comm, i int64, dst []float64) []float64 { return dst }},
+		"no source":  {Width: 1},
+		"no fn": {Width: 1,
+			Source: func(c spmd.Comm, i int64, dst []float64) []float64 { return append(dst, 0) },
+			Stages: []stream.Stage[float64]{{Name: "hole"}}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Procs() did not panic", name)
+				}
+			}()
+			pl.Procs()
+		}()
+	}
+}
+
+// TestProcsLayout: world size is source + workers + sink.
+func TestProcsLayout(t *testing.T) {
+	pl := countingPipeline(4, nil)
+	if got := pl.Procs(); got != 6 {
+		t.Errorf("Procs() = %d, want 6 (source + 4 workers + sink)", got)
+	}
+}

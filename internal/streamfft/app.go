@@ -1,0 +1,169 @@
+// Package streamfft is the streaming FFT-frame application: an
+// unbounded sequence of n×n complex frames flows through a two-farm
+// stream pipeline (row FFTs, then column FFTs) and comes out 2D-Fourier
+// transformed, frame-exact against the sequential §3.5.1 algorithm. It
+// generalizes internal/pipeline's fixed two-stage FFT chain to the
+// stream archetype: bounded credit windows instead of an implicit
+// unbounded buffer, element batching, and a worker farm per stage with
+// deterministic order restoration.
+package streamfft
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/arch"
+	"repro/internal/array"
+	"repro/internal/core"
+	"repro/internal/fft"
+	"repro/internal/stream"
+)
+
+// Edge is the fixed frame edge: every element of the stream is one
+// Edge×Edge complex frame.
+const Edge = 32
+
+// Streaming knobs: frames per message and flow-control window, fixed so
+// every backend runs the identical protocol.
+const (
+	frameBatch   = 4
+	frameCredits = 4
+)
+
+func init() {
+	arch.Register(arch.App{
+		Name:        "streamfft",
+		Desc:        "streaming 2D FFT frames through a two-farm pipeline (stream archetype)",
+		DefaultSize: 256,
+		Kind:        arch.KindStream,
+		Run: func(ctx context.Context, s arch.Settings) (string, arch.Report, error) {
+			return RunStream(ctx, s, nil)
+		},
+		RunStream: RunStream,
+	})
+}
+
+// frameAt generates frame f's element (i, j): a deterministic smooth
+// field drifting with the frame index, identical on every rank and in
+// the sequential oracle.
+func frameAt(f int64, i, j int) complex128 {
+	return complex(
+		math.Sin(0.11*float64(i)+0.007*float64(f)),
+		math.Cos(0.23*float64(j)-0.003*float64(f)),
+	)
+}
+
+// pipeline builds the stream pipeline for the given per-stage worker
+// counts: source emits whole frames, stage "rowfft" transforms each
+// frame's rows, stage "colfft" its columns — together exactly
+// fft.TwoDSeq's arithmetic per frame, so outputs are bit-identical to
+// the sequential algorithm.
+func pipeline(workers []int) *stream.Pipeline[complex128] {
+	width := Edge * Edge
+	return &stream.Pipeline[complex128]{
+		Name:  "streamfft",
+		Width: width,
+		Source: func(c arch.Comm, f int64, dst []complex128) []complex128 {
+			for i := 0; i < Edge; i++ {
+				for j := 0; j < Edge; j++ {
+					dst = append(dst, frameAt(f, i, j))
+				}
+			}
+			return dst
+		},
+		Stages: []stream.Stage[complex128]{
+			{
+				Name:    "rowfft",
+				Workers: workers[0],
+				Fn: func(c arch.Comm, _ any, in []complex128) []complex128 {
+					for off := 0; off < len(in); off += width {
+						frame := in[off : off+width]
+						for i := 0; i < Edge; i++ {
+							fft.Transform(c, frame[i*Edge:(i+1)*Edge], false)
+						}
+					}
+					return in
+				},
+			},
+			{
+				Name:    "colfft",
+				Workers: workers[1],
+				Fn: func(c arch.Comm, _ any, in []complex128) []complex128 {
+					col := make([]complex128, Edge)
+					for off := 0; off < len(in); off += width {
+						a := &array.Dense2D[complex128]{NX: Edge, NY: Edge, Data: in[off : off+width]}
+						for j := 0; j < Edge; j++ {
+							a.Col(j, col)
+							fft.Transform(c, col, false)
+							a.SetCol(j, col)
+						}
+						c.MemWords(float64(4 * Edge * Edge)) // column copy traffic
+					}
+					return in
+				},
+			},
+		},
+	}
+}
+
+// RunStream runs Size frames through the pipeline on the configured
+// world, delivering progress windows to obs (nil for unobserved runs),
+// and verifies every output frame bit-exact against fft.TwoDSeq. The
+// world needs at least 4 processes: source, one worker per farm, sink.
+func RunStream(ctx context.Context, s arch.Settings, obs arch.StreamObserver) (string, arch.Report, error) {
+	frames := int64(s.Size)
+	if s.Procs < 4 {
+		return "", arch.Report{}, fmt.Errorf("streamfft: needs at least 4 processes (source, 2 farms, sink), got %d", s.Procs)
+	}
+	workers := stream.SplitWorkers(s.Procs-2, 2)
+	pl := pipeline(workers)
+	cfg := stream.Config{
+		Elems:   frames,
+		Batch:   frameBatch,
+		Credits: frameCredits,
+	}
+	if obs != nil {
+		cfg.Window = windowSize(frames)
+		cfg.OnWindow = func(w stream.Window) {
+			obs(arch.StreamWindow{Index: w.Index, Elems: w.Elems, Elapsed: w.Elapsed, Rate: w.Rate})
+		}
+	}
+
+	prog := arch.SPMD(
+		func(p *arch.Proc, _ int) []complex128 { return stream.Run(p, pl, cfg) },
+		func(parts [][]complex128) []complex128 { return parts[len(parts)-1] },
+	)
+	out, rep, err := arch.RunWith(ctx, prog, s, 0)
+	if err != nil {
+		return "", rep, err
+	}
+
+	width := Edge * Edge
+	if int64(len(out)) != frames*int64(width) {
+		return "", rep, fmt.Errorf("streamfft: sink collected %d scalars, want %d", len(out), frames*int64(width))
+	}
+	want := array.New2D[complex128](Edge, Edge)
+	for f := int64(0); f < frames; f++ {
+		want.Fill(func(i, j int) complex128 { return frameAt(f, i, j) })
+		fft.TwoDSeq(core.Nop, want, false)
+		got := out[f*int64(width) : (f+1)*int64(width)]
+		for k := range got {
+			if got[k] != want.Data[k] {
+				return "", rep, fmt.Errorf("streamfft: frame %d scalar %d = %v, want %v (sequential)", f, k, got[k], want.Data[k])
+			}
+		}
+	}
+	return fmt.Sprintf("streamed %d %dx%d FFT frames through %d+%d workers (bit-exact vs sequential)",
+		frames, Edge, Edge, workers[0], workers[1]), rep, nil
+}
+
+// windowSize picks the progress-window size for an observed run: eight
+// windows across the stream, at least one frame each.
+func windowSize(frames int64) int64 {
+	w := frames / 8
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

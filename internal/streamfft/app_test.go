@@ -1,0 +1,51 @@
+package streamfft
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/arch"
+)
+
+// TestRunStreamVerifies: a small observed run on the simulator streams
+// every frame through the farm pipeline, fires monotone progress
+// windows, and passes the internal bit-exact check against the
+// sequential 2D FFT.
+func TestRunStreamVerifies(t *testing.T) {
+	s := arch.NewSettings(arch.WithProcs(6), arch.WithSize(16))
+	var wins []arch.StreamWindow
+	sum, rep, err := RunStream(context.Background(), s, func(w arch.StreamWindow) {
+		wins = append(wins, w)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sum, "16 32x32 FFT frames") {
+		t.Errorf("summary = %q", sum)
+	}
+	if rep.Msgs == 0 || rep.Bytes == 0 {
+		t.Errorf("report carries no communication: %+v", rep)
+	}
+	if len(wins) == 0 {
+		t.Fatal("no progress windows observed")
+	}
+	last := wins[len(wins)-1]
+	if last.Elems != 16 {
+		t.Errorf("final window reports %d elems, want 16", last.Elems)
+	}
+	for i := 1; i < len(wins); i++ {
+		if wins[i].Index != wins[i-1].Index+1 || wins[i].Elems <= wins[i-1].Elems {
+			t.Errorf("windows not monotone: %+v then %+v", wins[i-1], wins[i])
+		}
+	}
+}
+
+// TestRunStreamRejectsTinyWorlds: fewer than 4 processes cannot host
+// source, two farms, and sink.
+func TestRunStreamRejectsTinyWorlds(t *testing.T) {
+	s := arch.NewSettings(arch.WithProcs(3), arch.WithSize(4))
+	if _, _, err := RunStream(context.Background(), s, nil); err == nil {
+		t.Fatal("RunStream with 3 procs succeeded, want error")
+	}
+}

@@ -57,6 +57,11 @@ func TestAppPayloadsArePricedExplicitly(t *testing.T) {
 		// bnb (driver workload): the sync solver all-reduces
 		// [2]int64{expanded, queued} inside collective's partial wrapper.
 		{"bnb", [2]int64{1, 2}},
+		// stream apps: data batches are flat []T — streamfft frames are
+		// []complex128, streamhist samples/histograms []float64. Credit
+		// returns and EOS markers ship nil payloads ("runtime" below).
+		{"streamfft", []complex128{1}},
+		{"streamhist", []float64{1}},
 		// collective barriers and pipeline acks ship nil payloads.
 		{"runtime", nil},
 	}
