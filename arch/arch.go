@@ -42,6 +42,10 @@ import (
 	// user can resolve it; its default self-spawn mode additionally needs
 	// the host binary's main to call dist.MaybeWorker (see cmd/archdemo).
 	_ "repro/internal/backend/dist"
+	// The elastic (fault-tolerant task-queue) backend registers itself
+	// ("elastic"); its default self-spawn mode likewise needs main to
+	// call elastic.MaybeWorker.
+	_ "repro/internal/elastic"
 )
 
 // Re-exports: the types facade users write programs against, aliased so

@@ -54,7 +54,7 @@ func TestResolveBackendErrorDeterministic(t *testing.T) {
 	if err == nil {
 		t.Fatal("ResolveBackend(quantum) succeeded")
 	}
-	want := `unknown backend "quantum" (have: dist, real, sim)`
+	want := `unknown backend "quantum" (have: dist, elastic, real, sim)`
 	if err.Error() != want {
 		t.Errorf("error = %q, want %q", err.Error(), want)
 	}
@@ -64,7 +64,7 @@ func TestResolveBackendErrorDeterministic(t *testing.T) {
 			t.Fatalf("BackendNames() not sorted: %v", names)
 		}
 	}
-	for _, name := range []string{"dist", "real", "sim"} {
+	for _, name := range []string{"dist", "elastic", "real", "sim"} {
 		r, err := arch.ResolveBackend(name)
 		if err != nil || r.Name() != name {
 			t.Errorf("ResolveBackend(%q) = %v, %v", name, r, err)

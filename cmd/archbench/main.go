@@ -33,13 +33,17 @@
 //	archbench -json BENCH_dist.json -backend=dist
 //
 // -family selects the host-cost family: "micro" (the latency suites
-// above) or "stream", the streaming subsystem's sustained-throughput
+// above); "stream", the streaming subsystem's sustained-throughput
 // matrix (elements/sec and msgs/sec at varying batch sizes and farm
 // widths across all three backends), producing the committed
-// BENCH_stream.json. -scale shrinks the stream element counts for
-// smoke runs:
+// BENCH_stream.json (-scale shrinks the stream element counts for smoke
+// runs); or "elastic", the fault-tolerant backend's recovery-latency
+// table (wall-clock cost of an injected worker kill versus the
+// uninterrupted run, with meter parity re-asserted), producing the
+// committed BENCH_elastic.json:
 //
 //	archbench -json BENCH_stream.json -family stream
+//	archbench -json BENCH_elastic.json -family elastic
 package main
 
 import (
@@ -55,12 +59,14 @@ import (
 	"repro/arch"
 	"repro/internal/backend/dist"
 	"repro/internal/core"
+	"repro/internal/elastic"
 	"repro/internal/figures"
 	"repro/internal/hostbench"
 )
 
 func main() {
 	dist.MaybeWorker()
+	elastic.MaybeWorker()
 	var (
 		fig      = flag.String("fig", "", "figure ID to run (see -list)")
 		all      = flag.Bool("all", false, "run every figure")
@@ -71,7 +77,7 @@ func main() {
 		csvOut   = flag.Bool("csv", false, "also write <dir>/fig<ID>.csv for table figures")
 		backName = flag.String("backend", "sim", "execution backend: "+strings.Join(arch.BackendNames(), ", "))
 		jsonOut  = flag.String("json", "", "write the host-cost benchmark baseline to this file and exit")
-		family   = flag.String("family", "micro", `host-cost family for -json: "micro" (latency suite) or "stream" (sustained throughput matrix)`)
+		family   = flag.String("family", "micro", `host-cost family for -json: "micro" (latency suite), "stream" (sustained throughput matrix), or "elastic" (recovery-latency table)`)
 	)
 	flag.Parse()
 
@@ -88,8 +94,10 @@ func main() {
 			collect = func(ctx context.Context, log io.Writer) (*hostbench.Report, error) {
 				return hostbench.CollectStream(ctx, log, *scale)
 			}
+		case "elastic":
+			collect = hostbench.CollectElastic
 		default:
-			fmt.Fprintf(os.Stderr, "archbench: unknown family %q (have: micro, stream)\n", *family)
+			fmt.Fprintf(os.Stderr, "archbench: unknown family %q (have: elastic, micro, stream)\n", *family)
 			os.Exit(2)
 		}
 		rep, err := collect(ctx, os.Stderr)

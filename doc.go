@@ -28,8 +28,14 @@
 // wall-clock metering; and the distributed backend routes the same
 // program's messages across worker OS processes over TCP (self-spawned
 // localhost workers by default, attachable cmd/archworker processes
-// otherwise). Computational results and message/byte meters are
-// identical on all three. Experiment matrices (program × machine model
+// otherwise); and the elastic fault-tolerant backend runs ranks as
+// tasks on a work queue leased to whatever workers are alive, with
+// delivery-log checkpoint/replay so a worker killed mid-run triggers
+// re-execution of its ranks instead of failing the world — heartbeats
+// declare dead workers, reconnects back off with jitter, and workers
+// joining mid-run pull queued rank tasks. Computational results and
+// message/byte meters are identical on all four (including elastic runs
+// that survived a kill). Experiment matrices (program × machine model
 // × process count × backend) are swept concurrently by a worker-pool
 // scheduler; sweeps and runs are cancellable mid-flight through their
 // context.
@@ -65,6 +71,12 @@
 //	                      shared-memory backend (wall-clock metering)
 //	internal/backend/dist distributed backend: worker OS processes over TCP
 //	                      (framing, rank handshake, crash fail-fast)
+//	internal/elastic      fault-tolerant backend: rank tasks on a work
+//	                      queue, checkpoint/replay, heartbeats, mid-run join
+//	internal/faultinject  fault-injection rules (kill/drop/delay at a
+//	                      point/rank/epoch), hooked by dist and elastic
+//	internal/backoff      exponential backoff with jitter for dials and
+//	                      worker reconnects
 //	internal/sched        concurrent sweep scheduler: bounded worker pool,
 //	                      deduplicating result cache (LRU-bounded), string-
 //	                      keyed Flight singleflight, streamed curves
@@ -95,7 +107,7 @@
 //	cmd/archdemo          registry-driven CLI running any application,
 //	                      locally or against archserve (-remote)
 //	cmd/archserve         the archetype service daemon
-//	cmd/archworker        standalone dist worker (attach/join modes)
+//	cmd/archworker        standalone worker (dist attach/join, elastic join)
 //	examples/             twelve runnable walkthroughs; quickstart, sorting,
 //	                      and poisson go through the arch facade
 //

@@ -92,6 +92,27 @@ type Transport interface {
 	Finish() Result
 }
 
+// Driver is an optional Transport capability: a transport that owns rank
+// scheduling. When a transport implements Driver, spmd.World.Run hands it
+// a run function instead of spawning one goroutine per rank itself, and
+// the transport decides when — and how many times — each rank's body
+// executes. This is the seam elastic (fault-tolerant) backends need:
+// re-executing a rank after its host worker dies only works if the
+// substrate, not the world, owns the rank's goroutine.
+//
+// Drive must call run(rank) at least once for every rank in [0, n) (ranks
+// may run concurrently; each call runs the full rank body) and return
+// after all rank executions it started have returned. run reports the
+// rank body's outcome: nil on normal completion, the sentinel error for a
+// panic carrying Canceled (how transports signal their own control flow,
+// e.g. "this attempt's host died, reschedule me"), or a wrapped panic
+// otherwise. Drive's returned error becomes the run's error; returning
+// nil means every rank completed exactly once from the program's point of
+// view. The world still calls Finish afterwards on every path.
+type Driver interface {
+	Drive(run func(rank int) error) error
+}
+
 // Runner is a named Transport factory: one Runner per execution backend.
 // Runners are stateless and safe for concurrent use; each NewTransport
 // call yields an independent run substrate.

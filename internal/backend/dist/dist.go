@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/faultinject"
 	"repro/internal/machine"
 	"repro/internal/spmd"
 )
@@ -64,6 +65,8 @@ type runner struct {
 	// handshake bounds world start: every worker must hello and ready
 	// within it.
 	handshake time.Duration
+	// inj is the fault-injection seam (nil injects nothing).
+	inj *faultinject.Injector
 }
 
 // Option configures a dist runner.
@@ -90,6 +93,16 @@ func WithWorkerCommand(name string, args ...string) Option {
 // to connect and ready (default 30s).
 func WithHandshakeTimeout(d time.Duration) Option {
 	return func(r *runner) { r.handshake = d }
+}
+
+// WithInjector installs a fault injector consulted before every control
+// I/O: hook points "dist.send" and "dist.recv", with the rank's operation
+// index as the epoch. Drop closes that rank's control connection (the run
+// then fails through the ordinary lost-worker path); Delay sleeps before
+// the operation. Tests and the chaos CI job use this to exercise failure
+// paths deterministically.
+func WithInjector(in *faultinject.Injector) Option {
+	return func(r *runner) { r.inj = in }
 }
 
 // New builds a dist backend runner. The zero configuration — what the
@@ -128,6 +141,8 @@ func (r *runner) start(ctx context.Context, n int) (*transport, error) {
 		n:        n,
 		conns:    make([]*workerConn, 0, n),
 		counters: make([]shard, n),
+		ops:      make([]int, n),
+		inj:      r.inj,
 	}
 	ok := false
 	defer func() {
@@ -224,7 +239,7 @@ func (r *runner) start(ctx context.Context, n int) (*transport, error) {
 		pidRank[wc.pid] = rank
 	}
 	for rank, wc := range t.conns {
-		if err := writeFrame(wc.c, opAssign, assignBody(rank, n, peerSecret, addrs)); err != nil {
+		if err := WriteFrame(wc.c, opAssign, assignBody(rank, n, peerSecret, addrs)); err != nil {
 			return nil, fmt.Errorf("assigning rank %d: %w", rank, err)
 		}
 	}
@@ -290,7 +305,7 @@ func (wc *workerConn) read(deadline time.Time) (byte, []byte, error) {
 	if err := wc.c.SetReadDeadline(deadline); err != nil {
 		return 0, nil, err
 	}
-	return readFrame(wc.br)
+	return ReadFrame(wc.br)
 }
 
 // expectHello consumes the worker's hello frame, checking the world
@@ -317,7 +332,7 @@ func (wc *workerConn) expectHello(deadline time.Time, token string) error {
 // write sends one frame through the connection's scratch buffer in a
 // single Write call.
 func (wc *workerConn) write(op byte, body []byte) error {
-	wc.buf = appendFrame(wc.buf[:0], op, body)
+	wc.buf = AppendFrame(wc.buf[:0], op, body)
 	_, err := wc.c.Write(wc.buf)
 	return err
 }
@@ -341,6 +356,10 @@ type transport struct {
 	conns    []*workerConn
 	procs    []*exec.Cmd
 	counters []shard
+	// ops counts each rank's transport operations (rank-goroutine only):
+	// the epoch coordinate for fault-injection rules.
+	ops []int
+	inj *faultinject.Injector
 
 	mu        sync.Mutex
 	err       error
@@ -411,7 +430,26 @@ func (t *transport) Clock(rank int) float64 { return time.Since(t.begin).Seconds
 // Idle cannot advance a wall clock.
 func (t *transport) Idle(rank int, at float64) {}
 
+// inject consults the fault injector before rank's control I/O at the
+// given hook point. Drop severs the rank's control connection so the
+// subsequent I/O fails through the ordinary lost-worker path; Delay
+// sleeps here.
+func (t *transport) inject(point string, rank int) {
+	if t.inj == nil {
+		return
+	}
+	epoch := t.ops[rank]
+	t.ops[rank]++
+	switch act, d := t.inj.Eval(point, rank, epoch); act {
+	case faultinject.Drop:
+		t.conns[rank].c.Close()
+	case faultinject.Delay:
+		time.Sleep(d)
+	}
+}
+
 func (t *transport) Send(src, dst, tag int, data any, bytes int) {
+	t.inject("dist.send", src)
 	wc := t.conns[src]
 	hdr := msgHeader(dst, tag, bytes, nil)
 	body, err := spmd.AppendPayload(hdr, data)
@@ -434,6 +472,7 @@ func (t *transport) Send(src, dst, tag int, data any, bytes int) {
 // recvMsg runs one request/response on dst's control connection and
 // decodes the delivered message.
 func (t *transport) recvMsg(dst int, reqOp byte, reqBody []byte) (src, tag int, data any) {
+	t.inject("dist.recv", dst)
 	wc := t.conns[dst]
 	if err := wc.write(reqOp, reqBody); err != nil {
 		t.raise(dst, err)

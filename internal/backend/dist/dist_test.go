@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/backend/dist"
 	"repro/internal/collective"
+	"repro/internal/faultinject"
 	"repro/internal/machine"
 	"repro/internal/spmd"
 )
@@ -153,6 +155,110 @@ func TestDistCancellation(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("cancelled dist run did not unwind")
+	}
+}
+
+// liveChildren lists this process's live child PIDs (Linux); ok reports
+// whether the kernel exposes the listing.
+func liveChildren() (pids []string, ok bool) {
+	blob, err := os.ReadFile(fmt.Sprintf("/proc/self/task/%d/children", os.Getpid()))
+	if err != nil {
+		return nil, false
+	}
+	return strings.Fields(string(blob)), true
+}
+
+// TestDistCancellationReapsWorkers pins the teardown half of the
+// cancellation contract: when a mid-run cancellation unwinds the world,
+// Run must not return until the spawned worker processes are killed and
+// reaped and the coordinator's service goroutines (accept loop, per-rank
+// readers, process monitors) have exited. Run under -race, a leak shows
+// up as the goroutine count never settling.
+func TestDistCancellationReapsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	w, err := spmd.NewWorldOn(ctx, dist.New(), 4, machine.IBMSP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		cancel()
+	}()
+	_, err = w.Run(func(p *spmd.Proc) {
+		if p.Rank() == 0 {
+			p.Recv(1, 1) // rank 1 never sends: blocks until cancelled
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+	// Workers reaped: Run's return implies teardown killed and waited the
+	// spawned processes, so none may survive as children (zombies included
+	// — a reaped child leaves the kernel's children listing).
+	if pids, ok := liveChildren(); ok && len(pids) > 0 {
+		t.Errorf("worker processes survived cancellation: pids %v", pids)
+	}
+	// No goroutine leak: everything the run started winds down (the
+	// runtime needs a moment to retire exiting goroutines).
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for ; n > before+1 && time.Now().Before(deadline); n = runtime.NumGoroutine() {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n > before+1 {
+		t.Errorf("goroutines leaked after cancelled run: %d before, %d after", before, n)
+	}
+}
+
+// TestDistFaultInjection exercises the injector hooks on the dist
+// control plane: Delay perturbs timing without changing results, and
+// Drop severs a rank's control connection mid-run, which must surface
+// through the ordinary lost-worker path as a run error, not a hang.
+func TestDistFaultInjection(t *testing.T) {
+	const n = 2
+	ring := func(p *spmd.Proc) {
+		rank := p.Rank()
+		spmd.SendT(p, (rank+1)%n, 5, rank)
+		if got := spmd.Recv[int](p, (rank+1)%n, 5); got != (rank+1)%n {
+			panic(fmt.Sprintf("rank %d: bad payload %d", rank, got))
+		}
+	}
+
+	delay := faultinject.New(faultinject.Rule{
+		Point: "dist.send", Rank: faultinject.AnyRank, Epoch: faultinject.AnyEpoch,
+		Count: 2, Action: faultinject.Delay, Delay: 5 * time.Millisecond,
+	})
+	if _, err := runOn(t, dist.New(dist.WithInjector(delay)), n, ring); err != nil {
+		t.Fatalf("run with injected delays: %v", err)
+	}
+	if got := delay.Fired("dist.send"); got != 2 {
+		t.Errorf("delay rule fired %d times, want 2", got)
+	}
+
+	drop := faultinject.New(faultinject.Rule{
+		Point: "dist.send", Rank: 1, Epoch: 0, Action: faultinject.Drop,
+	})
+	done := make(chan error, 1)
+	go func() {
+		w, err := spmd.NewWorldOn(context.Background(), dist.New(dist.WithInjector(drop)), n, machine.IBMSP())
+		if err != nil {
+			done <- err
+			return
+		}
+		_, err = w.Run(ring)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("run with a dropped control connection returned nil error")
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("run with a dropped control connection hung")
+	}
+	if got := drop.Fired("dist.send"); got != 1 {
+		t.Errorf("drop rule fired %d times, want 1", got)
 	}
 }
 

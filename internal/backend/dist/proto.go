@@ -45,23 +45,25 @@ const (
 // trigger a gigantic allocation.
 const maxFrame = 1 << 30
 
-// appendFrame appends a complete frame to buf (a reusable scratch
-// buffer) so the caller can issue it as one Write.
-func appendFrame(buf []byte, op byte, body []byte) []byte {
+// AppendFrame appends a complete frame to buf (a reusable scratch
+// buffer) so the caller can issue it as one Write. The frame primitives
+// are exported because the elastic backend's control plane speaks the
+// same length-prefixed format (with its own op space).
+func AppendFrame(buf []byte, op byte, body []byte) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(1+len(body)))
 	buf = append(buf, op)
 	return append(buf, body...)
 }
 
-// writeFrame sends one frame in a single Write call.
-func writeFrame(w io.Writer, op byte, body []byte) error {
-	_, err := w.Write(appendFrame(make([]byte, 0, 5+len(body)), op, body))
+// WriteFrame sends one frame in a single Write call.
+func WriteFrame(w io.Writer, op byte, body []byte) error {
+	_, err := w.Write(AppendFrame(make([]byte, 0, 5+len(body)), op, body))
 	return err
 }
 
-// readFrame reads one frame. The returned body is freshly allocated and
+// ReadFrame reads one frame. The returned body is freshly allocated and
 // owned by the caller.
-func readFrame(br *bufio.Reader) (op byte, body []byte, err error) {
+func ReadFrame(br *bufio.Reader) (op byte, body []byte, err error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return 0, nil, err

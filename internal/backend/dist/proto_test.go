@@ -56,8 +56,8 @@ func TestProtoMalformedFrames(t *testing.T) {
 		{0, 0, 0, 0, 0},
 		{0xFF, 0xFF, 0xFF, 0xFF, 0},
 	} {
-		if _, _, err := readFrame(bufio.NewReader(bytes.NewReader(hdr))); err == nil {
-			t.Errorf("readFrame(length %v): want error", hdr[:4])
+		if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(hdr))); err == nil {
+			t.Errorf("ReadFrame(length %v): want error", hdr[:4])
 		}
 	}
 }

@@ -2,10 +2,13 @@ package dist
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"os"
 	"strconv"
+
+	"repro/internal/backoff"
 )
 
 // Environment keys of the self-spawn protocol: the coordinator launches
@@ -41,14 +44,23 @@ func MaybeWorker() {
 
 // JoinWorld dials a coordinator's control address and serves one world as
 // a worker, returning when the world finishes (nil) or dies (the error).
-// An empty token falls back to the ARCHDIST_TOKEN environment variable,
-// so explicit worker entry points (archworker -join, archdemo -worker)
+// The initial dial retries with exponential backoff and jitter (see
+// backoff.Dial) instead of failing on the first connection-refused, so a
+// worker started moments before its coordinator — the common race when
+// both sides launch from one script — attaches instead of dying. An empty
+// token falls back to the ARCHDIST_TOKEN environment variable, so
+// explicit worker entry points (archworker -join, archdemo -worker)
 // authenticate the same way self-spawned workers do.
 func JoinWorld(addr, token string) error {
 	if token == "" {
 		token = os.Getenv(envToken)
 	}
-	conn, err := net.Dial("tcp", addr)
+	var conn net.Conn
+	err := backoff.Dial().Retry(context.Background(), func() error {
+		var err error
+		conn, err = net.Dial("tcp", addr)
+		return err
+	})
 	if err != nil {
 		return fmt.Errorf("dist: dialing coordinator %s: %w", addr, err)
 	}
@@ -98,11 +110,11 @@ func ServeConn(conn net.Conn, token string) error {
 	}
 	defer peerLn.Close()
 
-	if err := writeFrame(conn, opHello, helloBody(token, peerLn.Addr().String(), os.Getpid())); err != nil {
+	if err := WriteFrame(conn, opHello, helloBody(token, peerLn.Addr().String(), os.Getpid())); err != nil {
 		return fmt.Errorf("dist: worker hello: %w", err)
 	}
 	br := bufio.NewReader(conn)
-	op, body, err := readFrame(br)
+	op, body, err := ReadFrame(br)
 	if err != nil {
 		return fmt.Errorf("dist: worker awaiting assignment: %w", err)
 	}
@@ -131,7 +143,7 @@ func ServeConn(conn net.Conn, token string) error {
 
 	go w.acceptPeers(peerLn)
 
-	if err := writeFrame(conn, opReady, nil); err != nil {
+	if err := WriteFrame(conn, opReady, nil); err != nil {
 		return fmt.Errorf("dist: worker ready: %w", err)
 	}
 
@@ -149,7 +161,7 @@ func ServeConn(conn net.Conn, token string) error {
 		defer close(frames)
 		defer w.q.close()
 		for {
-			op, body, err := readFrame(br)
+			op, body, err := ReadFrame(br)
 			if err != nil {
 				return
 			}
@@ -192,7 +204,7 @@ func ServeConn(conn net.Conn, token string) error {
 			if !ok {
 				return nil
 			}
-			if err := writeFrame(conn, opMsg, msgHeader(m.src, m.tag, m.metered, m.payload)); err != nil {
+			if err := WriteFrame(conn, opMsg, msgHeader(m.src, m.tag, m.metered, m.payload)); err != nil {
 				return fmt.Errorf("dist: worker %d: delivering message: %w", rank, err)
 			}
 		case opRecvAny:
@@ -200,12 +212,12 @@ func ServeConn(conn net.Conn, token string) error {
 			if !ok {
 				return nil
 			}
-			if err := writeFrame(conn, opMsg, msgHeader(m.src, m.tag, m.metered, m.payload)); err != nil {
+			if err := WriteFrame(conn, opMsg, msgHeader(m.src, m.tag, m.metered, m.payload)); err != nil {
 				return fmt.Errorf("dist: worker %d: delivering message: %w", rank, err)
 			}
 		case opFinish:
 			// Finish barrier: acknowledge, then tear down.
-			if err := writeFrame(conn, opBye, nil); err != nil {
+			if err := WriteFrame(conn, opBye, nil); err != nil {
 				return fmt.Errorf("dist: worker %d: bye: %w", rank, err)
 			}
 			return nil
@@ -247,14 +259,14 @@ func (w *worker) forward(dst, tag, metered int, payload []byte) error {
 		if err != nil {
 			return fmt.Errorf("dist: worker %d dialing peer %d: %w", w.rank, dst, err)
 		}
-		if err := writeFrame(c, opPeerHello, peerHelloBody(w.rank, w.secret)); err != nil {
+		if err := WriteFrame(c, opPeerHello, peerHelloBody(w.rank, w.secret)); err != nil {
 			c.Close()
 			return fmt.Errorf("dist: worker %d greeting peer %d: %w", w.rank, dst, err)
 		}
 		w.peers[dst] = c
 		pc = c
 	}
-	if err := writeFrame(pc, opData, msgHeader(w.rank, tag, metered, payload)); err != nil {
+	if err := WriteFrame(pc, opData, msgHeader(w.rank, tag, metered, payload)); err != nil {
 		return fmt.Errorf("dist: worker %d forwarding to peer %d: %w", w.rank, dst, err)
 	}
 	return nil
@@ -272,7 +284,7 @@ func (w *worker) acceptPeers(l net.Listener) {
 		go func() {
 			defer c.Close()
 			br := bufio.NewReader(c)
-			op, body, err := readFrame(br)
+			op, body, err := ReadFrame(br)
 			if err != nil || op != opPeerHello {
 				return
 			}
@@ -283,7 +295,7 @@ func (w *worker) acceptPeers(l net.Listener) {
 				return
 			}
 			for {
-				op, body, err := readFrame(br)
+				op, body, err := ReadFrame(br)
 				if err != nil || op != opData {
 					return
 				}

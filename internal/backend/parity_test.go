@@ -9,6 +9,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/backend/dist"
 	"repro/internal/core"
+	"repro/internal/elastic"
 	"repro/internal/machine"
 	"repro/internal/meshspectral"
 	"repro/internal/onedeep"
@@ -21,11 +22,13 @@ import (
 
 // TestBackendParity is the reproduction's cross-backend contract: the
 // same deterministic archetype program, run on the virtual-time
-// simulator, on the real shared-memory backend, and on the distributed
-// backend (self-spawned localhost worker processes over TCP), must
-// produce bit-identical computational results and identical message/byte
-// counts at every process count. Only the meaning of time — and, for
-// dist, the address space the messages cross — differs between backends.
+// simulator, on the real shared-memory backend, on the distributed
+// backend (self-spawned localhost worker processes over TCP), and on the
+// elastic fault-tolerant backend (ranks as leased tasks over loopback
+// TCP), must produce bit-identical computational results and identical
+// message/byte counts at every process count. Only the meaning of time —
+// and, for dist and elastic, the address space the messages cross —
+// differs between backends.
 func TestBackendParity(t *testing.T) {
 	model := machine.IBMSP()
 	// Each case returns a comparable snapshot of the computation's output;
@@ -88,7 +91,10 @@ func TestBackendParity(t *testing.T) {
 		},
 	}
 
-	backends := []backend.Runner{backend.Sim(), backend.Real(), dist.New()}
+	// Elastic runs its workers as in-process goroutines here (the kill
+	// recovery suite covers the process-spawn path) so the table stays
+	// fast; the parity it proves is identical either way.
+	backends := []backend.Runner{backend.Sim(), backend.Real(), dist.New(), elastic.New(elastic.WithLocalWorkers(true))}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			for _, np := range []int{1, 2, 4} {

@@ -1,0 +1,69 @@
+// Package backoff implements capped exponential backoff with jitter for
+// retrying transient failures: worker dials racing coordinator startup,
+// and worker reconnects after a lost coordinator connection (the elastic
+// backend's workers redial instead of dying with the link).
+package backoff
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Policy describes a retry schedule: Attempts tries, sleeping
+// Base·Factor^i (capped at Max) between consecutive tries, with the sleep
+// perturbed by ±Jitter (a fraction in [0, 1]) of itself so a fleet of
+// retriers does not reconnect in lockstep.
+type Policy struct {
+	Attempts int
+	Base     time.Duration
+	Max      time.Duration
+	Factor   float64
+	Jitter   float64
+}
+
+// Dial is the schedule for initial connection attempts racing a
+// coordinator's startup: ~6 s worst-case total wait.
+func Dial() Policy {
+	return Policy{Attempts: 8, Base: 50 * time.Millisecond, Max: 2 * time.Second, Factor: 2, Jitter: 0.5}
+}
+
+// Delay returns the backoff delay after attempt i (0-based), jittered.
+func (p Policy) Delay(i int) time.Duration {
+	d := float64(p.Base)
+	for ; i > 0 && d < float64(p.Max); i-- {
+		d *= p.Factor
+	}
+	if m := float64(p.Max); p.Max > 0 && d > m {
+		d = m
+	}
+	if p.Jitter > 0 {
+		d *= 1 + p.Jitter*(2*rand.Float64()-1)
+	}
+	return time.Duration(d)
+}
+
+// Retry runs f up to p.Attempts times, sleeping the jittered schedule
+// between failures, and returns nil on the first success or the last
+// error. Cancelling ctx ends the wait early with the context's error.
+func (p Policy) Retry(ctx context.Context, f func() error) error {
+	attempts := p.Attempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = f(); err == nil {
+			return nil
+		}
+		if i == attempts-1 {
+			break
+		}
+		select {
+		case <-time.After(p.Delay(i)):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return err
+}

@@ -1,0 +1,137 @@
+// Package faultinject is the deterministic fault-injection seam for the
+// distributed backends: tests (and the chaos CI job) declare faults as
+// data — "kill rank 2's host worker at epoch 7", "drop the connection on
+// rank 0's third send" — and the dist and elastic substrates consult the
+// injector at their hook points instead of being killed by hand.
+//
+// Hook points are named by the package that owns them:
+//
+//   - elastic.rank.op — evaluated by the elastic coordinator after every
+//     completed rank operation (send or receive); epoch is the rank's
+//     logical operation index, so Kill at a given epoch deterministically
+//     kills the rank's host worker at the same program point on every
+//     run, including replays. Rules default to firing once (Count 1), so
+//     a replayed rank passing the same epoch again does not re-fire.
+//   - dist.send / dist.recv — evaluated by the dist coordinator before
+//     the rank's control-connection I/O; epoch counts that rank's
+//     operations. Drop closes the connection (the run fails through the
+//     existing lost-worker path), Delay sleeps before the I/O.
+//
+// A nil *Injector is valid everywhere and injects nothing, so production
+// paths carry no fault logic beyond one nil check.
+package faultinject
+
+import (
+	"sync"
+	"time"
+)
+
+// Action is what happens when a rule fires.
+type Action int
+
+const (
+	// None: no fault (the zero value).
+	None Action = iota
+	// Kill terminates the target: the host worker of the rank whose
+	// operation matched (elastic).
+	Kill
+	// Drop closes the matched connection, simulating a link loss.
+	Drop
+	// Delay sleeps the rule's Delay before the matched operation.
+	Delay
+)
+
+func (a Action) String() string {
+	switch a {
+	case Kill:
+		return "kill"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	default:
+		return "none"
+	}
+}
+
+// Rule is one declared fault. Zero values widen the match: Rank -1 (or
+// unset via AnyRank) matches every rank, Epoch -1 every epoch. Count
+// bounds how many times the rule fires; 0 means once.
+type Rule struct {
+	// Point names the hook ("elastic.rank.op", "dist.send", "dist.recv").
+	Point string
+	// Rank matches the operating rank; -1 matches all.
+	Rank int
+	// Epoch matches the rank's logical operation index; -1 matches all.
+	Epoch int
+	// Count is the maximum number of firings (0 = 1).
+	Count int
+	// Action is the fault to inject.
+	Action Action
+	// Delay is the sleep for Action Delay.
+	Delay time.Duration
+}
+
+// AnyRank / AnyEpoch are the wildcard values for Rule.Rank and Rule.Epoch.
+const (
+	AnyRank  = -1
+	AnyEpoch = -1
+)
+
+// Injector evaluates declared rules at hook points. It is safe for
+// concurrent use; a nil Injector never fires.
+type Injector struct {
+	mu    sync.Mutex
+	rules []Rule
+	fired []int
+	byPt  map[string]int
+}
+
+// New builds an injector over the given rules.
+func New(rules ...Rule) *Injector {
+	return &Injector{rules: rules, fired: make([]int, len(rules)), byPt: map[string]int{}}
+}
+
+// Eval reports the action to inject at the hook point for the given rank
+// and epoch (None when no rule matches or the injector is nil), consuming
+// one firing of the first matching rule.
+func (in *Injector) Eval(point string, rank, epoch int) (Action, time.Duration) {
+	if in == nil {
+		return None, 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, r := range in.rules {
+		if r.Point != point || r.Action == None {
+			continue
+		}
+		if r.Rank != AnyRank && r.Rank != rank {
+			continue
+		}
+		if r.Epoch != AnyEpoch && r.Epoch != epoch {
+			continue
+		}
+		max := r.Count
+		if max <= 0 {
+			max = 1
+		}
+		if in.fired[i] >= max {
+			continue
+		}
+		in.fired[i]++
+		in.byPt[point]++
+		return r.Action, r.Delay
+	}
+	return None, 0
+}
+
+// Fired returns how many rules have fired at the hook point — test
+// observability that an injected fault actually happened.
+func (in *Injector) Fired(point string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.byPt[point]
+}

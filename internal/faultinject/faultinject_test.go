@@ -1,0 +1,85 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEvalMatching(t *testing.T) {
+	in := New(
+		Rule{Point: "elastic.rank.op", Rank: 2, Epoch: 7, Action: Kill},
+		Rule{Point: "dist.send", Rank: AnyRank, Epoch: AnyEpoch, Count: 2, Action: Delay, Delay: 5 * time.Millisecond},
+	)
+
+	// Wrong point, wrong rank, wrong epoch: no fire.
+	for _, probe := range []struct {
+		point       string
+		rank, epoch int
+	}{
+		{"dist.recv", 2, 7},
+		{"elastic.rank.op", 1, 7},
+		{"elastic.rank.op", 2, 6},
+	} {
+		if act, _ := in.Eval(probe.point, probe.rank, probe.epoch); act != None {
+			t.Errorf("Eval(%q, %d, %d) = %v, want None", probe.point, probe.rank, probe.epoch, act)
+		}
+	}
+
+	// Exact match fires once (Count 0 means once), then is consumed: the
+	// same epoch passing again — a replayed rank — must not re-fire.
+	if act, _ := in.Eval("elastic.rank.op", 2, 7); act != Kill {
+		t.Fatalf("exact match = %v, want Kill", act)
+	}
+	if act, _ := in.Eval("elastic.rank.op", 2, 7); act != None {
+		t.Errorf("consumed rule re-fired: %v", act)
+	}
+	if n := in.Fired("elastic.rank.op"); n != 1 {
+		t.Errorf("Fired(elastic.rank.op) = %d, want 1", n)
+	}
+
+	// Wildcards match any rank/epoch; Count bounds total firings.
+	if act, d := in.Eval("dist.send", 0, 0); act != Delay || d != 5*time.Millisecond {
+		t.Errorf("wildcard = %v/%v, want Delay/5ms", act, d)
+	}
+	if act, _ := in.Eval("dist.send", 9, 123); act != Delay {
+		t.Errorf("second firing within Count = %v, want Delay", act)
+	}
+	if act, _ := in.Eval("dist.send", 1, 1); act != None {
+		t.Errorf("firing beyond Count = %v, want None", act)
+	}
+	if n := in.Fired("dist.send"); n != 2 {
+		t.Errorf("Fired(dist.send) = %d, want 2", n)
+	}
+}
+
+func TestFirstMatchWins(t *testing.T) {
+	in := New(
+		Rule{Point: "p", Rank: AnyRank, Epoch: AnyEpoch, Action: Drop},
+		Rule{Point: "p", Rank: AnyRank, Epoch: AnyEpoch, Action: Kill},
+	)
+	if act, _ := in.Eval("p", 0, 0); act != Drop {
+		t.Fatalf("first Eval = %v, want the first rule (Drop)", act)
+	}
+	// With the first rule consumed, the second becomes the first match.
+	if act, _ := in.Eval("p", 0, 0); act != Kill {
+		t.Fatalf("second Eval = %v, want the second rule (Kill)", act)
+	}
+}
+
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if act, d := in.Eval("p", 0, 0); act != None || d != 0 {
+		t.Errorf("nil Eval = %v/%v, want None/0", act, d)
+	}
+	if n := in.Fired("p"); n != 0 {
+		t.Errorf("nil Fired = %d, want 0", n)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	for act, want := range map[Action]string{None: "none", Kill: "kill", Drop: "drop", Delay: "delay"} {
+		if got := act.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(act), got, want)
+		}
+	}
+}

@@ -288,14 +288,16 @@ type SweepResult struct {
 
 // Report is one host-cost baseline as serialized to the committed
 // BENCH_*.json files: latency micros and figure sweeps
-// (BENCH_fabric.json, BENCH_dist.json) or the streaming throughput
-// matrix (BENCH_stream.json), whichever the collector filled.
+// (BENCH_fabric.json, BENCH_dist.json), the streaming throughput matrix
+// (BENCH_stream.json), or the elastic recovery-latency table
+// (BENCH_elastic.json), whichever the collector filled.
 type Report struct {
-	GoVersion  string         `json:"go_version"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
-	Micros     []MicroResult  `json:"micros,omitempty"`
-	Sweeps     []SweepResult  `json:"sweeps,omitempty"`
-	Streams    []StreamResult `json:"streams,omitempty"`
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Micros     []MicroResult    `json:"micros,omitempty"`
+	Sweeps     []SweepResult    `json:"sweeps,omitempty"`
+	Streams    []StreamResult   `json:"streams,omitempty"`
+	Recovery   []RecoveryResult `json:"recovery,omitempty"`
 }
 
 // Collect runs the default microbenchmark suite through

@@ -1,6 +1,9 @@
 package serve
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"sync"
 	"time"
 
@@ -21,6 +24,55 @@ const (
 	StateFailed = "failed"
 )
 
+// Failure reasons: the coarse classification of why a job failed, chosen
+// so a client can decide mechanically whether resubmitting can help.
+const (
+	// ReasonCanceled: the run was cancelled (client disconnect propagated,
+	// or the server's drain deadline expired mid-run).
+	ReasonCanceled = "canceled"
+	// ReasonBackend: the execution substrate failed — workers that never
+	// attached, a lost world, an exhausted recovery budget. The spec is
+	// fine; the run environment was not.
+	ReasonBackend = "backend"
+	// ReasonSpec: the spec named something the registry cannot satisfy
+	// (unknown app/backend/machine, unsupported backend for the app).
+	ReasonSpec = "spec"
+	// ReasonInternal: anything else — a failure the server cannot
+	// attribute, assumed permanent for the same input.
+	ReasonInternal = "internal"
+)
+
+// FailureInfo is the structured failure a terminal failed status carries:
+// the coarse reason plus whether resubmitting the identical spec can
+// plausibly succeed. The server already re-admits failed specs on
+// resubmission (failures are not pinned in the job table), so Retryable
+// is the client's signal for whether doing so is worthwhile.
+type FailureInfo struct {
+	// Reason is one of canceled, backend, spec, internal.
+	Reason string `json:"reason"`
+	// Retryable reports whether the failure is plausibly transient:
+	// cancelled runs and substrate failures are; spec errors are not.
+	Retryable bool `json:"retryable"`
+}
+
+// classifyFailure maps a run error onto the structured failure taxonomy.
+// Resolve-time errors carry the registry's "(have: ...)" listings and
+// "does not support" phrasing; substrate errors are prefixed by the
+// backend that raised them.
+func classifyFailure(err error) *FailureInfo {
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return &FailureInfo{Reason: ReasonCanceled, Retryable: true}
+	case strings.Contains(err.Error(), "(have:") || strings.Contains(err.Error(), "does not support"):
+		return &FailureInfo{Reason: ReasonSpec, Retryable: false}
+	case strings.HasPrefix(err.Error(), "dist:") || strings.HasPrefix(err.Error(), "elastic:") ||
+		strings.Contains(err.Error(), "worker"):
+		return &FailureInfo{Reason: ReasonBackend, Retryable: true}
+	default:
+		return &FailureInfo{Reason: ReasonInternal, Retryable: false}
+	}
+}
+
 // JobStatus is one job's externally visible state: what GET /runs/{id}
 // returns and what each SSE event carries.
 type JobStatus struct {
@@ -38,6 +90,10 @@ type JobStatus struct {
 	Report *arch.Report `json:"report,omitempty"`
 	// Error is the failure message (state failed only).
 	Error string `json:"error,omitempty"`
+	// Failure is the structured classification of Error (state failed
+	// only): the coarse reason and whether a resubmission can plausibly
+	// succeed.
+	Failure *FailureInfo `json:"failure,omitempty"`
 	// Cached reports that the result came from the persistent result
 	// cache rather than an execution in this process.
 	Cached bool `json:"cached"`
@@ -83,6 +139,7 @@ type job struct {
 	summary   string
 	report    arch.Report
 	errMsg    string
+	failure   *FailureInfo
 	cached    bool
 	coalesced bool
 	stream    *StreamProgress
@@ -130,6 +187,7 @@ func (j *job) finish(out runOutcome, coalesced bool, err error) {
 		if err != nil {
 			j.state = StateFailed
 			j.errMsg = err.Error()
+			j.failure = classifyFailure(err)
 			return
 		}
 		j.state = StateDone
@@ -176,6 +234,7 @@ func (j *job) watch() (JobStatus, <-chan struct{}) {
 		Spec:      j.spec,
 		Summary:   j.summary,
 		Error:     j.errMsg,
+		Failure:   j.failure,
 		Cached:    j.cached,
 		Coalesced: j.coalesced,
 		Kind:      j.spec.Kind,

@@ -442,6 +442,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		fl.Flush()
 		if st.Terminal() {
+			if st.State == StateFailed {
+				// A dedicated terminal error event, so SSE consumers can
+				// register one onerror-style listener instead of parsing
+				// every status; the data is the structured failure.
+				writeErrorEvent(w, st) //nolint:errcheck // the stream ends either way
+				fl.Flush()
+			}
 			return
 		}
 	wait:
@@ -466,6 +473,23 @@ func writeEvent(w http.ResponseWriter, st JobStatus) error {
 		return err
 	}
 	_, err = fmt.Fprintf(w, "event: status\ndata: %s\n\n", blob)
+	return err
+}
+
+// sseError is the data payload of the terminal SSE error event: the
+// failure message plus its structured classification.
+type sseError struct {
+	Error   string       `json:"error"`
+	Failure *FailureInfo `json:"failure,omitempty"`
+}
+
+// writeErrorEvent renders the terminal SSE error event of a failed job.
+func writeErrorEvent(w http.ResponseWriter, st JobStatus) error {
+	blob, err := json.Marshal(sseError{Error: st.Error, Failure: st.Failure})
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: error\ndata: %s\n\n", blob)
 	return err
 }
 

@@ -331,6 +331,51 @@ func TestEventsStream(t *testing.T) {
 	}
 }
 
+// TestEventsStreamTerminalError: a failing job's SSE feed ends with a
+// dedicated error event whose data carries the message and the
+// structured failure classification.
+func TestEventsStreamTerminalError(t *testing.T) {
+	_, c := newService(t, serve.Config{})
+	ctx := context.Background()
+	st, err := c.Submit(ctx, arch.Spec{App: "servetest", Size: 666, Procs: 2})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/runs/"+st.ID+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	var names, payloads []string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			names = append(names, strings.TrimPrefix(line, "event: "))
+		case strings.HasPrefix(line, "data: "):
+			payloads = append(payloads, strings.TrimPrefix(line, "data: "))
+		}
+	}
+	if len(names) == 0 || names[len(names)-1] != "error" {
+		t.Fatalf("event names = %v, want a terminal error event", names)
+	}
+	var ev struct {
+		Error   string             `json:"error"`
+		Failure *serve.FailureInfo `json:"failure"`
+	}
+	if err := json.Unmarshal([]byte(payloads[len(payloads)-1]), &ev); err != nil {
+		t.Fatalf("bad error event payload: %v", err)
+	}
+	if !strings.Contains(ev.Error, "induced failure") {
+		t.Errorf("error event message = %q, want the induced failure", ev.Error)
+	}
+	if ev.Failure == nil || ev.Failure.Reason != serve.ReasonInternal || ev.Failure.Retryable {
+		t.Errorf("error event failure = %+v, want {internal false}", ev.Failure)
+	}
+}
+
 // TestShutdownDrains: Shutdown waits for in-flight jobs (they complete,
 // not cancel), refuses new submissions with 503 while draining, and
 // returns nil on a clean drain.
@@ -392,6 +437,9 @@ func TestFailedRunReported(t *testing.T) {
 	}
 	if final.Report != nil {
 		t.Error("failed job carries a report")
+	}
+	if final.Failure == nil || final.Failure.Reason != serve.ReasonInternal || final.Failure.Retryable {
+		t.Errorf("final.Failure = %+v, want {internal false}", final.Failure)
 	}
 	// The failure was not persisted: a fresh server over the same cache
 	// directory re-runs rather than serving a cached failure.

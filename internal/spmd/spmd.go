@@ -135,23 +135,55 @@ func (w *World) Run(body func(p *Proc)) (*Result, error) {
 		return nil, err
 	}
 	w.t = w.runner.NewTransport(w.ctx, w.n, w.model)
+
+	// runRank executes the body for one rank, translating panics the same
+	// way the per-goroutine path below does: the cancellation sentinel
+	// becomes its carried error, anything else a process-panic error.
+	runRank := func(rank int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				if cerr, ok := backend.AsCanceled(r); ok {
+					err = cerr
+					return
+				}
+				err = fmt.Errorf("spmd: process %d panicked: %v", rank, r)
+			}
+		}()
+		body(&Proc{world: w, rank: rank})
+		return nil
+	}
+
+	if d, ok := w.t.(backend.Driver); ok {
+		// The transport owns rank scheduling (elastic backends): it decides
+		// when and how often each rank body executes, and may re-execute a
+		// rank after its host worker dies. The Finish-on-every-exit-path
+		// contract is unchanged.
+		err := d.Drive(runRank)
+		if cerr := w.ctx.Err(); cerr != nil {
+			w.t.Finish()
+			return nil, cerr
+		}
+		if err != nil {
+			w.t.Finish()
+			return nil, err
+		}
+		fin := w.t.Finish()
+		return &Result{
+			Makespan: fin.Makespan,
+			Clocks:   fin.Clocks,
+			Msgs:     fin.Msgs,
+			Bytes:    fin.Bytes,
+		}, nil
+	}
+
 	errs := make([]error, w.n)
 	var wg sync.WaitGroup
 	wg.Add(w.n)
 	for rank := 0; rank < w.n; rank++ {
-		p := &Proc{world: w, rank: rank}
+		rank := rank
 		go func() {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					if cerr, ok := backend.AsCanceled(r); ok {
-						errs[p.rank] = cerr
-						return
-					}
-					errs[p.rank] = fmt.Errorf("spmd: process %d panicked: %v", p.rank, r)
-				}
-			}()
-			body(p)
+			errs[rank] = runRank(rank)
 		}()
 	}
 	wg.Wait()
