@@ -44,6 +44,17 @@
 //
 //	archbench -json BENCH_stream.json -family stream
 //	archbench -json BENCH_elastic.json -family elastic
+//
+// -compare turns a -json run into a regression gate: after writing the
+// fresh report it is checked against the given baseline file, and the
+// process exits 1 if any gated micro's ns/op exceeds the baseline by
+// more than -slack (default 20%, headroom for host noise). -gate
+// restricts the check to named benchmarks — CI gates the dist data plane
+// on its two latency-critical micros rather than the noisier
+// startup-dominated ones:
+//
+//	archbench -json fresh.json -backend=dist \
+//	    -compare BENCH_dist.json -gate DistPingPong,DistAllReduce
 package main
 
 import (
@@ -78,6 +89,9 @@ func main() {
 		backName = flag.String("backend", "sim", "execution backend: "+strings.Join(arch.BackendNames(), ", "))
 		jsonOut  = flag.String("json", "", "write the host-cost benchmark baseline to this file and exit")
 		family   = flag.String("family", "micro", `host-cost family for -json: "micro" (latency suite), "stream" (sustained throughput matrix), or "elastic" (recovery-latency table)`)
+		compare  = flag.String("compare", "", "with -json: baseline BENCH_*.json to gate the fresh micros against (exit 1 on regression)")
+		gate     = flag.String("gate", "", "with -compare: comma-separated benchmark names to gate on (default: all shared micros)")
+		slack    = flag.Float64("slack", 0.20, "with -compare: allowed fractional slowdown before a micro counts as regressed")
 	)
 	flag.Parse()
 
@@ -117,6 +131,27 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
+		if *compare != "" {
+			in, err := os.Open(*compare)
+			var base *hostbench.Report
+			if err == nil {
+				base, err = hostbench.ReadJSON(in)
+				in.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "archbench: %v\n", err)
+				os.Exit(1)
+			}
+			var names []string
+			if *gate != "" {
+				names = strings.Split(*gate, ",")
+			}
+			if err := hostbench.CompareMicros(rep, base, names, *slack); err != nil {
+				fmt.Fprintf(os.Stderr, "archbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("no regressions against %s\n", *compare)
+		}
 		return
 	}
 

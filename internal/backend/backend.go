@@ -113,6 +113,19 @@ type Driver interface {
 	Drive(run func(rank int) error) error
 }
 
+// RankObserver is an optional Transport capability: RankReturned(rank) is
+// called by spmd.World.Run on the rank's own goroutine the moment that
+// rank's body returns (normally or by panic), before the world joins the
+// remaining ranks. Transports with buffered write paths use it as the
+// final flush point for work the rank left pending — a rank whose body
+// ends with a send and never blocks in the transport again still gets its
+// bytes on the wire while its peers are running. Implementations must
+// tolerate concurrent calls for different ranks and must not block on
+// other ranks' progress.
+type RankObserver interface {
+	RankReturned(rank int)
+}
+
 // Runner is a named Transport factory: one Runner per execution backend.
 // Runners are stateless and safe for concurrent use; each NewTransport
 // call yields an independent run substrate.

@@ -1,5 +1,5 @@
 // Package dist is the distributed execution backend: an SPMD world whose
-// message fabric spans OS processes connected by TCP.
+// message fabric spans OS processes connected by sockets.
 //
 // The paper's archetype claim is that one communication skeleton runs on
 // many execution substrates. The sim and real backends prove it for two
@@ -7,30 +7,53 @@
 // address spaces. A run on the dist backend launches (or attaches to) N
 // worker processes — one per rank — and routes every Send, Recv, and
 // RecvAny (and therefore every collective, which is built from them)
-// through those workers over length-prefixed TCP frames:
+// through those workers over length-prefixed frames.
 //
-//	coordinator ── control conn ──> worker[src] ── peer conn ──> worker[dst]
-//	coordinator <── control conn ── worker[dst]
+// The data plane is destination-routed and push-all-the-way:
+//
+//	coordinator ── opSend ──> worker[dst]
+//	coordinator <── opDeliver (eager push) ── worker[dst]
+//
+// A send travels down the destination rank's control connection; its
+// worker pushes the body straight back up as an opDeliver, and the
+// coordinator banks it in a per-rank inbox so Recv and RecvAny are local
+// pops — one worker visit and two socket crossings per message, no
+// request/response round trip per receive. (WithPeerRouting restores the
+// source-routed path — coordinator → worker[src] → worker[dst] →
+// coordinator — which exercises the worker↔worker fabric a multi-host
+// deployment relies on.) Writers on every connection coalesce
+// back-to-back frames into one multi-message opBatch frame and flush on
+// idle; the receiving rank's own goroutine reads its control connection,
+// so a delivery wakes it straight from the socket with no relay
+// goroutine on the critical path. Self-spawned worlds speak the control
+// protocol over unix-domain sockets (the peer plane stays TCP).
 //
 // Rank bodies execute as goroutines in the coordinating process (they are
 // ordinary Go closures; shipping code is out of scope), but every payload
 // genuinely leaves the coordinator's address space as spmd wire-codec
-// bytes, crosses between worker processes, and is reconstructed on
-// receive — the bit-identical parity table across sim/real/dist is the
-// proof the codec and routing are faithful.
+// bytes, crosses into a worker process, and is reconstructed on receive —
+// the bit-identical parity table across sim/real/dist is the proof the
+// codec and routing are faithful. (Self-sends short-circuit through the
+// local inbox, still codec-encoded, exactly as the in-process backends
+// deliver them locally.)
 //
 // Lifecycle: NewTransport spawns the workers (by default re-executing the
-// current binary — see MaybeWorker — authenticated by a per-world secret),
+// current binary — see MaybeWorker — authenticated by a per-pool secret),
 // collects their hellos, assigns ranks, and broadcasts the address book;
 // all n ready frames complete the world-start barrier. Finish runs the
-// mirror-image barrier (finish/bye), then reaps the processes. Messages
-// and bytes are metered on the coordinator exactly as the in-process
-// mailbox meters them, so cost accounting is identical across backends.
+// mirror-image barrier (finish/bye), then releases the processes. With
+// WithWorkerPool, cleanly finished workers — their control connections
+// still warm — go back to a runner-owned pool, and the next world's start
+// is a handshake on an existing connection instead of a process spawn.
+// Messages and bytes are metered on the coordinator exactly as the
+// in-process mailbox meters them, so cost accounting is identical across
+// backends.
 //
 // Failure is fail-fast: cancelling the run's context, or any worker
-// process dying mid-run, closes every control connection; blocked
-// receives unwind with the same cancellation sentinel the in-process
-// mailbox raises, and the run returns an error instead of hanging.
+// process dying mid-run, closes every control connection and every
+// coordinator inbox; blocked receives unwind with the same cancellation
+// sentinel the in-process mailbox raises, and the run returns an error
+// instead of hanging. Failed worlds never return workers to the pool.
 package dist
 
 import (
@@ -42,6 +65,7 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -52,8 +76,9 @@ import (
 )
 
 // runner is the dist backend: a Transport factory whose configuration
-// (spawn command or attach addresses, handshake timeout) is fixed at
-// construction. The registered default self-spawns localhost workers.
+// (spawn command or attach addresses, routing mode, handshake timeout)
+// is fixed at construction. The registered default self-spawns localhost
+// workers.
 type runner struct {
 	// attach lists pre-started worker control addresses (cmd/archworker
 	// -listen); empty means self-spawn.
@@ -67,6 +92,14 @@ type runner struct {
 	handshake time.Duration
 	// inj is the fault-injection seam (nil injects nothing).
 	inj *faultinject.Injector
+	// relay selects source-routed sends (WithPeerRouting): messages
+	// travel coordinator → worker[src] → worker[dst] → coordinator over
+	// the worker↔worker data plane instead of the destination-direct
+	// default.
+	relay bool
+	// pool, when non-nil, keeps cleanly finished self-spawned workers
+	// (process + warm control connection) for the runner's next world.
+	pool *workerPool
 }
 
 // Option configures a dist runner.
@@ -105,6 +138,30 @@ func WithInjector(in *faultinject.Injector) Option {
 	return func(r *runner) { r.inj = in }
 }
 
+// WithPeerRouting routes messages through the worker↔worker data plane
+// (coordinator → source's worker → destination's worker → coordinator)
+// instead of the destination-direct default. It costs one extra socket
+// crossing per message but sends every payload across the peer fabric —
+// the path a multi-host deployment's bytes actually take — so parity
+// tests keep that plane honest end to end.
+func WithPeerRouting() Option {
+	return func(r *runner) { r.relay = true }
+}
+
+// WithWorkerPool reuses worker processes across this runner's worlds: a
+// cleanly finished world parks its workers — processes alive, control
+// connections warm — in a runner-owned pool, and the next world starts
+// with a handshake on those connections instead of a process spawn per
+// rank (a ~50× cut in world-start latency on a loopback host). Failed or
+// cancelled worlds kill their workers instead of pooling them, and a
+// pooled worker that dies while idle is discarded on reuse. Pooled
+// workers live until the coordinator process exits (their connections
+// close with it); use the default spawn-per-world mode when worker
+// processes must not outlive their run.
+func WithWorkerPool() Option {
+	return func(r *runner) { r.pool = &workerPool{} }
+}
+
 // New builds a dist backend runner. The zero configuration — what the
 // registry's "dist" entry uses — self-spawns one localhost worker process
 // per rank by re-executing the current binary, so any binary whose main
@@ -131,16 +188,148 @@ func (r *runner) NewTransport(ctx context.Context, n int, m *machine.Model) back
 	return t
 }
 
-// start spawns (or dials) the workers and runs the world-start barrier.
-// On any error it tears down whatever it had started and returns the
-// error; the caller wraps it into a failedTransport so every rank's first
-// transport operation reports it.
+// proc is one spawned worker process. Its wait goroutine reaps the
+// process the moment it exits (no zombies, whether the exit is a crash
+// mid-run, a kill at teardown, or a pooled worker dying idle) and closes
+// dead, the signal world monitors and teardown select on.
+type proc struct {
+	cmd     *exec.Cmd
+	waitErr error // valid after dead is closed
+	dead    chan struct{}
+}
+
+func newProc(cmd *exec.Cmd) *proc {
+	p := &proc{cmd: cmd, dead: make(chan struct{})}
+	go func() {
+		p.waitErr = cmd.Wait()
+		close(p.dead)
+	}()
+	return p
+}
+
+// kill terminates the process and waits for the reaper; already-exited
+// processes pass straight through.
+func (p *proc) kill() {
+	p.cmd.Process.Kill() //nolint:errcheck // already-exited is fine
+	<-p.dead
+}
+
+// controlPlane is where workers report in: the listener, the address
+// workers are told to dial (the envWorker value), and the spawn token
+// they authenticate with. Self-spawned worlds get a unix-domain socket in
+// a private temp dir — same-host crossings are what the socket carries,
+// and unix sockets shave scheduler latency off every one — falling back
+// to TCP loopback where unix sockets are unavailable. Ephemeral for a
+// spawn-per-world runner, pool-owned (and pool-lived) for a pooled one.
+type controlPlane struct {
+	ln       net.Listener
+	addrSpec string
+	token    string
+	dir      string // temp dir holding the unix socket; "" for TCP
+	// acceptMu serializes spawn+accept phases: concurrent worlds on one
+	// pooled runner share the listener, and interleaved accepts would
+	// steal each other's workers.
+	acceptMu sync.Mutex
+}
+
+func newControlPlane() (*controlPlane, error) {
+	var token [16]byte
+	if _, err := rand.Read(token[:]); err != nil {
+		return nil, fmt.Errorf("spawn token: %w", err)
+	}
+	cp := &controlPlane{token: hex.EncodeToString(token[:])}
+	if dir, err := os.MkdirTemp("", "archdist-*"); err == nil {
+		path := filepath.Join(dir, "ctl.sock")
+		if ln, err := net.Listen("unix", path); err == nil {
+			cp.ln, cp.addrSpec, cp.dir = ln, "unix:"+path, dir
+			return cp, nil
+		}
+		os.RemoveAll(dir) //nolint:errcheck // best-effort
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("control listener: %w", err)
+	}
+	cp.ln, cp.addrSpec = ln, ln.Addr().String()
+	return cp, nil
+}
+
+func (cp *controlPlane) close() {
+	cp.ln.Close()
+	if cp.dir != "" {
+		os.RemoveAll(cp.dir) //nolint:errcheck // best-effort
+	}
+}
+
+// pooledWorker is a parked worker between worlds: its process, its warm
+// control connection, and the connection's read buffer (which already
+// holds the hello the worker sent eagerly after its last bye).
+type pooledWorker struct {
+	p  *proc
+	c  net.Conn
+	br *bufio.Reader
+}
+
+// workerPool parks cleanly finished workers between a runner's worlds.
+type workerPool struct {
+	mu   sync.Mutex
+	cp   *controlPlane
+	idle []*pooledWorker
+}
+
+// ensure lazily builds the pool's control plane; pooled workers must all
+// report to one listener with one token for the life of the runner.
+func (wp *workerPool) ensure() (*controlPlane, error) {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	if wp.cp == nil {
+		cp, err := newControlPlane()
+		if err != nil {
+			return nil, err
+		}
+		wp.cp = cp
+	}
+	return wp.cp, nil
+}
+
+// get pops an idle worker, skipping (and thereby discarding — the wait
+// goroutine already reaped them) any that died while parked.
+func (wp *workerPool) get() *pooledWorker {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	for len(wp.idle) > 0 {
+		pw := wp.idle[len(wp.idle)-1]
+		wp.idle = wp.idle[:len(wp.idle)-1]
+		select {
+		case <-pw.p.dead:
+			pw.c.Close()
+			continue
+		default:
+			return pw
+		}
+	}
+	return nil
+}
+
+func (wp *workerPool) put(pw *pooledWorker) {
+	wp.mu.Lock()
+	wp.idle = append(wp.idle, pw)
+	wp.mu.Unlock()
+}
+
+// start acquires the workers (pool, spawn, or attach) and runs the
+// world-start barrier. On any error it tears down whatever it had
+// started and returns the error; the caller wraps it into a
+// failedTransport so every rank's first transport operation reports it.
 func (r *runner) start(ctx context.Context, n int) (*transport, error) {
 	t := &transport{
 		ctx:      ctx,
 		n:        n,
+		r:        r,
 		conns:    make([]*workerConn, 0, n),
 		counters: make([]shard, n),
+		sendBufs: make([][]byte, n),
+		recvBufs: make([][]byte, n),
 		ops:      make([]int, n),
 		inj:      r.inj,
 	}
@@ -152,9 +341,9 @@ func (r *runner) start(ctx context.Context, n int) (*transport, error) {
 	}()
 
 	deadline := time.Now().Add(r.handshake)
-	pidRank := map[int]int{}
 
-	if len(r.attach) > 0 {
+	switch {
+	case len(r.attach) > 0:
 		if len(r.attach) < n {
 			return nil, fmt.Errorf("%d attached workers for a world of %d", len(r.attach), n)
 		}
@@ -170,56 +359,39 @@ func (r *runner) start(ctx context.Context, n int) (*transport, error) {
 				return nil, err
 			}
 		}
-	} else {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+	case r.pool != nil:
+		cp, err := r.pool.ensure()
 		if err != nil {
-			return nil, fmt.Errorf("control listener: %w", err)
+			return nil, err
 		}
-		defer ln.Close()
-		var secret [16]byte
-		if _, err := rand.Read(secret[:]); err != nil {
-			return nil, fmt.Errorf("world secret: %w", err)
-		}
-		token := hex.EncodeToString(secret[:])
-		env := append(os.Environ(),
-			envWorker+"="+ln.Addr().String(),
-			envToken+"="+token)
-		for i := 0; i < n; i++ {
-			var cmd *exec.Cmd
-			if len(r.workerCmd) > 0 {
-				cmd = exec.CommandContext(ctx, r.workerCmd[0], r.workerCmd[1:]...)
-			} else {
-				exe, err := os.Executable()
-				if err != nil {
-					return nil, fmt.Errorf("locating own binary: %w", err)
-				}
-				cmd = exec.CommandContext(ctx, exe)
-			}
-			cmd.Env = env
-			cmd.Stderr = os.Stderr
-			if err := cmd.Start(); err != nil {
-				return nil, fmt.Errorf("spawning worker %d: %w", i, err)
-			}
-			t.procs = append(t.procs, cmd)
-		}
-		tcpLn := ln.(*net.TCPListener)
+		// Warm workers first: their next-world hello is already in the
+		// connection buffer, so validation is a local read. A worker that
+		// went bad while parked is discarded, not fatal.
 		for len(t.conns) < n {
-			if err := tcpLn.SetDeadline(deadline); err != nil {
-				return nil, err
+			pw := r.pool.get()
+			if pw == nil {
+				break
 			}
-			c, err := ln.Accept()
-			if err != nil {
-				return nil, fmt.Errorf("accepting workers (%d of %d connected; workers self-spawn by re-executing this binary — does its main call dist.MaybeWorker?): %w",
-					len(t.conns), n, err)
-			}
-			wc := newWorkerConn(c)
-			if err := wc.expectHello(deadline, token); err != nil {
-				// Not our worker (stray connection or stale world):
-				// drop it and keep listening until the deadline.
-				c.Close()
+			wc := &workerConn{c: pw.c, br: pw.br, w: NewWriter(pw.c), proc: pw.p}
+			if err := wc.expectHello(deadline, cp.token); err != nil {
+				wc.c.Close()
+				pw.p.kill()
 				continue
 			}
 			t.conns = append(t.conns, wc)
+			t.procs = append(t.procs, pw.p)
+		}
+		if err := r.spawnInto(t, cp, n, deadline); err != nil {
+			return nil, err
+		}
+	default:
+		cp, err := newControlPlane()
+		if err != nil {
+			return nil, err
+		}
+		defer cp.close()
+		if err := r.spawnInto(t, cp, n, deadline); err != nil {
+			return nil, err
 		}
 	}
 
@@ -236,7 +408,6 @@ func (r *runner) start(ctx context.Context, n int) (*transport, error) {
 	addrs := make([]string, n)
 	for rank, wc := range t.conns {
 		addrs[rank] = wc.peerAddr
-		pidRank[wc.pid] = rank
 	}
 	for rank, wc := range t.conns {
 		if err := WriteFrame(wc.c, opAssign, assignBody(rank, n, peerSecret, addrs)); err != nil {
@@ -253,23 +424,40 @@ func (r *runner) start(ctx context.Context, n int) (*transport, error) {
 		}
 	}
 
+	// The data plane: a per-rank coordinator inbox banking the worker's
+	// eager opDeliver pushes. The rank's own goroutine reads its control
+	// connection inside Recv/RecvAny (so a delivery wakes the waiting
+	// rank directly from the socket — no relay or flusher goroutine on
+	// the critical path); buffered sends flush at every rank's next
+	// blocking point, and the rank-return hook (see RankReturned) is the
+	// backstop for a rank whose body ends with sends still buffered.
+	t.inboxes = make([]*inQueue, n)
+	for i := range t.inboxes {
+		t.inboxes[i] = newInQueue(n)
+	}
+	for _, wc := range t.conns {
+		wc.c.SetReadDeadline(time.Time{}) //nolint:errcheck // clear the handshake deadline
+	}
+
 	// Monitors: a worker process dying mid-run fails the whole world
 	// instead of hanging ranks that wait for its messages. Each monitor
-	// owns its process's Wait; teardown reaps by joining the monitors.
-	t.monitored = true
-	for _, cmd := range t.procs {
-		rank, okRank := pidRank[cmd.Process.Pid]
-		if !okRank {
-			rank = -1
+	// parks on its process's death signal until the world ends.
+	t.worldDone = make(chan struct{})
+	for rank, wc := range t.conns {
+		if wc.proc == nil {
+			continue
 		}
-		t.procWG.Add(1)
-		go func(cmd *exec.Cmd, rank int) {
-			defer t.procWG.Done()
-			err := cmd.Wait()
-			if !t.quiescent() {
-				t.fail(fmt.Errorf("dist: worker process for rank %d exited mid-run: %v", rank, err))
+		t.monWG.Add(1)
+		go func(rank int, p *proc) {
+			defer t.monWG.Done()
+			select {
+			case <-p.dead:
+				if !t.quiescent() {
+					t.fail(fmt.Errorf("dist: worker process for rank %d exited mid-run: %v", rank, p.waitErr))
+				}
+			case <-t.worldDone:
 			}
-		}(cmd, rank)
+		}(rank, wc.proc)
 	}
 	if ctx.Done() != nil {
 		t.stopCancel = context.AfterFunc(ctx, func() {
@@ -281,26 +469,106 @@ func (r *runner) start(ctx context.Context, n int) (*transport, error) {
 	return t, nil
 }
 
+// spawnInto launches workers until t holds n connections, accepting and
+// authenticating their hellos on cp's listener. Every spawned process is
+// recorded in t.procs immediately so teardown can reap it even when the
+// handshake fails halfway.
+func (r *runner) spawnInto(t *transport, cp *controlPlane, n int, deadline time.Time) error {
+	need := n - len(t.conns)
+	if need == 0 {
+		return nil
+	}
+	cp.acceptMu.Lock()
+	defer cp.acceptMu.Unlock()
+	env := append(os.Environ(),
+		envWorker+"="+cp.addrSpec,
+		envToken+"="+cp.token)
+	spawned := make(map[int]*proc, need)
+	for i := 0; i < need; i++ {
+		var cmd *exec.Cmd
+		if len(r.workerCmd) > 0 {
+			cmd = exec.Command(r.workerCmd[0], r.workerCmd[1:]...)
+		} else {
+			exe, err := os.Executable()
+			if err != nil {
+				return fmt.Errorf("locating own binary: %w", err)
+			}
+			cmd = exec.Command(exe)
+		}
+		cmd.Env = env
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("spawning worker: %w", err)
+		}
+		p := newProc(cmd)
+		spawned[cmd.Process.Pid] = p
+		t.procs = append(t.procs, p)
+	}
+	type deadliner interface{ SetDeadline(time.Time) error }
+	for matched := 0; matched < need; {
+		if d, ok := cp.ln.(deadliner); ok {
+			if err := d.SetDeadline(deadline); err != nil {
+				return err
+			}
+		}
+		c, err := cp.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("accepting workers (%d of %d connected; workers self-spawn by re-executing this binary — does its main call dist.MaybeWorker?): %w",
+				len(t.conns), n, err)
+		}
+		wc := newWorkerConn(c)
+		if err := wc.expectHello(deadline, cp.token); err != nil {
+			// Not our worker (stray connection or stale world): drop it
+			// and keep listening until the deadline.
+			c.Close()
+			continue
+		}
+		p := spawned[wc.pid]
+		if p == nil {
+			// Right token, wrong process: a straggler from an earlier
+			// world of this pool's listener. Its own world already killed
+			// (or will kill) it; closing the connection hurries it along.
+			c.Close()
+			continue
+		}
+		wc.proc = p
+		t.conns = append(t.conns, wc)
+		matched++
+	}
+	return nil
+}
+
 func init() { backend.Register(New()) }
 
-// workerConn is the coordinator's control connection to one worker. After
-// the handshake it is owned exclusively by that rank's process goroutine
-// (the Transport contract makes rank operations rank-serial), so reads
-// and writes need no locking; Close is the only concurrent call (from
-// fail) and net.Conn guarantees it is safe.
+// workerConn is the coordinator's control connection to one worker.
+// After the world starts, writes go through the coalescing Writer (any
+// rank may send toward this connection's worker; Writer serializes them)
+// and reads belong to the connection's own rank's goroutine (inside
+// Recv/RecvAny) until the finish barrier takes them over — the rank
+// goroutines are gone by then. Close is safe concurrently (net.Conn
+// guarantees it), which is how fail unwinds everything, including a rank
+// blocked reading for a delivery.
 type workerConn struct {
-	c        net.Conn
-	br       *bufio.Reader
-	buf      []byte // write scratch, rank-goroutine only
+	c  net.Conn
+	br *bufio.Reader
+	w  *Writer
+	// proc is the worker's process; nil for attach-mode connections.
+	proc     *proc
 	peerAddr string
 	pid      int
+	// poolable is set by the finish barrier on receipt of the worker's
+	// bye: the worker is provably between worlds, so teardown may park
+	// it in the runner's pool instead of killing it.
+	poolable bool
 }
 
 func newWorkerConn(c net.Conn) *workerConn {
-	return &workerConn{c: c, br: bufio.NewReader(c)}
+	return &workerConn{c: c, br: bufio.NewReader(c), w: NewWriter(c)}
 }
 
 // read returns the next frame; a zero deadline means block indefinitely.
+// Used at handshake time and by the finish barrier; mid-run reads belong
+// to the rank's own goroutine via popMsg.
 func (wc *workerConn) read(deadline time.Time) (byte, []byte, error) {
 	if err := wc.c.SetReadDeadline(deadline); err != nil {
 		return 0, nil, err
@@ -329,14 +597,6 @@ func (wc *workerConn) expectHello(deadline time.Time, token string) error {
 	return nil
 }
 
-// write sends one frame through the connection's scratch buffer in a
-// single Write call.
-func (wc *workerConn) write(op byte, body []byte) error {
-	wc.buf = AppendFrame(wc.buf[:0], op, body)
-	_, err := wc.c.Write(wc.buf)
-	return err
-}
-
 // shard is one rank's message/byte tally, written only by that rank's
 // goroutine and summed in Finish (after every process returned, so the
 // world's WaitGroup provides the happens-before edge), mirroring the
@@ -352,10 +612,24 @@ type transport struct {
 	ctx   context.Context
 	n     int
 	begin time.Time
+	r     *runner
 
-	conns    []*workerConn
-	procs    []*exec.Cmd
+	conns []*workerConn
+	// procs holds every worker process this world owns (pool-acquired
+	// and freshly spawned); teardown kills whichever were not returned
+	// to the pool.
+	procs    []*proc
 	counters []shard
+	// sendBufs is per-source-rank scratch (rank-goroutine only) for
+	// assembling send bodies without per-send allocation.
+	sendBufs [][]byte
+	// recvBufs is per-destination-rank scratch (rank-goroutine only) for
+	// reading control frames without per-delivery allocation; popMsg's
+	// fast path hands the payload to the decoder straight out of it.
+	recvBufs [][]byte
+	// inboxes bank eagerly pushed deliveries per destination rank;
+	// Recv/RecvAny pop them locally.
+	inboxes []*inQueue
 	// ops counts each rank's transport operations (rank-goroutine only):
 	// the epoch coordinate for fault-injection rules.
 	ops []int
@@ -365,17 +639,21 @@ type transport struct {
 	err       error
 	finishing bool
 
-	// monitored reports whether per-process Wait monitors run (set once
-	// the world started); teardown reaps through them when they do.
-	monitored bool
-	procWG    sync.WaitGroup
+	// worldDone releases the per-process monitors at teardown.
+	worldDone chan struct{}
+	doneOnce  sync.Once
+	monWG     sync.WaitGroup
 
 	stopCancel func() bool
 }
 
 // fail records the run's first fatal error and closes every control
-// connection, unwinding all blocked operations. After Finish has begun it
-// is a no-op (workers exiting at world end are not failures).
+// connection, unwinding all blocked operations — a rank parked in a
+// connection read waiting for a dead worker's delivery gets a read error
+// and raises. (Closing the inboxes is defensive: the owning ranks only
+// try-pop them, but any future blocking consumer unwinds too.) After
+// Finish has begun it is a no-op (workers exiting at world end are not
+// failures).
 func (t *transport) fail(err error) {
 	t.mu.Lock()
 	if t.finishing || t.err != nil {
@@ -386,6 +664,9 @@ func (t *transport) fail(err error) {
 	t.mu.Unlock()
 	for _, wc := range t.conns {
 		wc.c.Close()
+	}
+	for _, q := range t.inboxes {
+		q.close()
 	}
 }
 
@@ -432,8 +713,9 @@ func (t *transport) Idle(rank int, at float64) {}
 
 // inject consults the fault injector before rank's control I/O at the
 // given hook point. Drop severs the rank's control connection so the
-// subsequent I/O fails through the ordinary lost-worker path; Delay
-// sleeps here.
+// world fails through the ordinary lost-worker path (the rank's worker
+// exits when its connection closes, which the process monitor reports,
+// and the rank's own next read errors immediately); Delay sleeps here.
 func (t *transport) inject(point string, rank int) {
 	if t.inj == nil {
 		return
@@ -448,10 +730,31 @@ func (t *transport) inject(point string, rank int) {
 	}
 }
 
+// Send appends the message to the routing-mode's connection: the
+// destination rank's (default — its worker pushes the body back up as
+// the delivery) or the source rank's (peer routing — its worker relays
+// across the data plane). Either way the frame only reaches the wire at
+// the sending rank's next flush point (its next receive, or its body
+// returning), which is the write-coalescing boundary: a burst of sends
+// goes out as one opBatch frame.
 func (t *transport) Send(src, dst, tag int, data any, bytes int) {
 	t.inject("dist.send", src)
-	wc := t.conns[src]
-	hdr := msgHeader(dst, tag, bytes, nil)
+	if src == dst {
+		// Self-send: codec-encode and bank in the local inbox directly,
+		// the cross-process analogue of the in-process mailbox's local
+		// delivery. Unmetered, like every self-send.
+		body, err := spmd.AppendPayload(nil, data)
+		if err != nil {
+			panic(fmt.Sprintf("dist: process %d: %v", src, err))
+		}
+		t.inboxes[src].push(inMsg{src: src, tag: tag, metered: bytes, payload: body})
+		return
+	}
+	wc, op, rankField := t.conns[dst], opSend, src
+	if t.r.relay {
+		wc, op, rankField = t.conns[src], opRelay, dst
+	}
+	hdr := appendMsgHeader(t.sendBufs[src][:0], rankField, tag, bytes)
 	body, err := spmd.AppendPayload(hdr, data)
 	if err != nil {
 		// A payload outside the wire codec is a programming error of the
@@ -459,64 +762,145 @@ func (t *transport) Send(src, dst, tag int, data any, bytes int) {
 		// than poisoning the run with a substrate error.
 		panic(fmt.Sprintf("dist: process %d: %v", src, err))
 	}
-	if err := wc.write(opSend, body); err != nil {
-		t.raise(src, err)
+	werr := wc.w.Write(op, body)
+	t.sendBufs[src] = body[:0]
+	if werr != nil {
+		t.raise(src, werr)
 	}
-	if src != dst {
-		sh := &t.counters[src]
-		sh.msgs++
-		sh.bytes += int64(bytes)
+	sh := &t.counters[src]
+	sh.msgs++
+	sh.bytes += int64(bytes)
+}
+
+// flushConns puts every connection's buffered frames on the wire — the
+// coalescing boundary, hit whenever a rank is about to block (and when
+// its body returns). Flushing all connections rather than just the
+// rank's own is what lets Send stay fire-and-forget with no flusher
+// goroutine: whichever rank blocks first drives everyone's pending bytes
+// out, and an idle Writer's Flush is a mutex acquisition, not a syscall.
+func (t *transport) flushConns(rank int) {
+	for _, wc := range t.conns {
+		if err := wc.w.Flush(); err != nil {
+			t.raise(rank, err)
+		}
 	}
 }
 
-// recvMsg runs one request/response on dst's control connection and
-// decodes the delivered message.
-func (t *transport) recvMsg(dst int, reqOp byte, reqBody []byte) (src, tag int, data any) {
+// RankReturned implements backend.RankObserver: the rank's body is done,
+// so its buffered sends must reach the wire now — it will never hit
+// another flush point, and peers may be blocked on those messages.
+// Errors fail the world (no panic: this runs outside the rank body's
+// recover) unless it is already quiescent.
+func (t *transport) RankReturned(rank int) {
+	for _, wc := range t.conns {
+		if err := wc.w.Flush(); err != nil {
+			if !t.quiescent() {
+				t.fail(fmt.Errorf("dist: rank %d final flush: %w", rank, err))
+			}
+			return
+		}
+	}
+}
+
+// popMsg is the receive engine, run entirely in the receiving rank's
+// goroutine: flush every buffered send (progress other ranks may depend
+// on), then satisfy the targeted (src >= 0) or any-source receive from
+// the inbox, reading the rank's control connection for eagerly pushed
+// deliveries until the wanted one arrives and banking every other
+// delivery for later receives. Blocking happens only in the connection
+// read, so a delivery wakes the waiting rank straight from the socket —
+// no relay goroutine — and a failed world unwinds it by closing the
+// connection.
+//
+// The common case — the wanted message is the next delivery off the wire
+// — never touches the inbox: frames land in the rank's reused read
+// scratch and the first match is returned directly, so the returned
+// payload is only valid until the rank's next transport operation (the
+// callers decode immediately). Only bypassed deliveries are copied out
+// of the scratch and banked. A first-match direct consume is safe on
+// both FIFO orders: with an empty per-source queue the first frame from
+// src IS the oldest from src, and with an empty inbox the first frame of
+// the batch IS the oldest cross-source arrival.
+func (t *transport) popMsg(dst, src int) inMsg {
 	t.inject("dist.recv", dst)
+	t.flushConns(dst)
+	inbox := t.inboxes[dst]
 	wc := t.conns[dst]
-	if err := wc.write(reqOp, reqBody); err != nil {
-		t.raise(dst, err)
+	for {
+		var m inMsg
+		var ok bool
+		if src >= 0 {
+			m, ok = inbox.tryPop(src)
+		} else {
+			m, ok = inbox.tryPopAny()
+		}
+		if ok {
+			return m
+		}
+		op, body, err := readFrameInto(wc.br, &t.recvBufs[dst])
+		if err != nil {
+			t.raise(dst, err)
+		}
+		err = forEachFrame(op, body, func(op byte, b []byte) error {
+			if op != opDeliver {
+				return fmt.Errorf("unexpected control op %d", op)
+			}
+			from, tag, metered, payload, err := parseMsgHeader(b)
+			if err != nil {
+				return err
+			}
+			if from < 0 || from >= t.n {
+				return fmt.Errorf("delivery from invalid rank %d", from)
+			}
+			if !ok && (src < 0 || from == src) {
+				m = inMsg{src: from, tag: tag, metered: metered, payload: payload}
+				ok = true
+				return nil
+			}
+			// Not the wanted message (or one already matched): bank a copy
+			// — the scratch underneath payload is reused on the next read.
+			inbox.push(inMsg{src: from, tag: tag, metered: metered,
+				payload: append([]byte(nil), payload...)})
+			return nil
+		})
+		if err != nil {
+			t.raise(dst, fmt.Errorf("rank %d control stream: %w", dst, err))
+		}
+		if ok {
+			return m
+		}
 	}
-	op, body, err := wc.read(time.Time{})
-	if err != nil {
-		t.raise(dst, err)
-	}
-	if op != opMsg {
-		t.raise(dst, fmt.Errorf("expected message frame, got op %d", op))
-	}
-	src, tag, _, payload, err := parseMsgHeader(body)
-	if err != nil {
-		t.raise(dst, err)
-	}
-	data, _, err = spmd.DecodePayload(payload)
-	if err != nil {
-		t.raise(dst, fmt.Errorf("decoding message from %d: %w", src, err))
-	}
-	return src, tag, data
 }
 
 func (t *transport) Recv(src, dst, tag int) any {
-	from, mtag, data := t.recvMsg(dst, opRecv, recvBody(src))
-	if from != src {
-		t.raise(dst, fmt.Errorf("asked for a message from %d, worker delivered one from %d", src, from))
+	m := t.popMsg(dst, src)
+	if m.tag != tag {
+		panic(fmt.Sprintf("dist: process %d expected tag %d from %d, got %d", dst, tag, src, m.tag))
 	}
-	if mtag != tag {
-		panic(fmt.Sprintf("dist: process %d expected tag %d from %d, got %d", dst, tag, src, mtag))
+	data, _, err := spmd.DecodePayload(m.payload)
+	if err != nil {
+		t.raise(dst, fmt.Errorf("decoding message from %d: %w", src, err))
 	}
 	return data
 }
 
 func (t *transport) RecvAny(dst, tag int) (int, any) {
-	src, mtag, data := t.recvMsg(dst, opRecvAny, nil)
-	if mtag != tag {
+	m := t.popMsg(dst, -1)
+	if m.tag != tag {
 		panic(fmt.Sprintf("dist: process %d expected tag %d from any source, got %d from %d",
-			dst, tag, mtag, src))
+			dst, tag, m.tag, m.src))
 	}
-	return src, data
+	data, _, err := spmd.DecodePayload(m.payload)
+	if err != nil {
+		t.raise(dst, fmt.Errorf("decoding message from %d: %w", m.src, err))
+	}
+	return m.src, data
 }
 
 // Finish runs the world-finish barrier (finish/bye with every live
-// worker), tears the substrate down, and assembles the run summary.
+// worker), tears the substrate down — parking cleanly finished workers
+// in the runner's pool when one is configured — and assembles the run
+// summary.
 func (t *transport) Finish() backend.Result {
 	elapsed := time.Since(t.begin).Seconds()
 	t.mu.Lock()
@@ -530,10 +914,33 @@ func (t *transport) Finish() backend.Result {
 	if failedErr == nil && t.ctx.Err() == nil {
 		deadline := time.Now().Add(10 * time.Second)
 		for _, wc := range t.conns {
-			wc.write(opFinish, nil) //nolint:errcheck // teardown is best-effort
+			// Through the Writer so the finish frame orders after any
+			// still-buffered sends.
+			wc.w.Write(opFinish, nil) //nolint:errcheck // teardown is best-effort
+			wc.w.Flush()              //nolint:errcheck
 		}
+		// The rank goroutines are gone (Run joined them), so the barrier
+		// owns the reads now: drain each connection to its bye, skipping
+		// stale deliveries nobody will receive. A worker's bye proves it
+		// is between worlds — exactly the state the pool parks.
 		for _, wc := range t.conns {
-			wc.read(deadline) //nolint:errcheck // bye or EOF both end the world
+			for {
+				op, body, err := wc.read(deadline)
+				if err != nil {
+					break // dead or deadline: either way this world is over
+				}
+				bye := false
+				forEachFrame(op, body, func(op byte, b []byte) error { //nolint:errcheck // drain
+					if op == opBye {
+						bye = true
+					}
+					return nil
+				})
+				if bye {
+					wc.poolable = true
+					break
+				}
+			}
 		}
 	}
 	t.teardown()
@@ -548,9 +955,11 @@ func (t *transport) Finish() backend.Result {
 	return res
 }
 
-// teardown closes connections and reaps worker processes. Workers exit on
-// their own once their control connection closes; the kill is the
-// backstop that bounds Wait.
+// teardown releases the substrate: monitors unparked, inboxes closed,
+// and every worker either returned to the runner's pool (spawned, bye
+// received, pool configured) or closed and killed. Workers exit on their
+// own once their control connection closes; the kill is the backstop
+// that bounds the reap.
 func (t *transport) teardown() {
 	if t.stopCancel != nil {
 		t.stopCancel()
@@ -559,19 +968,30 @@ func (t *transport) teardown() {
 	t.mu.Lock()
 	t.finishing = true
 	t.mu.Unlock()
+	if t.worldDone != nil {
+		t.doneOnce.Do(func() { close(t.worldDone) })
+	}
+	pooled := make(map[*proc]bool)
 	for _, wc := range t.conns {
+		if t.r != nil && t.r.pool != nil && wc.poolable && wc.proc != nil {
+			// The worker's next hello is already on its way up this
+			// connection; the next world's handshake picks it up.
+			wc.c.SetReadDeadline(time.Time{}) //nolint:errcheck // park with a clean slate
+			t.r.pool.put(&pooledWorker{p: wc.proc, c: wc.c, br: wc.br})
+			pooled[wc.proc] = true
+			continue
+		}
 		wc.c.Close()
 	}
-	for _, cmd := range t.procs {
-		cmd.Process.Kill() //nolint:errcheck // already-exited is fine
+	for _, q := range t.inboxes {
+		q.close()
 	}
-	if t.monitored {
-		t.procWG.Wait()
-	} else {
-		for _, cmd := range t.procs {
-			cmd.Wait() //nolint:errcheck // reap; exit status is not news here
+	for _, p := range t.procs {
+		if !pooled[p] {
+			p.kill()
 		}
 	}
+	t.monWG.Wait()
 	t.procs = nil
 }
 

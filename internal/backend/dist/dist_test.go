@@ -7,6 +7,7 @@ import (
 	"net"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -159,13 +160,23 @@ func TestDistCancellation(t *testing.T) {
 }
 
 // liveChildren lists this process's live child PIDs (Linux); ok reports
-// whether the kernel exposes the listing.
+// whether the kernel exposes the listing. The children files are
+// per-thread and the runtime forks from arbitrary threads, so every
+// task's listing is gathered.
 func liveChildren() (pids []string, ok bool) {
-	blob, err := os.ReadFile(fmt.Sprintf("/proc/self/task/%d/children", os.Getpid()))
+	tasks, err := os.ReadDir("/proc/self/task")
 	if err != nil {
 		return nil, false
 	}
-	return strings.Fields(string(blob)), true
+	for _, task := range tasks {
+		blob, err := os.ReadFile("/proc/self/task/" + task.Name() + "/children")
+		if err != nil {
+			continue
+		}
+		pids = append(pids, strings.Fields(string(blob))...)
+	}
+	sort.Strings(pids)
+	return pids, true
 }
 
 // TestDistCancellationReapsWorkers pins the teardown half of the
@@ -344,6 +355,172 @@ func TestDistStartFailures(t *testing.T) {
 			t.Fatalf("err = %v, want world start error", err)
 		}
 	})
+}
+
+// TestDistPushBeforeRecv pins the eager-push inbox contract: deliveries
+// that arrive before the destination ever calls Recv for them are banked
+// in the rank's inbox and later popped in per-pair FIFO order. Rank 0
+// fires a sequenced burst at rank 1 and then a marker at rank 2, which
+// relays it to rank 1; rank 1 blocks on the relay first — so the burst
+// arrives while it waits on a different pair and goes through the banked
+// path, not the direct-consume fast path — then drains the burst and
+// checks the sequence survived intact. (The marker must ride another
+// pair: tags are order checks over the per-pair FIFO, so a same-pair
+// marker would be a protocol violation, not a reordering probe.)
+func TestDistPushBeforeRecv(t *testing.T) {
+	const burst = 48
+	_, err := runOn(t, dist.New(), 3, func(p *spmd.Proc) {
+		switch p.Rank() {
+		case 0:
+			for i := 0; i < burst; i++ {
+				spmd.SendT(p, 1, 4, i)
+			}
+			spmd.SendT(p, 2, 5, -1)
+		case 2:
+			spmd.SendT(p, 1, 5, spmd.Recv[int](p, 0, 5))
+		case 1:
+			if v := spmd.Recv[int](p, 2, 5); v != -1 {
+				panic(fmt.Sprintf("marker payload %d", v))
+			}
+			for i := 0; i < burst; i++ {
+				if v := spmd.Recv[int](p, 0, 4); v != i {
+					panic(fmt.Sprintf("burst out of order: got %d at position %d", v, i))
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestDistRecvAnyFIFOPerSource pins inbox fairness for cross-source
+// receives: whatever interleaving RecvAny observes across senders, each
+// individual sender's messages must arrive in send order — per-pair FIFO
+// survives the eager-push inbox, exactly as on the in-process backends.
+func TestDistRecvAnyFIFOPerSource(t *testing.T) {
+	const n, k = 4, 8
+	_, err := runOn(t, dist.New(), n, func(p *spmd.Proc) {
+		if p.Rank() != 0 {
+			for i := 0; i < k; i++ {
+				spmd.SendT(p, 0, 2, i)
+			}
+			return
+		}
+		next := make([]int, n)
+		for i := 0; i < (n-1)*k; i++ {
+			src, v := p.RecvAny(2)
+			if got := v.(int); got != next[src] {
+				panic(fmt.Sprintf("source %d out of order: got seq %d, want %d", src, got, next[src]))
+			}
+			next[src]++
+		}
+		for src := 1; src < n; src++ {
+			if next[src] != k {
+				panic(fmt.Sprintf("source %d delivered %d of %d messages", src, next[src], k))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestDistPeerRoutingParity runs the same program under destination
+// routing (default) and source routing (WithPeerRouting, exercising the
+// worker↔worker data plane) and demands identical results and meters —
+// routing mode is an implementation detail, not a semantic.
+func TestDistPeerRoutingParity(t *testing.T) {
+	const n = 3
+	prog := func(sums []float64) func(p *spmd.Proc) {
+		return func(p *spmd.Proc) {
+			rank := p.Rank()
+			spmd.SendT(p, (rank+1)%n, 7, []float64{float64(rank)})
+			got := spmd.Recv[[]float64](p, (rank+n-1)%n, 7)
+			if got[0] != float64((rank+n-1)%n) {
+				panic(fmt.Sprintf("rank %d: bad ring payload %v", rank, got))
+			}
+			sums[rank] = collective.AllReduce(p, float64(rank+1), func(a, b float64) float64 { return a + b })
+		}
+	}
+	direct := make([]float64, n)
+	directRes, err := runOn(t, dist.New(), n, prog(direct))
+	if err != nil {
+		t.Fatalf("destination-routed run: %v", err)
+	}
+	relayed := make([]float64, n)
+	relayRes, err := runOn(t, dist.New(dist.WithPeerRouting()), n, prog(relayed))
+	if err != nil {
+		t.Fatalf("peer-routed run: %v", err)
+	}
+	for rank := range direct {
+		if direct[rank] != relayed[rank] {
+			t.Errorf("rank %d: destination-routed %g != peer-routed %g", rank, direct[rank], relayed[rank])
+		}
+	}
+	if directRes.Msgs != relayRes.Msgs || directRes.Bytes != relayRes.Bytes {
+		t.Errorf("meters differ: destination-routed %d msgs/%d bytes, peer-routed %d msgs/%d bytes",
+			directRes.Msgs, directRes.Bytes, relayRes.Msgs, relayRes.Bytes)
+	}
+}
+
+// TestDistCrashMidPush kills a worker at the narrowest window of the
+// eager-push path: after the message crossed the worker↔worker data
+// plane (peer routing) but before its opDeliver push reaches the
+// coordinator. The world must fail with a worker error — not hang on the
+// never-delivered message, and not masquerade as a cancellation.
+func TestDistCrashMidPush(t *testing.T) {
+	t.Setenv("ARCHDIST_CRASH_PUSH_RANK", "1") // rank 1's worker dies before its first push
+	const n = 4
+	done := make(chan error, 1)
+	go func() {
+		_, err := runOn(t, dist.New(dist.WithPeerRouting()), n, func(p *spmd.Proc) {
+			rank := p.Rank()
+			spmd.SendT(p, (rank+1)%n, 5, rank)
+			spmd.Recv[int](p, (rank+n-1)%n, 5)
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("run with a worker killed mid-push returned nil error")
+		}
+		if errors.Is(err, context.Canceled) {
+			t.Fatalf("mid-push crash surfaced as cancellation, want a worker failure: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("run with a worker killed mid-push hung")
+	}
+}
+
+// TestDistWorkerPoolReuse pins the pooling contract observably: with
+// WithWorkerPool, a second world on the same runner reuses the first
+// world's worker processes instead of spawning fresh ones.
+func TestDistWorkerPoolReuse(t *testing.T) {
+	if _, ok := liveChildren(); !ok {
+		t.Skip("kernel does not expose the children listing")
+	}
+	r := dist.New(dist.WithWorkerPool())
+	run := func() {
+		if _, err := runOn(t, r, 2, func(p *spmd.Proc) {
+			peer := 1 - p.Rank()
+			spmd.SendT(p, peer, 1, p.Rank())
+			spmd.Recv[int](p, peer, 1)
+		}); err != nil {
+			t.Fatalf("pooled run: %v", err)
+		}
+	}
+	run()
+	first, _ := liveChildren()
+	if len(first) != 2 {
+		t.Fatalf("after first pooled world: %d live workers, want 2 pooled", len(first))
+	}
+	run()
+	second, _ := liveChildren()
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Errorf("second world changed the worker set: %v -> %v, want reuse", first, second)
+	}
 }
 
 // TestDistSizedPayloads sends an app-style Sized wrapper type through the

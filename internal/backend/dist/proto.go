@@ -5,45 +5,73 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // The wire protocol: every connection carries length-prefixed frames
 //
 //	[u32 big-endian length] [u8 op] [body...]
 //
-// where length counts the op byte plus the body. Three kinds of
-// connection speak it:
+// where length counts the op byte plus the body. Two kinds of connection
+// speak it:
 //
 //   - control (coordinator ↔ worker): the handshake (hello/assign/ready),
-//     then the coordinator-driven operation stream — opSend (fire and
-//     forget), opRecv/opRecvAny (request) answered by opMsg (response),
-//     and the opFinish/opBye finish barrier. The Transport contract makes
-//     rank r's operations rank-serial, so a control connection never has
-//     more than one outstanding request.
+//     then two one-way streams riding the same connection — the
+//     coordinator's send stream down (fire and forget), and the worker's
+//     eager opDeliver stream up (every message that reaches the worker's
+//     rank is pushed to the coordinator immediately, no request needed;
+//     the coordinator banks deliveries in a per-rank inbox so Recv and
+//     RecvAny are local pops). The opFinish/opBye finish barrier ends the
+//     world, after which the same connection can host the next world's
+//     handshake — worker processes and their control connections are
+//     reusable (see the coordinator's worker pool).
 //   - peer (worker ↔ worker): one opPeerHello identifying the dialer,
 //     then a one-way opData stream. Peer connections are dialed lazily on
-//     the first send toward that rank.
+//     the first relayed message toward that rank.
 //
-// Message payloads inside opSend/opData/opMsg are spmd wire-codec bytes;
-// workers forward them opaquely and only the coordinator encodes and
-// decodes.
+// The down stream has two send ops for the two routing modes:
+//
+//   - opSend is destination-routed (the default): the coordinator writes
+//     it down the *destination* rank's control connection, and that
+//     worker pushes the body back up verbatim as an opDeliver — the
+//     message takes one worker visit, two socket crossings end to end.
+//   - opRelay is source-routed (WithPeerRouting): the coordinator writes
+//     it down the *source* rank's control connection; that worker
+//     re-headers it as opData, forwards it across the peer plane to the
+//     destination's worker, which pushes it up as opDeliver — three
+//     crossings, but the bytes traverse the worker↔worker fabric, which
+//     is what a multi-host deployment exercises.
+//
+// Any frame may be an opBatch container: back-to-back frames toward one
+// destination, coalesced by Writer into a single multi-message frame
+// (and a single TCP segment). Readers expand batches with forEachFrame;
+// batches never nest.
+//
+// Message payloads inside opSend/opRelay/opData/opDeliver are spmd
+// wire-codec bytes; workers forward them opaquely and only the
+// coordinator encodes and decodes.
 const (
 	opHello byte = 1 + iota
 	opAssign
 	opReady
 	opSend
-	opRecv
-	opRecvAny
-	opMsg
+	opRelay
+	opDeliver
 	opFinish
 	opBye
 	opPeerHello
 	opData
+	opBatch
 )
 
 // maxFrame bounds a frame so a corrupt or hostile length prefix cannot
 // trigger a gigantic allocation.
 const maxFrame = 1 << 30
+
+// writerFlushBytes caps how much a Writer buffers before flushing
+// inline: it bounds both coalescing memory and the size of one opBatch
+// container.
+const writerFlushBytes = 32 << 10
 
 // AppendFrame appends a complete frame to buf (a reusable scratch
 // buffer) so the caller can issue it as one Write. The frame primitives
@@ -55,9 +83,20 @@ func AppendFrame(buf []byte, op byte, body []byte) []byte {
 	return append(buf, body...)
 }
 
-// WriteFrame sends one frame in a single Write call.
+// frameScratch recycles WriteFrame's assembly buffers: handshake paths
+// here and the elastic control plane write frames often enough that a
+// per-frame make shows up in profiles.
+var frameScratch = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// WriteFrame sends one frame in a single Write call, assembling it in a
+// pooled scratch buffer. For high-rate paths use Writer, which coalesces
+// consecutive frames too.
 func WriteFrame(w io.Writer, op byte, body []byte) error {
-	_, err := w.Write(AppendFrame(make([]byte, 0, 5+len(body)), op, body))
+	bp := frameScratch.Get().(*[]byte)
+	buf := AppendFrame((*bp)[:0], op, body)
+	_, err := w.Write(buf)
+	*bp = buf[:0]
+	frameScratch.Put(bp)
 	return err
 }
 
@@ -77,6 +116,178 @@ func ReadFrame(br *bufio.Reader) (op byte, body []byte, err error) {
 		return 0, nil, err
 	}
 	return hdr[4], body, nil
+}
+
+// readFrameInto is ReadFrame for single-reader hot loops: the body lands
+// in *scratch (grown as needed and retained across calls), so a loop
+// that consumes or copies each frame before the next read allocates
+// nothing in steady state. The returned body aliases *scratch and is
+// only valid until the next call with the same scratch. The header is
+// peeked out of the bufio buffer rather than read through io.ReadFull,
+// whose interface indirection heap-allocates the 5-byte scratch on every
+// call.
+func readFrameInto(br *bufio.Reader, scratch *[]byte) (op byte, body []byte, err error) {
+	hdr, err := br.Peek(5)
+	if err != nil {
+		return 0, nil, err
+	}
+	length := binary.BigEndian.Uint32(hdr[:4])
+	if length == 0 || length > maxFrame {
+		return 0, nil, fmt.Errorf("dist: invalid frame length %d", length)
+	}
+	op = hdr[4]
+	br.Discard(5) //nolint:errcheck // 5 bytes are buffered: Peek succeeded
+	n := int(length - 1)
+	if cap(*scratch) < n {
+		*scratch = make([]byte, n, n+n/2+64)
+	}
+	body = (*scratch)[:n]
+	if err := readFull(br, body); err != nil {
+		return 0, nil, err
+	}
+	return op, body, nil
+}
+
+// readFull is io.ReadFull on the concrete reader: the destination slice
+// stays on the caller's stack instead of escaping through the io.Reader
+// interface.
+func readFull(br *bufio.Reader, p []byte) error {
+	for n := 0; n < len(p); {
+		k, err := br.Read(p[n:])
+		n += k
+		if n < len(p) && err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pendingFrame reports whether another complete frame is already
+// buffered in br — the flush-on-idle predicate: a reader that just
+// handled a frame defers flushing its write side while the next frame
+// can be processed without blocking, so back-to-back traffic coalesces,
+// and flushes the moment it would otherwise go to sleep.
+func pendingFrame(br *bufio.Reader) bool {
+	if br.Buffered() < 5 {
+		return false
+	}
+	hdr, err := br.Peek(4)
+	if err != nil {
+		return false
+	}
+	length := binary.BigEndian.Uint32(hdr)
+	return length <= uint32(br.Buffered()-4)
+}
+
+// forEachFrame invokes fn once per logical frame: directly for a plain
+// frame, and once per contained frame for an opBatch container. Batches
+// never nest; sub-frame bodies alias the container's buffer.
+func forEachFrame(op byte, body []byte, fn func(op byte, body []byte) error) error {
+	if op != opBatch {
+		return fn(op, body)
+	}
+	for len(body) > 0 {
+		if len(body) < 4 {
+			return fmt.Errorf("dist: truncated batch container")
+		}
+		length := binary.BigEndian.Uint32(body)
+		if length == 0 || uint32(len(body)-4) < length {
+			return fmt.Errorf("dist: invalid batched frame length %d", length)
+		}
+		sub := body[4 : 4+length]
+		if sub[0] == opBatch {
+			return fmt.Errorf("dist: nested batch container")
+		}
+		if err := fn(sub[0], sub[1:]); err != nil {
+			return err
+		}
+		body = body[4+length:]
+	}
+	return nil
+}
+
+// Writer coalesces frames toward one connection. Write appends a frame
+// to the pending buffer without touching the socket; Flush issues
+// everything pending as one Write call — a single frame verbatim, or
+// several wrapped in one opBatch container (one multi-message frame, one
+// TCP segment). Writers are safe for concurrent use; the first I/O error
+// latches and fails every subsequent call.
+//
+// The flush discipline is the caller's contract: every goroutine that
+// Writes must Flush before blocking (Writer cannot know when the
+// sender's burst is over). Write self-flushes past writerFlushBytes so
+// pending data and batch frames stay bounded. The type is exported
+// because the elastic backend's control plane shares the frame format.
+type Writer struct {
+	mu     sync.Mutex
+	dst    io.Writer
+	buf    []byte // 5 bytes reserved for a batch header, then pending frames
+	frames int
+	err    error
+}
+
+// NewWriter returns a coalescing frame writer over dst (an unbuffered
+// connection: Writer is the buffer).
+func NewWriter(dst io.Writer) *Writer {
+	w := &Writer{dst: dst, buf: make([]byte, 5, 4096)}
+	return w
+}
+
+// Write appends one frame to the pending buffer, flushing inline only
+// when the buffer exceeds writerFlushBytes.
+func (w *Writer) Write(op byte, body []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	w.buf = AppendFrame(w.buf, op, body)
+	w.frames++
+	if len(w.buf) >= writerFlushBytes {
+		return w.flushLocked()
+	}
+	return nil
+}
+
+// Flush issues all pending frames in one Write call; a no-op when
+// nothing is pending.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return w.flushLocked()
+}
+
+func (w *Writer) flushLocked() error {
+	if w.frames == 0 {
+		return nil
+	}
+	out := w.buf[5:]
+	if w.frames > 1 {
+		binary.BigEndian.PutUint32(w.buf, uint32(1+len(w.buf)-5))
+		w.buf[4] = opBatch
+		out = w.buf
+	}
+	_, err := w.dst.Write(out)
+	if cap(w.buf) > 4*writerFlushBytes {
+		w.buf = make([]byte, 5, 4096)
+	} else {
+		w.buf = w.buf[:5]
+	}
+	w.frames = 0
+	if err != nil {
+		w.err = err
+	}
+	return err
+}
+
+// Err returns the writer's latched I/O error, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
 }
 
 // Handshake and header bodies are hand-rolled uvarint/fixed-width
@@ -189,15 +400,22 @@ func parseAssign(b []byte) (rank, n int, peerSecret string, addrs []string, err 
 	return rank, n, peerSecret, addrs, r.err
 }
 
-// send (coordinator → worker) / data (worker → worker) / msg (worker →
-// coordinator) share one header shape: the varying rank field (dst for
-// send, src for data and msg), the tag, the metered byte count, then the
-// opaque payload.
-func msgHeader(rank, tag, metered int, payload []byte) []byte {
-	buf := make([]byte, 0, 20+len(payload))
+// send/relay (coordinator → worker) / data (worker → worker) / deliver
+// (worker → coordinator) share one header shape: the varying rank field
+// (src for send, data, and deliver — the destination is implied by which
+// connection carries the frame — and dst for relay, whose whole point is
+// naming a rank the carrying connection does not), the tag, the metered
+// byte count, then the opaque payload. opSend sharing the deliver shape
+// is what makes the destination worker's hot path a verbatim push: it
+// republishes the body untouched under the opDeliver op.
+func appendMsgHeader(buf []byte, rank, tag, metered int) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(rank))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(int64(tag)))
-	buf = binary.BigEndian.AppendUint64(buf, uint64(int64(metered)))
+	return binary.BigEndian.AppendUint64(buf, uint64(int64(metered)))
+}
+
+func msgHeader(rank, tag, metered int, payload []byte) []byte {
+	buf := appendMsgHeader(make([]byte, 0, 20+len(payload)), rank, tag, metered)
 	return append(buf, payload...)
 }
 
@@ -207,16 +425,6 @@ func parseMsgHeader(b []byte) (rank, tag, metered int, payload []byte, err error
 	tag = int(int64(r.u64()))
 	metered = int(int64(r.u64()))
 	return rank, tag, metered, r.rest(), r.err
-}
-
-func recvBody(src int) []byte {
-	return binary.BigEndian.AppendUint32(nil, uint32(src))
-}
-
-func parseRecv(b []byte) (src int, err error) {
-	r := &reader{b: b}
-	src = int(r.u32())
-	return src, r.err
 }
 
 func peerHelloBody(from int, peerSecret string) []byte {

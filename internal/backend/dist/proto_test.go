@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"testing"
 )
 
@@ -24,6 +25,168 @@ func TestProtoRoundTrip(t *testing.T) {
 	r, tag, metered, payload, err := parseMsgHeader(msgHeader(5, -7, 16, []byte{1, 2}))
 	if err != nil || r != 5 || tag != -7 || metered != 16 || !bytes.Equal(payload, []byte{1, 2}) {
 		t.Fatalf("msg header round trip = %d %d %d %v %v", r, tag, metered, payload, err)
+	}
+}
+
+// TestWriterCoalescing pins the Writer's framing contract: a lone pending
+// frame goes out verbatim, back-to-back frames go out as one opBatch
+// container, and forEachFrame expands the container back into the
+// original sequence.
+func TestWriterCoalescing(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink)
+
+	// Single frame: byte-identical to an uncoalesced WriteFrame.
+	if err := w.Write(opSend, []byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if want := AppendFrame(nil, opSend, []byte("solo")); !bytes.Equal(sink.Bytes(), want) {
+		t.Fatalf("single frame = %v, want %v", sink.Bytes(), want)
+	}
+
+	// Double flush is a no-op: nothing pending, nothing written.
+	n := sink.Len()
+	if err := w.Flush(); err != nil || sink.Len() != n {
+		t.Fatalf("idle flush wrote %d bytes (err %v)", sink.Len()-n, err)
+	}
+
+	// Burst: three frames coalesce into one batch container.
+	sink.Reset()
+	frames := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
+	for _, f := range frames {
+		if err := w.Write(opDeliver, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	op, body, err := ReadFrame(bufio.NewReader(bytes.NewReader(sink.Bytes())))
+	if err != nil || op != opBatch {
+		t.Fatalf("burst frame op = %d (err %v), want opBatch", op, err)
+	}
+	var got [][]byte
+	err = forEachFrame(op, body, func(op byte, b []byte) error {
+		if op != opDeliver {
+			t.Errorf("batched op = %d, want opDeliver", op)
+		}
+		got = append(got, append([]byte(nil), b...))
+		return nil
+	})
+	if err != nil || len(got) != len(frames) {
+		t.Fatalf("batch expanded to %d frames (err %v), want %d", len(got), err, len(frames))
+	}
+	for i := range frames {
+		if !bytes.Equal(got[i], frames[i]) {
+			t.Errorf("batched frame %d = %q, want %q", i, got[i], frames[i])
+		}
+	}
+}
+
+// TestWriterSelfFlush pins the buffer bound: a burst past writerFlushBytes
+// flushes inline rather than growing without limit, and the stream stays
+// decodable.
+func TestWriterSelfFlush(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink)
+	payload := make([]byte, 1024)
+	const sent = 100 // ~100 KiB total, several self-flushes
+	for i := range sent {
+		payload[0] = byte(i)
+		if err := w.Write(opData, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sink.Len() == 0 {
+		t.Fatal("no self-flush: buffer grew past writerFlushBytes")
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(bytes.NewReader(sink.Bytes()))
+	seen := 0
+	for {
+		op, body, err := ReadFrame(br)
+		if err != nil {
+			break
+		}
+		if err := forEachFrame(op, body, func(op byte, b []byte) error {
+			if op != opData || len(b) != len(payload) || b[0] != byte(seen) {
+				t.Fatalf("frame %d corrupted: op %d, len %d, lead %d", seen, op, len(b), b[0])
+			}
+			seen++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seen != sent {
+		t.Fatalf("decoded %d frames, want %d", seen, sent)
+	}
+}
+
+// TestWriterLatchedError pins fail-fast: after the destination errors,
+// every subsequent Write and Flush reports it.
+func TestWriterLatchedError(t *testing.T) {
+	w := NewWriter(failWriter{})
+	if err := w.Write(opSend, []byte("x")); err != nil {
+		t.Fatalf("buffered write errored early: %v", err)
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("flush to a failing writer returned nil")
+	}
+	if err := w.Write(opSend, []byte("y")); err == nil {
+		t.Fatal("write after latched error returned nil")
+	}
+	if w.Err() == nil {
+		t.Fatal("Err() nil after failed flush")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("wire down") }
+
+// TestForEachFrameRejectsMalformedBatch pins container hygiene: nested
+// batches and truncated sub-frames are errors, not panics or silent
+// drops.
+func TestForEachFrameRejectsMalformedBatch(t *testing.T) {
+	nop := func(byte, []byte) error { return nil }
+	inner := AppendFrame(nil, opBatch, AppendFrame(nil, opData, []byte("x")))
+	if err := forEachFrame(opBatch, inner, nop); err == nil {
+		t.Error("nested batch accepted")
+	}
+	truncated := AppendFrame(nil, opData, []byte("payload"))
+	if err := forEachFrame(opBatch, truncated[:len(truncated)-3], nop); err == nil {
+		t.Error("truncated batch accepted")
+	}
+	if err := forEachFrame(opBatch, []byte{0, 0, 0, 0}, nop); err == nil {
+		t.Error("zero-length batched frame accepted")
+	}
+}
+
+// TestPendingFrame pins the flush-on-idle predicate: true exactly when a
+// complete frame is already buffered.
+func TestPendingFrame(t *testing.T) {
+	full := AppendFrame(nil, opData, []byte("hello"))
+	br := bufio.NewReader(bytes.NewReader(append(full, full[:7]...)))
+	if pendingFrame(br) {
+		t.Error("pendingFrame true before any buffered read")
+	}
+	if _, err := br.Peek(1); err != nil { // prime the buffer
+		t.Fatal(err)
+	}
+	if !pendingFrame(br) {
+		t.Error("pendingFrame false with a complete frame buffered")
+	}
+	if _, _, err := ReadFrame(br); err != nil {
+		t.Fatal(err)
+	}
+	if pendingFrame(br) {
+		t.Error("pendingFrame true with only a partial frame left")
 	}
 }
 

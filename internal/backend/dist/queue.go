@@ -2,8 +2,8 @@ package dist
 
 import "sync"
 
-// inMsg is one queued message inside a worker: the forwarding header plus
-// the opaque payload bytes the coordinator will decode.
+// inMsg is one banked message: the delivery header plus the opaque
+// payload bytes the coordinator will decode.
 type inMsg struct {
 	src     int
 	tag     int
@@ -11,14 +11,16 @@ type inMsg struct {
 	payload []byte
 }
 
-// inQueue is a worker's inbox: per-source FIFO queues plus an
-// arrival-order token list, a deliberately small cousin of the in-process
-// mailbox (same semantics — per-pair FIFO always, cross-source arrival
-// order for popAny — without the pooling and cache-padding machinery the
-// host-speed fabric needs; a worker's queue depth is bounded by messages
-// in flight toward one rank). Peer-reader goroutines push concurrently;
-// the world handler is the only popper. close unblocks every waiter,
-// which is how a worker abandons a world when its coordinator vanishes.
+// inQueue is the coordinator's per-rank inbox for eagerly pushed
+// deliveries: per-source FIFO queues plus an arrival-order token list, a
+// deliberately small cousin of the in-process mailbox (same semantics —
+// per-pair FIFO always, cross-source arrival order for popAny — without
+// the pooling and cache-padding machinery the host-speed fabric needs; an
+// inbox's depth is bounded by messages in flight toward one rank). The
+// owning rank's goroutine banks deliveries it reads off its control
+// connection and consumes them with the non-blocking tryPop/tryPopAny (it
+// blocks on the connection read, never on the inbox); the blocking
+// pop/popAny plus close serve callers with concurrent producers.
 type inQueue struct {
 	mu      sync.Mutex
 	cond    sync.Cond
@@ -149,6 +151,42 @@ func (q *inQueue) popAny() (inMsg, bool) {
 			return m, true
 		}
 		// Token orphaned by a targeted pop: settle and keep scanning.
+		q.stale[src]--
+		q.nstale--
+	}
+}
+
+// tryPop is pop without the blocking: the oldest message from src, or
+// ok=false immediately when none is banked.
+func (q *inQueue) tryPop(src int) (inMsg, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.qs[src].len() == 0 {
+		return inMsg{}, false
+	}
+	m := q.qs[src].pop()
+	q.pending--
+	q.noteStale(src)
+	return m, true
+}
+
+// tryPopAny is popAny without the blocking: the oldest banked message by
+// cross-source arrival order, or ok=false immediately when none is.
+func (q *inQueue) tryPopAny() (inMsg, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.pending == 0 {
+		return inMsg{}, false
+	}
+	for {
+		src := int(q.order[q.ohead])
+		q.ohead++
+		q.compactOrder()
+		if q.qs[src].len() > 0 {
+			m := q.qs[src].pop()
+			q.pending--
+			return m, true
+		}
 		q.stale[src]--
 		q.nstale--
 	}

@@ -3,10 +3,16 @@ package dist
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/backoff"
 )
@@ -19,9 +25,44 @@ const (
 	envWorker = "ARCHDIST_WORKER"
 	envToken  = "ARCHDIST_TOKEN"
 	// envCrashRank is a test hook: the worker whose assigned rank matches
-	// kills itself upon its first send, simulating a mid-run crash.
+	// kills itself when the first message for its rank (or, in relay mode,
+	// from its rank) reaches it, simulating a mid-run crash.
 	envCrashRank = "ARCHDIST_CRASH_RANK"
+	// envCrashPushRank is the eager-push twin: the worker whose assigned
+	// rank matches kills itself just before its first opDeliver push up
+	// the control connection — a crash in the middle of the delivery
+	// path, with the receiving rank already parked on the coordinator
+	// inbox.
+	envCrashPushRank = "ARCHDIST_CRASH_PUSH_RANK"
 )
+
+// Timeouts of the worker's network edges, atomics so tests can shrink
+// them without racing live workers: peerDialTimeout bounds dialing a
+// peer's data listener (a dead peer address must fail the world
+// promptly, not hang the handler for the OS connect timeout), and
+// peerHelloTimeout bounds how long an accepted inbound data connection
+// may stall before its peerhello (a connection that sends nothing must
+// not pin a goroutine and an fd for the life of the process).
+var (
+	peerDialTimeout  = newTimeout(10 * time.Second)
+	peerHelloTimeout = newTimeout(30 * time.Second)
+)
+
+type timeout struct{ atomic.Int64 }
+
+func newTimeout(d time.Duration) *timeout {
+	t := &timeout{}
+	t.Store(int64(d))
+	return t
+}
+
+func (t *timeout) get() time.Duration { return time.Duration(t.Load()) }
+
+// set installs d and returns a restore function for tests.
+func (t *timeout) set(d time.Duration) func() {
+	old := t.Swap(int64(d))
+	return func() { t.Store(old) }
+}
 
 // MaybeWorker turns the current process into a dist worker when it was
 // self-spawned by a dist coordinator (the ARCHDIST_WORKER environment
@@ -42,23 +83,31 @@ func MaybeWorker() {
 	os.Exit(0)
 }
 
-// JoinWorld dials a coordinator's control address and serves one world as
-// a worker, returning when the world finishes (nil) or dies (the error).
-// The initial dial retries with exponential backoff and jitter (see
-// backoff.Dial) instead of failing on the first connection-refused, so a
-// worker started moments before its coordinator — the common race when
-// both sides launch from one script — attaches instead of dying. An empty
-// token falls back to the ARCHDIST_TOKEN environment variable, so
-// explicit worker entry points (archworker -join, archdemo -worker)
-// authenticate the same way self-spawned workers do.
+// JoinWorld dials a coordinator's control address and serves worlds as a
+// worker until the coordinator closes the connection (nil) or a world
+// dies (the error). The address is "host:port" for TCP or "unix:/path"
+// for a coordinator on the same host (the self-spawn default: a
+// unix-domain control socket shaves scheduler latency off every
+// coordinator↔worker crossing). The initial dial retries with
+// exponential backoff and jitter (see backoff.Dial) instead of failing
+// on the first connection-refused, so a worker started moments before
+// its coordinator — the common race when both sides launch from one
+// script — attaches instead of dying. An empty token falls back to the
+// ARCHDIST_TOKEN environment variable, so explicit worker entry points
+// (archworker -join, archdemo -worker) authenticate the same way
+// self-spawned workers do.
 func JoinWorld(addr, token string) error {
 	if token == "" {
 		token = os.Getenv(envToken)
 	}
+	network, dialAddr := "tcp", addr
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		network, dialAddr = "unix", path
+	}
 	var conn net.Conn
 	err := backoff.Dial().Retry(context.Background(), func() error {
 		var err error
-		conn, err = net.Dial("tcp", addr)
+		conn, err = net.Dial(network, dialAddr)
 		return err
 	})
 	if err != nil {
@@ -67,16 +116,27 @@ func JoinWorld(addr, token string) error {
 	return ServeConn(conn, token)
 }
 
-// Serve accepts coordinator connections on l and serves one world per
-// connection, concurrently — the attach-mode worker loop behind
-// cmd/archworker. It returns only when the listener fails (closing l is
-// the way to stop it).
+// Serve accepts coordinator connections on l and serves worlds on each,
+// concurrently — the attach-mode worker loop behind cmd/archworker.
+// Transient Accept failures (EMFILE, ECONNABORTED, a momentarily wedged
+// stack) back off with capped exponential delay and keep serving — one
+// bad accept must not kill the whole serving loop — so Serve returns
+// only when the listener itself is closed (closing l is the way to stop
+// it).
 func Serve(l net.Listener) error {
+	policy := backoff.Policy{Base: 5 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.5}
+	fails := 0
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			return err
+			if errors.Is(err, net.ErrClosed) {
+				return err
+			}
+			time.Sleep(policy.Delay(fails))
+			fails++
+			continue
 		}
+		fails = 0
 		go func() {
 			if err := ServeConn(conn, ""); err != nil {
 				fmt.Fprintf(os.Stderr, "dist worker: world failed: %v\n", err)
@@ -85,24 +145,62 @@ func Serve(l net.Listener) error {
 	}
 }
 
+// Control-loop internal signals: errWorldFinished marks a world's clean
+// finish barrier, errConnDone the coordinator's disappearance (the
+// connection is the worker's lease on life — when it closes, between or
+// during worlds, the worker is simply done; a cancelled run and a pooled
+// worker's final release look identical from here).
+var (
+	errWorldFinished = errors.New("dist: world finished")
+	errConnDone      = errors.New("dist: coordinator connection closed")
+)
+
 // ServeConn speaks the worker side of the control protocol on an
-// established coordinator connection: handshake (hello → assign → ready),
-// then the operation stream until opFinish (returns nil), the
-// coordinator's disappearance (returns nil — a cancelled run tears
-// workers down by closing their connections), or a substrate failure
-// (returns the error; in a spawned worker process the nonzero exit is
-// what tells the coordinator's process monitor the world is dead). token
-// travels in the hello frame; self-spawned workers relay the coordinator's
+// established coordinator connection, serving worlds back to back: each
+// iteration runs one world's handshake (hello → assign → ready), its
+// message traffic, and its finish barrier, then offers a fresh hello for
+// the next world on the same connection — which is how the coordinator's
+// worker pool reuses a warm process instead of paying a spawn per world.
+// It returns nil when the coordinator closes the connection (the normal
+// end, whether after one world or many) and an error only for substrate
+// failures; in a spawned worker process the nonzero exit is what tells
+// the coordinator's process monitor the world is dead. token travels in
+// every hello frame; self-spawned workers relay the coordinator's
 // secret, attach-mode workers send the empty string (the coordinator
 // dialed them, so the connection itself is the introduction).
 func ServeConn(conn net.Conn, token string) error {
 	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for first := true; ; first = false {
+		err := serveWorld(conn, br, token, first)
+		switch {
+		case err == nil: // clean finish: offer the next world
+		case errors.Is(err, errConnDone):
+			return nil
+		default:
+			return err
+		}
+	}
+}
 
-	// Peer listener: other workers dial here. Bind the same interface the
-	// coordinator reached us on so multi-host attach topologies work.
-	host, _, err := net.SplitHostPort(conn.LocalAddr().String())
-	if err != nil {
-		return fmt.Errorf("dist: worker local addr: %w", err)
+// serveWorld runs one world on the control connection. The worker's hot
+// path is the verbatim push: an opSend frame arriving here was routed by
+// the coordinator down the *destination's* connection — this worker's
+// rank is the addressee — so its body goes straight back up as an
+// opDeliver, untouched. opRelay frames (peer-routing mode) are instead
+// re-headered and forwarded across the worker↔worker data plane. Every
+// writer follows the flush-on-idle discipline: frames accumulate in the
+// connection's Writer while more input is already buffered, and flush as
+// one (possibly multi-message) frame the moment the loop would block.
+func serveWorld(conn net.Conn, br *bufio.Reader, token string, first bool) error {
+	// Peer listener: other workers dial here, per world so its lifetime
+	// and secret are the world's. Bind the interface the coordinator
+	// reached us on so multi-host attach topologies work; a unix-domain
+	// control connection has no host, so the peer plane (always TCP)
+	// binds loopback — unix control implies a same-host world.
+	host := "127.0.0.1"
+	if h, _, err := net.SplitHostPort(conn.LocalAddr().String()); err == nil && h != "" {
+		host = h
 	}
 	peerLn, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
 	if err != nil {
@@ -111,12 +209,17 @@ func ServeConn(conn net.Conn, token string) error {
 	defer peerLn.Close()
 
 	if err := WriteFrame(conn, opHello, helloBody(token, peerLn.Addr().String(), os.Getpid())); err != nil {
-		return fmt.Errorf("dist: worker hello: %w", err)
+		if first {
+			return fmt.Errorf("dist: worker hello: %w", err)
+		}
+		return errConnDone
 	}
-	br := bufio.NewReader(conn)
 	op, body, err := ReadFrame(br)
 	if err != nil {
-		return fmt.Errorf("dist: worker awaiting assignment: %w", err)
+		if first {
+			return fmt.Errorf("dist: worker awaiting assignment: %w", err)
+		}
+		return errConnDone
 	}
 	if op != opAssign {
 		return fmt.Errorf("dist: worker expected assign frame, got op %d", op)
@@ -134,12 +237,13 @@ func ServeConn(conn net.Conn, token string) error {
 		n:       n,
 		addrs:   addrs,
 		secret:  peerSecret,
-		peers:   make([]net.Conn, n),
-		q:       newInQueue(n),
-		control: conn,
+		peers:   make([]*Writer, n),
+		conns:   make([]net.Conn, n),
+		control: NewWriter(conn),
 	}
 	w.crash = os.Getenv(envCrashRank) == strconv.Itoa(rank)
-	defer w.closePeers()
+	w.crashPush = os.Getenv(envCrashPushRank) == strconv.Itoa(rank)
+	defer w.closeConns()
 
 	go w.acceptPeers(peerLn)
 
@@ -147,172 +251,287 @@ func ServeConn(conn net.Conn, token string) error {
 		return fmt.Errorf("dist: worker ready: %w", err)
 	}
 
-	// The reader feeds frames to the handler so a vanished coordinator
-	// unblocks a handler parked in a queue wait: on read failure the
-	// queue closes and the handler returns.
-	type frame struct {
-		op   byte
-		body []byte
-	}
-	frames := make(chan frame, 64)
-	handlerDone := make(chan struct{})
-	defer close(handlerDone)
-	go func() {
-		defer close(frames)
-		defer w.q.close()
-		for {
-			op, body, err := ReadFrame(br)
-			if err != nil {
-				return
+	// The control loop: read the coordinator's frames directly (nothing
+	// here blocks on anything but the connection, so a vanished
+	// coordinator unblocks the loop by failing the read), flushing dirty
+	// writers only when no further frame is already buffered. Frames land
+	// in a reused scratch buffer: every dispatch arm copies the body
+	// onward (into the control Writer's pending buffer or fwdBuf) before
+	// the next read, so the loop is allocation-free in steady state.
+	var ctrlBuf, fwdBuf []byte
+	for {
+		op, body, err := readFrameInto(br, &ctrlBuf)
+		if err != nil {
+			// Control connection gone without a finish frame: the
+			// coordinator cancelled, crashed, or released this pooled
+			// worker. Exiting quietly is the expected path.
+			return errConnDone
+		}
+		err = forEachFrame(op, body, func(op byte, b []byte) error {
+			switch op {
+			case opSend:
+				// Destination-routed message for this worker's rank.
+				if w.crash {
+					// Test hook: die exactly where a real fault would —
+					// mid-run, with ranks blocked on messages that will
+					// never arrive.
+					os.Exit(3)
+				}
+				if w.crashPush {
+					os.Exit(3)
+				}
+				return w.control.Write(opDeliver, b)
+			case opRelay:
+				// Source-routed message from this worker's rank: carry it
+				// across the peer plane.
+				if w.crash {
+					os.Exit(3)
+				}
+				dst, tag, metered, payload, err := parseMsgHeader(b)
+				if err != nil {
+					return err
+				}
+				if dst < 0 || dst >= n {
+					return fmt.Errorf("dist: worker %d: relay to invalid rank %d", rank, dst)
+				}
+				fwdBuf = appendMsgHeader(fwdBuf[:0], w.rank, tag, metered)
+				fwdBuf = append(fwdBuf, payload...)
+				return w.forward(dst, fwdBuf)
+			case opFinish:
+				// Finish barrier: acknowledge, then tear down.
+				if err := w.control.Write(opBye, nil); err != nil {
+					return fmt.Errorf("dist: worker %d: bye: %w", rank, err)
+				}
+				return errWorldFinished
+			default:
+				return fmt.Errorf("dist: worker %d: unexpected control op %d", rank, op)
 			}
-			select {
-			case frames <- frame{op, body}:
-			case <-handlerDone:
-				return
+		})
+		if errors.Is(err, errWorldFinished) {
+			return w.flushAll()
+		}
+		if err != nil {
+			if connIOErr(err) {
+				// A delivery push or relay failed at the socket level: the
+				// coordinator tore the world down (cancellation, a peer's
+				// failure) while frames were in flight. That is the same
+				// quiet exit as the read path seeing the connection close —
+				// only protocol violations deserve noise.
+				return errConnDone
+			}
+			return err
+		}
+		if !pendingFrame(br) {
+			if err := w.flushAll(); err != nil {
+				if connIOErr(err) {
+					return errConnDone
+				}
+				return err
 			}
 		}
-	}()
-
-	for f := range frames {
-		switch f.op {
-		case opSend:
-			if w.crash {
-				// Test hook: die exactly where a real fault would —
-				// mid-run, with peers blocked on messages that will
-				// never arrive.
-				os.Exit(3)
-			}
-			dst, tag, metered, payload, err := parseMsgHeader(f.body)
-			if err != nil {
-				return err
-			}
-			if dst < 0 || dst >= n {
-				return fmt.Errorf("dist: worker %d: send to invalid rank %d", rank, dst)
-			}
-			if err := w.forward(dst, tag, metered, payload); err != nil {
-				return err
-			}
-		case opRecv:
-			src, err := parseRecv(f.body)
-			if err != nil {
-				return err
-			}
-			if src < 0 || src >= n {
-				return fmt.Errorf("dist: worker %d: recv from invalid rank %d", rank, src)
-			}
-			m, ok := w.q.pop(src)
-			if !ok {
-				return nil
-			}
-			if err := WriteFrame(conn, opMsg, msgHeader(m.src, m.tag, m.metered, m.payload)); err != nil {
-				return fmt.Errorf("dist: worker %d: delivering message: %w", rank, err)
-			}
-		case opRecvAny:
-			m, ok := w.q.popAny()
-			if !ok {
-				return nil
-			}
-			if err := WriteFrame(conn, opMsg, msgHeader(m.src, m.tag, m.metered, m.payload)); err != nil {
-				return fmt.Errorf("dist: worker %d: delivering message: %w", rank, err)
-			}
-		case opFinish:
-			// Finish barrier: acknowledge, then tear down.
-			if err := WriteFrame(conn, opBye, nil); err != nil {
-				return fmt.Errorf("dist: worker %d: bye: %w", rank, err)
-			}
-			return nil
-		default:
-			return fmt.Errorf("dist: worker %d: unexpected control op %d", rank, f.op)
-		}
 	}
-	// Control connection gone without a finish frame: the coordinator
-	// cancelled or crashed. Exiting quietly is the cancellation path.
-	return nil
 }
 
-// worker is one rank's message endpoint: the per-rank OS process (or, in
-// attach mode, per-world goroutine set) owning that rank's inbox and its
-// outbound peer connections.
+// connIOErr distinguishes connection-level I/O failures (the world is
+// being torn down around this worker) from protocol violations (a
+// malformed or unexpected frame — a bug worth reporting loudly).
+func connIOErr(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// worker is one rank's message endpoint for one world: pushing messages
+// addressed to its rank up to the coordinator and, in peer-routing mode,
+// relaying its rank's sends across the worker↔worker data plane.
 type worker struct {
 	rank, n int
 	addrs   []string
 	// secret is the world's peer-plane secret from the assign frame:
 	// sent in every outgoing peerhello, required on every incoming one.
-	secret  string
-	peers   []net.Conn // lazily dialed, handler-goroutine only
-	q       *inQueue
-	control net.Conn
+	secret string
+	// peers/conns are this worker's outbound data plane, lazily dialed,
+	// control-loop only.
+	peers []*Writer
+	conns []net.Conn
+	// control carries opDeliver pushes (from the control loop's verbatim
+	// path and the peer-reader goroutines) and the finish bye; Writer
+	// serializes them.
+	control *Writer
 	crash   bool
+	// crashPush is the envCrashPushRank hook: exit just before the first
+	// delivery push.
+	crashPush bool
+
+	// mu guards the inbound data connections accepted by acceptPeers so
+	// closeConns can tear them down at world end; done marks the world
+	// over, making late accepts close immediately.
+	mu      sync.Mutex
+	inbound []net.Conn
+	done    bool
 }
 
-// forward routes a message from this worker's rank toward dst: local
-// enqueue for self-sends, a peer connection otherwise (dialed on first
-// use — per-peer connection management).
-func (w *worker) forward(dst, tag, metered int, payload []byte) error {
+// forward routes an already-headered message (src, tag, metered,
+// payload) from this worker's rank toward dst: a delivery straight back
+// up the control conn for self-sends, a peer connection otherwise
+// (dialed with a bounded timeout on first use — a dead peer address
+// fails the world promptly instead of hanging for the OS connect
+// timeout). The frame lands in the destination's Writer; the control
+// loop flushes on idle.
+func (w *worker) forward(dst int, body []byte) error {
 	if dst == w.rank {
-		w.q.push(inMsg{src: w.rank, tag: tag, metered: metered, payload: payload})
+		if err := w.control.Write(opDeliver, body); err != nil {
+			return fmt.Errorf("dist: worker %d: self delivery: %w", w.rank, err)
+		}
 		return nil
 	}
-	pc := w.peers[dst]
-	if pc == nil {
-		c, err := net.Dial("tcp", w.addrs[dst])
+	pw := w.peers[dst]
+	if pw == nil {
+		c, err := net.DialTimeout("tcp", w.addrs[dst], peerDialTimeout.get())
 		if err != nil {
 			return fmt.Errorf("dist: worker %d dialing peer %d: %w", w.rank, dst, err)
 		}
-		if err := WriteFrame(c, opPeerHello, peerHelloBody(w.rank, w.secret)); err != nil {
+		pw = NewWriter(c)
+		// The peerhello rides the same flush as the first data frame.
+		if err := pw.Write(opPeerHello, peerHelloBody(w.rank, w.secret)); err != nil {
 			c.Close()
 			return fmt.Errorf("dist: worker %d greeting peer %d: %w", w.rank, dst, err)
 		}
-		w.peers[dst] = c
-		pc = c
+		w.peers[dst], w.conns[dst] = pw, c
 	}
-	if err := WriteFrame(pc, opData, msgHeader(w.rank, tag, metered, payload)); err != nil {
+	if err := pw.Write(opData, body); err != nil {
 		return fmt.Errorf("dist: worker %d forwarding to peer %d: %w", w.rank, dst, err)
 	}
 	return nil
 }
 
-// acceptPeers drains incoming peer connections into the inbox, one
-// goroutine per peer. It ends when the peer listener closes (world
-// teardown).
+// flushAll flushes every dirty writer this worker owns — the control
+// loop's idle point.
+func (w *worker) flushAll() error {
+	for dst, pw := range w.peers {
+		if pw == nil {
+			continue
+		}
+		if err := pw.Flush(); err != nil {
+			return fmt.Errorf("dist: worker %d flushing peer %d: %w", w.rank, dst, err)
+		}
+	}
+	if err := w.control.Flush(); err != nil {
+		return fmt.Errorf("dist: worker %d flushing control: %w", w.rank, err)
+	}
+	return nil
+}
+
+// acceptPeers drains incoming peer connections, one reader goroutine per
+// peer, each pushing arrived messages up the control conn as opDeliver
+// frames. The accept loop ends when the peer listener closes (world
+// teardown); closeConns closes the accepted connections themselves,
+// unblocking their readers, so neither goroutines nor fds outlive the
+// world.
 func (w *worker) acceptPeers(l net.Listener) {
 	for {
 		c, err := l.Accept()
 		if err != nil {
 			return
 		}
-		go func() {
-			defer c.Close()
-			br := bufio.NewReader(c)
-			op, body, err := ReadFrame(br)
-			if err != nil || op != opPeerHello {
-				return
-			}
-			from, secret, err := parsePeerHello(body)
-			if err != nil || from < 0 || from >= w.n || secret != w.secret {
-				// Wrong world (or not a worker at all): drop the
-				// connection before any data frame reaches the inbox.
-				return
-			}
-			for {
-				op, body, err := ReadFrame(br)
-				if err != nil || op != opData {
-					return
-				}
-				src, tag, metered, payload, err := parseMsgHeader(body)
-				if err != nil || src != from {
-					return
-				}
-				w.q.push(inMsg{src: src, tag: tag, metered: metered, payload: payload})
-			}
-		}()
+		if !w.trackInbound(c) {
+			c.Close()
+			return
+		}
+		go w.servePeer(c)
 	}
 }
 
-func (w *worker) closePeers() {
-	for _, c := range w.peers {
+// trackInbound registers an accepted data connection for world-end
+// teardown, reporting false once the world is already over.
+func (w *worker) trackInbound(c net.Conn) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done {
+		return false
+	}
+	w.inbound = append(w.inbound, c)
+	return true
+}
+
+// servePeer validates one inbound data connection (the peerhello must
+// arrive within peerHelloTimeout — a connection that sends nothing may
+// not pin this goroutine forever) and then pushes every opData message
+// up the control connection, batch-expanding coalesced frames and
+// flushing on idle.
+func (w *worker) servePeer(c net.Conn) {
+	defer c.Close()
+	br := bufio.NewReader(c)
+	c.SetReadDeadline(time.Now().Add(peerHelloTimeout.get())) //nolint:errcheck // enforced by the read
+	// from stays -1 until a valid peerhello: the dialer coalesces its
+	// peerhello into one batch container with the first data frames, so
+	// the handshake is the first *logical* frame, not the first physical
+	// one, and validation happens inside the batch expansion.
+	from := -1
+	var buf, readBuf []byte
+	for {
+		op, body, err := readFrameInto(br, &readBuf)
+		if err != nil {
+			return
+		}
+		c.SetReadDeadline(time.Time{}) //nolint:errcheck // handshake deadline served its purpose
+		err = forEachFrame(op, body, func(op byte, b []byte) error {
+			if from < 0 {
+				if op != opPeerHello {
+					return fmt.Errorf("dist: peer connection opened with op %d, not peerhello", op)
+				}
+				f, secret, err := parsePeerHello(b)
+				if err != nil || f < 0 || f >= w.n || secret != w.secret {
+					// Wrong world (or not a worker at all): drop the
+					// connection before any data frame reaches the
+					// coordinator.
+					return fmt.Errorf("dist: bad peerhello")
+				}
+				from = f
+				return nil
+			}
+			if op != opData {
+				return fmt.Errorf("dist: unexpected peer op %d", op)
+			}
+			src, tag, metered, payload, err := parseMsgHeader(b)
+			if err != nil || src != from {
+				return fmt.Errorf("dist: bad peer data frame")
+			}
+			if w.crashPush {
+				// Test hook: die mid-push, after the message crossed the
+				// peer plane but before its delivery reaches the
+				// coordinator inbox.
+				os.Exit(3)
+			}
+			buf = appendMsgHeader(buf[:0], src, tag, metered)
+			buf = append(buf, payload...)
+			return w.control.Write(opDeliver, buf)
+		})
+		if err != nil {
+			return
+		}
+		if !pendingFrame(br) {
+			if err := w.control.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// closeConns tears down the worker's data plane at world end: outbound
+// peer connections and every accepted inbound connection (whose readers
+// unblock and exit).
+func (w *worker) closeConns() {
+	for _, c := range w.conns {
 		if c != nil {
 			c.Close()
 		}
+	}
+	w.mu.Lock()
+	inbound := w.inbound
+	w.inbound, w.done = nil, true
+	w.mu.Unlock()
+	for _, c := range inbound {
+		c.Close()
 	}
 }

@@ -1,0 +1,191 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/spmd"
+)
+
+// flakyListener injects transient Accept failures before delegating to a
+// real listener — the EMFILE / momentarily-wedged-stack shape.
+type flakyListener struct {
+	net.Listener
+	mu    sync.Mutex
+	fails int
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	if l.fails > 0 {
+		l.fails--
+		l.mu.Unlock()
+		return nil, errors.New("accept: too many open files")
+	}
+	l.mu.Unlock()
+	return l.Listener.Accept()
+}
+
+func (l *flakyListener) remaining() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fails
+}
+
+// TestServeRecoversFromTransientAcceptErrors is the Serve regression: a
+// burst of transient Accept failures must not kill the serving loop — a
+// world attaching right after them still runs — and Serve returns only
+// when the listener itself closes.
+func TestServeRecoversFromTransientAcceptErrors(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &flakyListener{Listener: ln, fails: 3}
+	served := make(chan error, 1)
+	go func() { served <- Serve(fl) }()
+
+	w, err := spmd.NewWorldOn(context.Background(), New(WithWorkers(ln.Addr().String())), 1, machine.IBMSP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(func(p *spmd.Proc) {
+		p.Send(0, 1, 42)
+		if v := spmd.Recv[int](p, 0, 1); v != 42 {
+			panic("self-send corrupted")
+		}
+	}); err != nil {
+		t.Fatalf("world after transient accept errors: %v", err)
+	}
+	if got := fl.remaining(); got != 0 {
+		t.Errorf("%d injected accept failures never hit the loop", got)
+	}
+
+	ln.Close()
+	select {
+	case err := <-served:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Errorf("Serve = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after its listener closed")
+	}
+}
+
+// TestForwardDeadPeerFailsPromptly is the peer-dial regression: forward
+// must bound the connect with peerDialTimeout so a dead peer address
+// fails the world promptly instead of hanging the control loop for the
+// OS connect timeout (~2 min). A genuinely blackholed address cannot be
+// simulated portably (some environments transparently accept every
+// connect), so the deadline's plumbing is pinned the other way around: an
+// already-expired timeout must fail the dial even toward a healthy
+// listener, which the old unbounded net.Dial would happily reach.
+func TestForwardDeadPeerFailsPromptly(t *testing.T) {
+	defer peerDialTimeout.set(time.Nanosecond)()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	w := &worker{
+		rank:    0,
+		n:       2,
+		addrs:   []string{"", ln.Addr().String()},
+		peers:   make([]*Writer, 2),
+		conns:   make([]net.Conn, 2),
+		control: NewWriter(io.Discard),
+	}
+	start := time.Now()
+	err = w.forward(1, msgHeader(0, 1, 0, nil))
+	if err == nil {
+		t.Fatal("forward ignored the expired dial deadline: the peer dial is unbounded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("bounded peer dial took %v", elapsed)
+	}
+}
+
+// TestStalledPeerHelloTimesOut is the acceptPeers regression: an inbound
+// data connection that never sends its peerhello must be dropped by the
+// handshake deadline instead of pinning a goroutine and an fd forever.
+func TestStalledPeerHelloTimesOut(t *testing.T) {
+	defer peerHelloTimeout.set(200 * time.Millisecond)()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	w := &worker{rank: 0, n: 2, secret: "s", control: NewWriter(io.Discard)}
+	go w.acceptPeers(ln)
+
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Send nothing. The worker must close the connection; our read then
+	// errors with EOF/reset — hitting our own deadline instead means the
+	// worker is still holding the stalled connection open.
+	c.SetReadDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+	if _, err := c.Read(make([]byte, 1)); err == nil || errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled peer connection read = %v, want closed by the worker's handshake deadline", err)
+	}
+}
+
+// TestCloseConnsClosesInbound pins world-end teardown of the inbound data
+// plane: accepted connections close when the world ends, and connections
+// accepted after the world ended are closed immediately.
+func TestCloseConnsClosesInbound(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	w := &worker{rank: 0, n: 2, secret: "s", control: NewWriter(io.Discard)}
+	go w.acceptPeers(ln)
+
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		w.mu.Lock()
+		tracked := len(w.inbound)
+		w.mu.Unlock()
+		if tracked == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("accepted connection never tracked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	w.closeConns()
+	c.SetReadDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+	if _, err := c.Read(make([]byte, 1)); err == nil || errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("inbound connection read = %v, want closed at world end", err)
+	}
+
+	// A straggler connecting after the world ended is closed on accept.
+	c2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return // listener already torn down: equally dead
+	}
+	defer c2.Close()
+	c2.SetReadDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+	if _, err := c2.Read(make([]byte, 1)); err == nil || errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("post-world connection read = %v, want immediate close", err)
+	}
+}

@@ -177,6 +177,7 @@ func (w *World) Run(body func(p *Proc)) (*Result, error) {
 	}
 
 	errs := make([]error, w.n)
+	obs, _ := w.t.(backend.RankObserver)
 	var wg sync.WaitGroup
 	wg.Add(w.n)
 	for rank := 0; rank < w.n; rank++ {
@@ -184,6 +185,11 @@ func (w *World) Run(body func(p *Proc)) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			errs[rank] = runRank(rank)
+			if obs != nil {
+				// The rank's last word to the transport: flush whatever
+				// its body left buffered while its peers still run.
+				obs.RankReturned(rank)
+			}
 		}()
 	}
 	wg.Wait()
