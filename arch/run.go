@@ -7,6 +7,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Settings is the resolved configuration of one Run: what NewSettings
@@ -28,6 +29,12 @@ type Settings struct {
 	// input; 0 means the app's default. Programs run through the generic
 	// Run carry their input in In and usually ignore Size.
 	Size int
+	// TracePath, when non-empty, turns on the flight recorder for the
+	// run and writes the resulting Chrome trace-event JSON (loadable in
+	// ui.perfetto.dev) to this path when the run finishes. If the run's
+	// context already carries an obs.Collector (a driver tracing a whole
+	// sweep), that collector records the run and no file is written here.
+	TracePath string
 }
 
 // Option adjusts one Run's Settings.
@@ -49,6 +56,10 @@ func WithMode(m Mode) Option { return func(s *Settings) { s.Mode = m } }
 // WithSize sets the problem size for registry apps that generate their
 // own input (0 keeps the app's default).
 func WithSize(n int) Option { return func(s *Settings) { s.Size = n } }
+
+// WithTrace enables the flight recorder and writes the run's Chrome
+// trace-event JSON to path ("" keeps tracing off, the default).
+func WithTrace(path string) Option { return func(s *Settings) { s.TracePath = path } }
 
 // NewSettings applies opts over the defaults: 8 processes on the IBM SP
 // model, the default backend, concurrent version-1 mode, per-app size.
@@ -102,6 +113,11 @@ type Report struct {
 	// Msgs and Bytes count all cross-process point-to-point messages.
 	Msgs  int64
 	Bytes int64
+	// Obs is the flight-recorder summary (per-rank busy/blocked/comm
+	// split, message matrix, critical-path estimate) when the run was
+	// traced, nil otherwise. Omitted from JSON when nil so untraced
+	// reports serialize exactly as they did before tracing existed.
+	Obs *obs.Summary `json:",omitempty"`
 }
 
 // String renders the report as the one-line summary the CLIs print.
@@ -154,6 +170,17 @@ func SPMD[In, Part, Out any](body func(p *Proc, in In) Part, combine func(parts 
 		if combine == nil {
 			return zero, Report{}, fmt.Errorf("arch: SPMD with nil combine (use SPMDRoot for rank-0 results)")
 		}
+		// A TracePath without a collector already on the context means
+		// this run is its own traced scope: make a collector, record
+		// into it, and write the file on the way out. When the context
+		// carries one (a driver tracing a whole sweep), record into
+		// that and leave exporting to its owner.
+		col := obs.FromContext(ctx)
+		ownCol := s.TracePath != "" && col == nil
+		if ownCol {
+			col = obs.NewCollector()
+			ctx = obs.NewContext(ctx, col)
+		}
 		parts := make([]Part, s.Procs)
 		res, err := core.Run(ctx, s.Backend, s.Procs, s.Machine, func(p *Proc) {
 			parts[p.Rank()] = body(p, in)
@@ -161,7 +188,16 @@ func SPMD[In, Part, Out any](body func(p *Proc, in In) Part, combine func(parts 
 		if err != nil {
 			return zero, Report{}, err
 		}
-		return combine(parts), report(s, res), nil
+		rep := report(s, res)
+		if res.Recorder != nil {
+			rep.Obs = res.Recorder.Summary()
+		}
+		if ownCol {
+			if err := col.WriteChromeFile(s.TracePath); err != nil {
+				return zero, Report{}, fmt.Errorf("arch: writing trace: %w", err)
+			}
+		}
+		return combine(parts), rep, nil
 	}}
 }
 

@@ -45,6 +45,12 @@ type Spec struct {
 	// dispatch a spec to the batch or the streaming path before running
 	// anything.
 	Kind string `json:"kind"`
+	// Trace asks the service to run the job under the flight recorder
+	// and retain its Chrome trace (GET /runs/{id}/trace). Omitted from
+	// JSON when false so untraced Specs hash to the same content
+	// address they always have; traced jobs bypass the result cache
+	// entirely (see internal/serve).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // ModeNames returns the valid version-1 execution mode names, sorted.
@@ -119,6 +125,9 @@ func (sp Spec) Canonical() (Spec, error) {
 	}
 	if sp.Kind != a.KindName() {
 		return Spec{}, fmt.Errorf("app %q is a %s app, not %s", sp.App, a.KindName(), sp.Kind)
+	}
+	if sp.Trace && sp.Kind == KindStream {
+		return Spec{}, fmt.Errorf("spec: trace is not supported for stream apps")
 	}
 	return sp, nil
 }

@@ -73,6 +73,7 @@ import (
 	"repro/internal/elastic"
 	"repro/internal/figures"
 	"repro/internal/hostbench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -92,6 +93,7 @@ func main() {
 		compare  = flag.String("compare", "", "with -json: baseline BENCH_*.json to gate the fresh micros against (exit 1 on regression)")
 		gate     = flag.String("gate", "", "with -compare: comma-separated benchmark names to gate on (default: all shared micros)")
 		slack    = flag.Float64("slack", 0.20, "with -compare: allowed fractional slowdown before a micro counts as regressed")
+		traceOut = flag.String("trace", "", "record figure runs (first 256) and write Chrome trace-event JSON to this path")
 	)
 	flag.Parse()
 
@@ -171,6 +173,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	var col *obs.Collector
+	if *traceOut != "" {
+		col = obs.NewCollector()
+		ctx = obs.NewContext(ctx, col)
+	}
+
 	opts := figures.Options{Ctx: ctx, Out: os.Stdout, Dir: *dir, Scale: *scale, MaxProcs: *maxProcs, Backend: back}
 	run := func(f figures.Figure) {
 		res, err := f.Run(opts)
@@ -209,5 +217,13 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if col != nil {
+		if err := col.WriteChromeFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "archbench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (open in ui.perfetto.dev)\n", *traceOut)
 	}
 }

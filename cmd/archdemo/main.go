@@ -63,6 +63,7 @@ func main() {
 		back   = flag.String("backend", "sim", "execution backend: "+strings.Join(arch.BackendNames(), ", "))
 		worker = flag.String("worker", "", "serve as a dist worker for the coordinator at this address, then exit")
 		remote = flag.String("remote", "", "submit the run to the archserve daemon at this URL instead of running locally")
+		trace  = flag.String("trace", "", "record the run and write Chrome trace-event JSON (ui.perfetto.dev) to this path")
 	)
 	flag.Parse()
 
@@ -84,6 +85,10 @@ func main() {
 	}
 
 	if *remote != "" {
+		if *trace != "" {
+			fmt.Fprintln(os.Stderr, "archdemo: -trace records local runs; for remote traces submit trace:true and GET /runs/{id}/trace")
+			os.Exit(2)
+		}
 		if err := runRemote(*remote, *list, *name, *procs, *size, *mach, *back); err != nil {
 			fmt.Fprintf(os.Stderr, "archdemo: %v\n", err)
 			os.Exit(1)
@@ -113,6 +118,7 @@ func main() {
 		arch.WithSize(*size),
 		arch.WithMachine(model),
 		arch.WithBackend(runner),
+		arch.WithTrace(*trace),
 	)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "archdemo: %v\n", err)
@@ -122,6 +128,9 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("%s on %s\n", summary, rep)
+	if *trace != "" {
+		fmt.Printf("trace written to %s (open in ui.perfetto.dev)\n", *trace)
+	}
 }
 
 // runRemote is archdemo's client mode: list the remote registry or

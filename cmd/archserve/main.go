@@ -13,10 +13,12 @@
 // Endpoints (see internal/serve):
 //
 //	GET  /apps              the registry
-//	POST /runs              submit {"app":..., "size":..., "procs":..., "machine":..., "backend":..., "mode":...}
+//	POST /runs              submit {"app":..., "size":..., "procs":..., "machine":..., "backend":..., "mode":..., "trace":...}
 //	GET  /runs/{id}         poll a job
 //	GET  /runs/{id}/events  stream a job (SSE)
-//	GET  /healthz           liveness
+//	GET  /runs/{id}/trace   Chrome trace JSON of a trace:true job
+//	GET  /metrics           Prometheus metrics
+//	GET  /healthz           liveness (uptime, build info, job gauges)
 //
 // Identical submissions coalesce while in flight and hit the persistent
 // cache once finished — across restarts too, since the cache key is the
@@ -63,6 +65,7 @@ func main() {
 		streams  = flag.Int("streams", 0, "max stream jobs running concurrently before 429 (0 = 4)")
 		keep     = flag.Duration("keepalive", 0, "SSE keep-alive comment interval (0 = 15s, negative = off)")
 		drain    = flag.Duration("drain", 30*time.Second, "max time to drain in-flight jobs on shutdown")
+		quiet    = flag.Bool("quiet", false, "suppress per-request access logging")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "archserve: ", log.LstdFlags)
@@ -88,12 +91,13 @@ func main() {
 	}
 
 	svc := serve.New(serve.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		StreamJobs: *streams,
-		KeepAlive:  *keep,
-		Cache:      cache,
-		Log:        logger,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		StreamJobs:  *streams,
+		KeepAlive:   *keep,
+		Cache:       cache,
+		LogRequests: !*quiet,
+		Log:         logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc}
 

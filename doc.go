@@ -49,6 +49,19 @@
 // near-free across process restarts. archdemo -remote is the matching
 // client.
 //
+// Every backend is instrumented with a flight recorder (internal/obs):
+// a run whose context carries an obs.Collector records typed events —
+// sends/recvs with byte counts, barriers, dist batching, elastic
+// recovery (leases, declared-dead, replay, suppressed resends),
+// scheduler activity, injected faults — into per-rank lock-free ring
+// buffers, exportable as Chrome trace-event JSON (archdemo -trace,
+// archbench -trace, open in ui.perfetto.dev) and summarized on
+// arch.Report. Without a collector the recorder is nil and recording
+// is free; CI gates the disabled-path overhead against the committed
+// benchmark baselines. archserve additionally exposes a Prometheus
+// text endpoint (GET /metrics) and serves per-job traces for
+// trace:true submissions (GET /runs/{id}/trace).
+//
 // Beyond batch runs, internal/stream adds the streaming archetype:
 // elements flow through a typed stage graph with bounded per-stage
 // buffers, credit-based backpressure (a stalled sink provably stalls
@@ -77,6 +90,9 @@
 //	                      point/rank/epoch), hooked by dist and elastic
 //	internal/backoff      exponential backoff with jitter for dials and
 //	                      worker reconnects
+//	internal/obs          flight recorder: per-rank event rings behind a
+//	                      context-carried collector seam (nil = free),
+//	                      Chrome trace export, Prometheus text registry
 //	internal/sched        concurrent sweep scheduler: bounded worker pool,
 //	                      deduplicating result cache (LRU-bounded), string-
 //	                      keyed Flight singleflight, streamed curves

@@ -37,6 +37,7 @@ import (
 	"sync"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Result summarizes one run of an n-process program on a Transport.
@@ -124,6 +125,16 @@ type Driver interface {
 // other ranks' progress.
 type RankObserver interface {
 	RankReturned(rank int)
+}
+
+// Traced is an optional Transport capability: a transport created under
+// a context carrying an obs.Collector (see obs.RunRecorder) exposes the
+// run's flight recorder so spmd.World can stamp world-level events onto
+// the same trace and hand the recorder back with the run's Result.
+// Recorder returns nil when tracing is off for this run — callers must
+// treat a nil recorder as "disabled", which obs makes free.
+type Traced interface {
+	Recorder() *obs.Recorder
 }
 
 // Runner is a named Transport factory: one Runner per execution backend.

@@ -72,6 +72,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/faultinject"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/spmd"
 )
 
@@ -332,6 +333,7 @@ func (r *runner) start(ctx context.Context, n int) (*transport, error) {
 		recvBufs: make([][]byte, n),
 		ops:      make([]int, n),
 		inj:      r.inj,
+		rec:      obs.RunRecorder(ctx, n, "dist"),
 	}
 	ok := false
 	defer func() {
@@ -634,6 +636,8 @@ type transport struct {
 	// the epoch coordinate for fault-injection rules.
 	ops []int
 	inj *faultinject.Injector
+	// rec is the run's flight recorder; nil (free) when tracing is off.
+	rec *obs.Recorder
 
 	mu        sync.Mutex
 	err       error
@@ -708,6 +712,9 @@ func (t *transport) SetResident(rank int, bytes float64) {}
 
 func (t *transport) Clock(rank int) float64 { return time.Since(t.begin).Seconds() }
 
+// Recorder implements backend.Traced.
+func (t *transport) Recorder() *obs.Recorder { return t.rec }
+
 // Idle cannot advance a wall clock.
 func (t *transport) Idle(rank int, at float64) {}
 
@@ -722,7 +729,11 @@ func (t *transport) inject(point string, rank int) {
 	}
 	epoch := t.ops[rank]
 	t.ops[rank]++
-	switch act, d := t.inj.Eval(point, rank, epoch); act {
+	act, d := t.inj.Eval(point, rank, epoch)
+	if act != faultinject.None && t.rec != nil {
+		t.rec.Emit(rank, obs.Event{T: t.rec.Now(), Peer: -1, Tag: int32(act), Kind: obs.KindFault})
+	}
+	switch act {
 	case faultinject.Drop:
 		t.conns[rank].c.Close()
 	case faultinject.Delay:
@@ -738,6 +749,10 @@ func (t *transport) inject(point string, rank int) {
 // returning), which is the write-coalescing boundary: a burst of sends
 // goes out as one opBatch frame.
 func (t *transport) Send(src, dst, tag int, data any, bytes int) {
+	var start int64
+	if t.rec != nil {
+		start = t.rec.Now()
+	}
 	t.inject("dist.send", src)
 	if src == dst {
 		// Self-send: codec-encode and bank in the local inbox directly,
@@ -748,6 +763,9 @@ func (t *transport) Send(src, dst, tag int, data any, bytes int) {
 			panic(fmt.Sprintf("dist: process %d: %v", src, err))
 		}
 		t.inboxes[src].push(inMsg{src: src, tag: tag, metered: bytes, payload: body})
+		if t.rec != nil {
+			t.rec.Emit(src, obs.Event{T: start, Dur: t.rec.Now() - start, Bytes: int64(bytes), Peer: int32(dst), Tag: int32(tag), Kind: obs.KindSend})
+		}
 		return
 	}
 	wc, op, rankField := t.conns[dst], opSend, src
@@ -770,6 +788,9 @@ func (t *transport) Send(src, dst, tag int, data any, bytes int) {
 	sh := &t.counters[src]
 	sh.msgs++
 	sh.bytes += int64(bytes)
+	if t.rec != nil {
+		t.rec.Emit(src, obs.Event{T: start, Dur: t.rec.Now() - start, Bytes: int64(bytes), Peer: int32(dst), Tag: int32(tag), Kind: obs.KindSend})
+	}
 }
 
 // flushConns puts every connection's buffered frames on the wire — the
@@ -779,9 +800,32 @@ func (t *transport) Send(src, dst, tag int, data any, bytes int) {
 // goroutine: whichever rank blocks first drives everyone's pending bytes
 // out, and an idle Writer's Flush is a mutex acquisition, not a syscall.
 func (t *transport) flushConns(rank int) {
+	if t.rec == nil {
+		for _, wc := range t.conns {
+			if err := wc.w.Flush(); err != nil {
+				t.raise(rank, err)
+			}
+		}
+		return
+	}
+	start := t.rec.Now()
+	frames, batched := 0, 0
 	for _, wc := range t.conns {
-		if err := wc.w.Flush(); err != nil {
+		n, err := wc.w.FlushN()
+		if err != nil {
 			t.raise(rank, err)
+		}
+		frames += n
+		if n > 1 {
+			batched++
+		}
+	}
+	if frames > 0 {
+		// Bytes carries the frame count for flush events, and the number
+		// of connections whose frames were coalesced for batch events.
+		t.rec.Emit(rank, obs.Event{T: start, Dur: t.rec.Now() - start, Bytes: int64(frames), Peer: -1, Kind: obs.KindFlush})
+		if batched > 0 {
+			t.rec.Emit(rank, obs.Event{T: start, Bytes: int64(batched), Peer: -1, Kind: obs.KindBatch})
 		}
 	}
 }
@@ -792,13 +836,19 @@ func (t *transport) flushConns(rank int) {
 // Errors fail the world (no panic: this runs outside the rank body's
 // recover) unless it is already quiescent.
 func (t *transport) RankReturned(rank int) {
+	frames := 0
 	for _, wc := range t.conns {
-		if err := wc.w.Flush(); err != nil {
+		n, err := wc.w.FlushN()
+		if err != nil {
 			if !t.quiescent() {
 				t.fail(fmt.Errorf("dist: rank %d final flush: %w", rank, err))
 			}
 			return
 		}
+		frames += n
+	}
+	if frames > 0 && t.rec != nil {
+		t.rec.Emit(rank, obs.Event{T: t.rec.Now(), Bytes: int64(frames), Peer: -1, Kind: obs.KindFlush})
 	}
 }
 
@@ -852,6 +902,9 @@ func (t *transport) popMsg(dst, src int) inMsg {
 			if from < 0 || from >= t.n {
 				return fmt.Errorf("delivery from invalid rank %d", from)
 			}
+			if t.rec != nil {
+				t.rec.Emit(dst, obs.Event{T: t.rec.Now(), Bytes: int64(metered), Peer: int32(from), Tag: int32(tag), Kind: obs.KindDeliver})
+			}
 			if !ok && (src < 0 || from == src) {
 				m = inMsg{src: from, tag: tag, metered: metered, payload: payload}
 				ok = true
@@ -873,6 +926,10 @@ func (t *transport) popMsg(dst, src int) inMsg {
 }
 
 func (t *transport) Recv(src, dst, tag int) any {
+	var start int64
+	if t.rec != nil {
+		start = t.rec.Now()
+	}
 	m := t.popMsg(dst, src)
 	if m.tag != tag {
 		panic(fmt.Sprintf("dist: process %d expected tag %d from %d, got %d", dst, tag, src, m.tag))
@@ -881,10 +938,17 @@ func (t *transport) Recv(src, dst, tag int) any {
 	if err != nil {
 		t.raise(dst, fmt.Errorf("decoding message from %d: %w", src, err))
 	}
+	if t.rec != nil {
+		t.rec.Emit(dst, obs.Event{T: start, Dur: t.rec.Now() - start, Bytes: int64(m.metered), Peer: int32(m.src), Tag: int32(tag), Kind: obs.KindRecv})
+	}
 	return data
 }
 
 func (t *transport) RecvAny(dst, tag int) (int, any) {
+	var start int64
+	if t.rec != nil {
+		start = t.rec.Now()
+	}
 	m := t.popMsg(dst, -1)
 	if m.tag != tag {
 		panic(fmt.Sprintf("dist: process %d expected tag %d from any source, got %d from %d",
@@ -893,6 +957,9 @@ func (t *transport) RecvAny(dst, tag int) (int, any) {
 	data, _, err := spmd.DecodePayload(m.payload)
 	if err != nil {
 		t.raise(dst, fmt.Errorf("decoding message from %d: %w", m.src, err))
+	}
+	if t.rec != nil {
+		t.rec.Emit(dst, obs.Event{T: start, Dur: t.rec.Now() - start, Bytes: int64(m.metered), Peer: int32(m.src), Tag: int32(tag), Kind: obs.KindRecvAny})
 	}
 	return m.src, data
 }

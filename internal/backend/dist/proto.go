@@ -260,6 +260,20 @@ func (w *Writer) Flush() error {
 	return w.flushLocked()
 }
 
+// FlushN is Flush reporting how many frames it put on the wire (0 when
+// nothing was pending; >1 means the frames went out coalesced in one
+// opBatch container). The transport's trace instrumentation uses the
+// count to record flush and batch events only for flushes that did work.
+func (w *Writer) FlushN() (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, w.err
+	}
+	n := w.frames
+	return n, w.flushLocked()
+}
+
 func (w *Writer) flushLocked() error {
 	if w.frames == 0 {
 		return nil

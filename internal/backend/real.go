@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Real returns the shared-memory backend: SPMD processes run as goroutines
@@ -46,7 +47,7 @@ func (r realRunner) NewTransport(ctx context.Context, n int, m *machine.Model) T
 		start := time.Now()
 		elapsed = func() float64 { return time.Since(start).Seconds() }
 	}
-	return &realTransport{mailbox: newMailbox(ctx, n), elapsed: elapsed}
+	return &realTransport{mailbox: newMailbox(ctx, n), elapsed: elapsed, rec: obs.RunRecorder(ctx, n, "real")}
 }
 
 // realTransport carries messages at native channel speed and meters the
@@ -55,7 +56,10 @@ type realTransport struct {
 	*mailbox
 	// elapsed reads seconds since the transport (the run) was created.
 	elapsed func() float64
+	rec     *obs.Recorder
 }
+
+func (t *realTransport) Recorder() *obs.Recorder { return t.rec }
 
 // Charge discards modeled computation: on real hardware the computation
 // itself already took the time.
@@ -71,18 +75,37 @@ func (t *realTransport) Clock(rank int) float64 { return t.elapsed() }
 func (t *realTransport) Idle(rank int, at float64) {}
 
 func (t *realTransport) Send(src, dst, tag int, data any, bytes int) {
+	var start int64
+	if t.rec != nil {
+		start = t.rec.Now()
+	}
 	if src != dst {
 		t.count(src, bytes)
 	}
 	t.push(src, dst, message{tag: tag, data: data, bytes: bytes})
+	if t.rec != nil {
+		t.rec.Emit(src, obs.Event{T: start, Dur: t.rec.Now() - start, Bytes: int64(bytes), Peer: int32(dst), Tag: int32(tag), Kind: obs.KindSend})
+	}
 }
 
 func (t *realTransport) Recv(src, dst, tag int) any {
-	return t.pop(src, dst, tag).data
+	if t.rec == nil {
+		return t.pop(src, dst, tag).data
+	}
+	start := t.rec.Now()
+	msg := t.pop(src, dst, tag)
+	t.rec.Emit(dst, obs.Event{T: start, Dur: t.rec.Now() - start, Bytes: int64(msg.bytes), Peer: int32(src), Tag: int32(tag), Kind: obs.KindRecv})
+	return msg.data
 }
 
 func (t *realTransport) RecvAny(dst, tag int) (int, any) {
+	if t.rec == nil {
+		src, msg := t.popAny(dst, tag)
+		return src, msg.data
+	}
+	start := t.rec.Now()
 	src, msg := t.popAny(dst, tag)
+	t.rec.Emit(dst, obs.Event{T: start, Dur: t.rec.Now() - start, Bytes: int64(msg.bytes), Peer: int32(src), Tag: int32(tag), Kind: obs.KindRecvAny})
 	return src, msg.data
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Sim returns the virtual-time simulator backend: the original substrate
@@ -25,6 +26,7 @@ func (simRunner) NewTransport(ctx context.Context, n int, m *machine.Model) Tran
 		model:    m,
 		clocks:   make([]float64, n),
 		resident: make([]float64, n),
+		rec:      obs.RunRecorder(ctx, n, "sim"),
 	}
 }
 
@@ -36,7 +38,14 @@ type simTransport struct {
 	model    *machine.Model
 	clocks   []float64
 	resident []float64
+	rec      *obs.Recorder
 }
+
+func (t *simTransport) Recorder() *obs.Recorder { return t.rec }
+
+// vns converts virtual seconds to the trace's nanosecond timestamps: sim
+// events sit on the modeled timeline, not the host's.
+func vns(sec float64) int64 { return int64(sec * 1e9) }
 
 // pagingFactor is the compute-cost multiplier implied by rank's current
 // resident-set declaration.
@@ -69,20 +78,25 @@ func (t *simTransport) Idle(rank int, at float64) {
 // delivered through the same FIFO so program structure is uniform.
 func (t *simTransport) Send(src, dst, tag int, data any, bytes int) {
 	m := t.model
+	start := t.clocks[src]
 	if dst == src {
 		t.Charge(src, float64(bytes)/8*m.MemTime)
 		t.push(src, dst, message{tag: tag, data: data, bytes: bytes, avail: t.clocks[src]})
-		return
+	} else {
+		t.clocks[src] += m.SendOverhead
+		avail := t.clocks[src] + m.Latency + float64(bytes)/m.Bandwidth
+		t.count(src, bytes)
+		t.push(src, dst, message{tag: tag, data: data, bytes: bytes, avail: avail})
 	}
-	t.clocks[src] += m.SendOverhead
-	avail := t.clocks[src] + m.Latency + float64(bytes)/m.Bandwidth
-	t.count(src, bytes)
-	t.push(src, dst, message{tag: tag, data: data, bytes: bytes, avail: avail})
+	if t.rec != nil {
+		t.rec.Emit(src, obs.Event{T: vns(start), Dur: vns(t.clocks[src] - start), Bytes: int64(bytes), Peer: int32(dst), Tag: int32(tag), Kind: obs.KindSend})
+	}
 }
 
 // Recv dequeues the next message from src and advances dst's clock to the
 // message's availability time plus receive overhead.
 func (t *simTransport) Recv(src, dst, tag int) any {
+	start := t.clocks[dst]
 	msg := t.pop(src, dst, tag)
 	if msg.avail > t.clocks[dst] {
 		t.clocks[dst] = msg.avail
@@ -90,16 +104,23 @@ func (t *simTransport) Recv(src, dst, tag int) any {
 	if src != dst {
 		t.clocks[dst] += t.model.RecvOverhead
 	}
+	if t.rec != nil {
+		t.rec.Emit(dst, obs.Event{T: vns(start), Dur: vns(t.clocks[dst] - start), Bytes: int64(msg.bytes), Peer: int32(src), Tag: int32(tag), Kind: obs.KindRecv})
+	}
 	return msg.data
 }
 
 func (t *simTransport) RecvAny(dst, tag int) (int, any) {
+	start := t.clocks[dst]
 	src, msg := t.popAny(dst, tag)
 	if msg.avail > t.clocks[dst] {
 		t.clocks[dst] = msg.avail
 	}
 	if src != dst {
 		t.clocks[dst] += t.model.RecvOverhead
+	}
+	if t.rec != nil {
+		t.rec.Emit(dst, obs.Event{T: vns(start), Dur: vns(t.clocks[dst] - start), Bytes: int64(msg.bytes), Peer: int32(src), Tag: int32(tag), Kind: obs.KindRecvAny})
 	}
 	return src, msg.data
 }

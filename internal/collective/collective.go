@@ -15,7 +15,10 @@
 // spmd.Sized.
 package collective
 
-import "repro/internal/spmd"
+import (
+	"repro/internal/obs"
+	"repro/internal/spmd"
+)
 
 // Tag space reserved by this package. Applications should use tags >= TagUser.
 const (
@@ -279,13 +282,33 @@ func AllReduceGB[T any](p spmd.Comm, v T, op func(a, b T) T) T {
 // Barrier synchronizes all processes with a dissemination barrier:
 // ceil(log2 N) rounds of zero-byte token exchange. After it returns, every
 // process's virtual clock is at least the maximum pre-barrier clock.
+// traced is satisfied by a world-level *spmd.Proc when its transport
+// records events; group views don't implement it, so sub-communicator
+// barriers stay uninstrumented (their sends/recvs are still traced).
+type traced interface {
+	Recorder() *obs.Recorder
+	Stamp() int64
+	Rank() int
+}
+
 func Barrier(p spmd.Comm) {
+	var rec *obs.Recorder
+	var start int64
+	tp, ok := p.(traced)
+	if ok {
+		if rec = tp.Recorder(); rec != nil {
+			start = tp.Stamp()
+		}
+	}
 	n, rank := p.N(), p.Rank()
 	round := 0
 	for mask := 1; mask < n; mask <<= 1 {
 		p.Send((rank+mask)%n, tagBarrierBase+round, nil)
 		p.Recv((rank-mask+n)%n, tagBarrierBase+round)
 		round++
+	}
+	if rec != nil {
+		rec.Emit(rank, obs.Event{T: start, Dur: tp.Stamp() - start, Peer: -1, Kind: obs.KindBarrier})
 	}
 }
 

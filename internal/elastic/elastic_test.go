@@ -18,6 +18,7 @@ import (
 	"repro/internal/fft"
 	"repro/internal/machine"
 	"repro/internal/meshspectral"
+	"repro/internal/obs"
 	"repro/internal/onedeep"
 	"repro/internal/poisson"
 	"repro/internal/sortapp"
@@ -351,5 +352,95 @@ func TestSpawnMode(t *testing.T) {
 	}
 	if res.Msgs != int64(2*np) {
 		t.Errorf("meters = %d msgs, want %d", res.Msgs, 2*np)
+	}
+}
+
+// TestKillRecoveryTrace pins the flight recorder's view of a recovery:
+// an injected kill must leave a causally ordered event chain — the fault
+// fires, the host worker is declared dead, the orphaned rank is
+// re-leased, and the new attempt replays its logged receives — and the
+// replayed attempt's re-executed sends must surface as resend-suppressed
+// events (the wire-level proof that recovery does not re-meter).
+func TestKillRecoveryTrace(t *testing.T) {
+	const np = 4
+	model := machine.IBMSP()
+	// The poisson workload from the parity table: killing rank 0 a few
+	// operations in guarantees its log holds both sends (suppressed on
+	// replay) and receives (replayed from the log).
+	tc := parityCases()[2]
+	inj := faultinject.New(faultinject.Rule{
+		Point:  "elastic.rank.op",
+		Rank:   0,
+		Epoch:  4,
+		Action: faultinject.Kill,
+	})
+	col := obs.NewCollector()
+	// The recovery events fire within the first few operations; the
+	// default drop-oldest ring would discard them under this workload's
+	// tens of thousands of sends, so give the rings room for everything.
+	col.RingSize = 1 << 18
+	ctx := obs.NewContext(context.Background(), col)
+	prog, _ := tc.prog(np)
+	_, err := core.Run(ctx, elastic.New(
+		elastic.WithLocalWorkers(false),
+		elastic.WithWorkerCount(2),
+		elastic.WithHeartbeat(200*time.Millisecond, 5),
+		elastic.WithInjector(inj),
+	), np, model, prog)
+	if err != nil {
+		t.Fatalf("elastic: %v", err)
+	}
+	if n := inj.Fired("elastic.rank.op"); n != 1 {
+		t.Fatalf("injector fired %d times, want 1", n)
+	}
+	if s := inj.Stats(); s.Total != 1 || s.ByPoint["elastic.rank.op"] != 1 {
+		t.Fatalf("injector stats = %+v, want one elastic.rank.op firing", s)
+	}
+
+	rec := col.Last()
+	if rec == nil {
+		t.Fatal("no recorder registered: the collector context did not reach the transport")
+	}
+	// AllEvents merges the rank rings and the system ring sorted by
+	// timestamp, so first-occurrence scan order is causal order.
+	var tFault, tDead, tRelease, tReplay int64 = -1, -1, -1, -1
+	suppressed := 0
+	for _, e := range rec.AllEvents() {
+		switch e.Kind {
+		case obs.KindFault:
+			if tFault < 0 {
+				tFault = e.T
+			}
+		case obs.KindDeclaredDead:
+			if tDead < 0 {
+				tDead = e.T
+			}
+		case obs.KindLease:
+			if tDead >= 0 && tRelease < 0 {
+				tRelease = e.T
+			}
+		case obs.KindReplay:
+			if tReplay < 0 {
+				tReplay = e.T
+			}
+		case obs.KindResendSuppressed:
+			suppressed++
+		}
+	}
+	switch {
+	case tFault < 0:
+		t.Fatal("no fault event: the injected kill was not recorded")
+	case tDead < 0:
+		t.Fatal("no declared-dead event")
+	case tRelease < 0:
+		t.Fatal("no re-lease after declared-dead")
+	case tReplay < 0:
+		t.Fatal("no replay event: the restarted attempt did not replay its log")
+	case suppressed == 0:
+		t.Fatal("no resend-suppressed events: replayed sends were not suppressed")
+	}
+	if !(tFault <= tDead && tDead <= tRelease && tRelease <= tReplay) {
+		t.Fatalf("events out of causal order: fault=%d declared-dead=%d re-lease=%d replay=%d",
+			tFault, tDead, tRelease, tReplay)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/backend/dist"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/spmd"
 )
 
@@ -122,6 +123,13 @@ type transport struct {
 	procs         []*exec.Cmd
 	procWG        sync.WaitGroup
 	localWG       sync.WaitGroup
+
+	// rec is the run's flight recorder; nil (free) when tracing is off.
+	// Rank events are emitted from attempt goroutines — attempts of one
+	// rank never overlap (the running flag serializes them under mu), so
+	// the per-rank single-writer ring contract holds. Coordinator events
+	// (lease, heartbeat, declared-dead) go to the system ring.
+	rec *obs.Recorder
 }
 
 // start brings up the coordinator: control listener, worker pool (OS
@@ -136,6 +144,7 @@ func (r *runner) start(ctx context.Context, n int) (*transport, error) {
 		workers:  map[int]*wlink{},
 		ranks:    make([]rankState, n),
 		counters: make([]counter, n),
+		rec:      obs.RunRecorder(ctx, n, "elastic"),
 	}
 	t.cond = sync.NewCond(&t.mu)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -340,6 +349,9 @@ func (t *transport) heartbeat(w *wlink) {
 			}
 		} else {
 			w.missed = 0
+			if t.rec != nil {
+				t.rec.EmitSys(obs.Event{T: t.rec.Now(), Rank: -1, Peer: int32(w.id), Kind: obs.KindHeartbeat})
+			}
 		}
 		t.mu.Unlock()
 	}
@@ -370,6 +382,9 @@ func (t *transport) declareDeadLocked(w *wlink, cause error) {
 	delete(t.workers, w.id)
 	w.c.Close()
 	t.stats.DeclaredDead++
+	if t.rec != nil {
+		t.rec.EmitSys(obs.Event{T: t.rec.Now(), Rank: -1, Peer: int32(w.id), Kind: obs.KindDeclaredDead})
+	}
 	_ = cause
 	for rank := range w.ranks {
 		if rs := &t.ranks[rank]; rs.host == w {
@@ -436,7 +451,11 @@ func (t *transport) opDoneLocked(rank int, rs *rankState) {
 	if t.r.inj == nil {
 		return
 	}
-	switch act, d := t.r.inj.Eval(pointRankOp, rank, e); act {
+	act, d := t.r.inj.Eval(pointRankOp, rank, e)
+	if act != faultinject.None && t.rec != nil {
+		t.rec.Emit(rank, obs.Event{T: t.rec.Now(), Peer: -1, Tag: int32(act), Kind: obs.KindFault})
+	}
+	switch act {
 	case faultinject.Kill:
 		if w := rs.host; w != nil && !w.dead {
 			t.killLocked(w)
@@ -505,10 +524,17 @@ func (t *transport) SetResident(rank int, bytes float64) {}
 
 func (t *transport) Clock(rank int) float64 { return time.Since(t.begin).Seconds() }
 
+// Recorder implements backend.Traced.
+func (t *transport) Recorder() *obs.Recorder { return t.rec }
+
 // Idle cannot advance a wall clock.
 func (t *transport) Idle(rank int, at float64) {}
 
 func (t *transport) Send(src, dst, tag int, data any, bytes int) {
+	var start int64
+	if t.rec != nil {
+		start = t.rec.Now()
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	rs := t.checkLiveLocked(src)
@@ -517,6 +543,9 @@ func (t *transport) Send(src, dst, tag int, data any, bytes int) {
 		// message is in the destination's shadow state (or delivery log)
 		// and its meter charge is on the books. Suppress it.
 		rs.sendIdx++
+		if t.rec != nil {
+			t.rec.Emit(src, obs.Event{T: start, Bytes: int64(bytes), Peer: int32(dst), Tag: int32(tag), Kind: obs.KindResendSuppressed})
+		}
 		t.opDoneLocked(src, rs)
 		return
 	}
@@ -538,6 +567,9 @@ func (t *transport) Send(src, dst, tag int, data any, bytes int) {
 		t.counters[src].msgs++
 		t.counters[src].bytes += int64(bytes)
 	}
+	if t.rec != nil {
+		t.rec.Emit(src, obs.Event{T: start, Dur: t.rec.Now() - start, Bytes: int64(bytes), Peer: int32(dst), Tag: int32(tag), Kind: obs.KindSend})
+	}
 	t.cond.Broadcast()
 	t.opDoneLocked(src, rs)
 }
@@ -557,6 +589,10 @@ func (t *transport) RecvAny(dst, tag int) (int, any) {
 // attempt is behind its checkpoint, popped from the hosting worker's
 // inbox once live.
 func (t *transport) recv(dst, src, tag int) (int, any) {
+	var start int64
+	if t.rec != nil {
+		start = t.rec.Now()
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	rs := t.checkLiveLocked(dst)
@@ -573,6 +609,9 @@ func (t *transport) recv(dst, src, tag int) (int, any) {
 		}
 		rs.cursor++
 		v := t.decode(dst, d.src, d.payload)
+		if t.rec != nil {
+			t.rec.Emit(dst, obs.Event{T: start, Bytes: int64(d.metered), Peer: int32(d.src), Tag: int32(tag), Kind: obs.KindReplay})
+		}
 		t.opDoneLocked(dst, rs)
 		return d.src, v
 	}
@@ -618,6 +657,13 @@ func (t *transport) recv(dst, src, tag int) (int, any) {
 	rs.log = append(rs.log, m)
 	rs.cursor++
 	v := t.decode(dst, m.src, popped.payload)
+	if t.rec != nil {
+		kind := obs.KindRecv
+		if src < 0 {
+			kind = obs.KindRecvAny
+		}
+		t.rec.Emit(dst, obs.Event{T: start, Dur: t.rec.Now() - start, Bytes: int64(m.metered), Peer: int32(m.src), Tag: int32(tag), Kind: kind})
+	}
 	t.opDoneLocked(dst, rs)
 	return m.src, v
 }
@@ -667,6 +713,9 @@ func (t *transport) leaseLocked(rank int, w *wlink) bool {
 	}
 	if w.joinedMidRun && rs.restarts > 0 {
 		t.stats.JoinPickups++
+	}
+	if t.rec != nil {
+		t.rec.EmitSys(obs.Event{T: t.rec.Now(), Rank: int32(rank), Peer: int32(w.id), Kind: obs.KindLease})
 	}
 	return true
 }

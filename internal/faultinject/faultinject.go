@@ -135,3 +135,31 @@ func (in *Injector) Fired(point string) int {
 	defer in.mu.Unlock()
 	return in.byPt[point]
 }
+
+// Stats is a snapshot of an injector's firing counters.
+type Stats struct {
+	// Total is the number of rule firings across all hook points.
+	Total int
+	// ByPoint counts firings per hook point name.
+	ByPoint map[string]int
+	// ByRule counts firings per rule, in the order rules were declared.
+	ByRule []int
+}
+
+// Stats returns a snapshot of the injector's firing counters. A nil
+// injector returns zero Stats with a non-nil empty ByPoint map.
+func (in *Injector) Stats() Stats {
+	s := Stats{ByPoint: map[string]int{}}
+	if in == nil {
+		return s
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s.ByRule = make([]int, len(in.fired))
+	copy(s.ByRule, in.fired)
+	for pt, n := range in.byPt {
+		s.ByPoint[pt] = n
+		s.Total += n
+	}
+	return s
+}

@@ -76,6 +76,48 @@ func TestNilInjector(t *testing.T) {
 	}
 }
 
+func TestStats(t *testing.T) {
+	in := New(
+		Rule{Point: "dist.send", Rank: AnyRank, Epoch: AnyEpoch, Count: 2, Action: Delay},
+		Rule{Point: "elastic.rank.op", Rank: 0, Epoch: 3, Action: Kill},
+		Rule{Point: "dist.recv", Rank: AnyRank, Epoch: AnyEpoch, Action: Drop},
+	)
+	in.Eval("dist.send", 0, 0)
+	in.Eval("dist.send", 1, 5)
+	in.Eval("dist.send", 2, 9) // beyond Count: no fire
+	in.Eval("elastic.rank.op", 0, 3)
+
+	s := in.Stats()
+	if s.Total != 3 {
+		t.Errorf("Total = %d, want 3", s.Total)
+	}
+	if s.ByPoint["dist.send"] != 2 || s.ByPoint["elastic.rank.op"] != 1 {
+		t.Errorf("ByPoint = %v, want dist.send:2 elastic.rank.op:1", s.ByPoint)
+	}
+	if _, present := s.ByPoint["dist.recv"]; present {
+		t.Errorf("ByPoint has an entry for a point that never fired: %v", s.ByPoint)
+	}
+	want := []int{2, 1, 0}
+	for i, n := range s.ByRule {
+		if n != want[i] {
+			t.Errorf("ByRule = %v, want %v", s.ByRule, want)
+			break
+		}
+	}
+
+	// The snapshot is detached: later firings don't mutate it.
+	in.Eval("dist.recv", 0, 0)
+	if s.Total != 3 || s.ByPoint["dist.recv"] != 0 {
+		t.Errorf("snapshot mutated by later Eval: %+v", s)
+	}
+
+	var nilIn *Injector
+	ns := nilIn.Stats()
+	if ns.Total != 0 || ns.ByPoint == nil || len(ns.ByPoint) != 0 || ns.ByRule != nil {
+		t.Errorf("nil Stats = %+v, want zero with empty ByPoint", ns)
+	}
+}
+
 func TestActionString(t *testing.T) {
 	for act, want := range map[Action]string{None: "none", Kill: "kill", Drop: "drop", Delay: "delay"} {
 		if got := act.String(); got != want {

@@ -325,34 +325,49 @@ func CollectDist(ctx context.Context, log io.Writer) (*Report, error) {
 	return collectSuite(ctx, log, DistMicros(), nil)
 }
 
+// microRounds is how many times collectSuite measures each micro,
+// keeping the fastest round. Host interference (scheduler, cgroup
+// throttling, co-tenant load) is strictly additive on these latency
+// micros, so the minimum is the least-noisy estimator — it is what lets
+// the CI overhead gates run at tight slack instead of absorbing
+// run-to-run noise into the threshold.
+const microRounds = 5
+
 func collectSuite(ctx context.Context, log io.Writer, micros []Micro, sweeps []sweepSpec) (*Report, error) {
 	if log == nil {
 		log = io.Discard
 	}
 	rep := &Report{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	for _, m := range micros {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		// testing.Benchmark has no failure channel outside a test binary
-		// (b.Fatal would nil-deref), so the body's error is captured on
-		// the side: once set, remaining calibration rounds return
-		// immediately and the error surfaces after Benchmark returns.
-		var benchErr error
-		res := testing.Benchmark(func(b *testing.B) {
-			if benchErr != nil {
-				return
+		var mr MicroResult
+		for round := 0; round < microRounds; round++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
-			benchErr = m.body(b)
-		})
-		if benchErr != nil {
-			return nil, fmt.Errorf("hostbench: %s: %w", m.Name, benchErr)
-		}
-		mr := MicroResult{
-			Name:        m.Name,
-			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
-			AllocsPerOp: int64(res.AllocsPerOp()),
-			BytesPerOp:  int64(res.AllocedBytesPerOp()),
+			// testing.Benchmark has no failure channel outside a test
+			// binary (b.Fatal would nil-deref), so the body's error is
+			// captured on the side: once set, remaining calibration
+			// rounds return immediately and the error surfaces after
+			// Benchmark returns.
+			var benchErr error
+			res := testing.Benchmark(func(b *testing.B) {
+				if benchErr != nil {
+					return
+				}
+				benchErr = m.body(b)
+			})
+			if benchErr != nil {
+				return nil, fmt.Errorf("hostbench: %s: %w", m.Name, benchErr)
+			}
+			ns := float64(res.T.Nanoseconds()) / float64(res.N)
+			if round == 0 || ns < mr.NsPerOp {
+				mr = MicroResult{
+					Name:        m.Name,
+					NsPerOp:     ns,
+					AllocsPerOp: int64(res.AllocsPerOp()),
+					BytesPerOp:  int64(res.AllocedBytesPerOp()),
+				}
+			}
 		}
 		fmt.Fprintf(log, "%-26s %12.0f ns/op %8d B/op %6d allocs/op\n",
 			mr.Name, mr.NsPerOp, mr.BytesPerOp, mr.AllocsPerOp)

@@ -1,0 +1,88 @@
+package hostbench
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/spmd"
+)
+
+// These benchmarks price the flight recorder itself: the same fabric
+// micros with recording enabled (a collector in the run's context) and
+// disabled (the committed-baseline configuration, nil recorder). The
+// disabled variants are redundant with RealPingPong/RealAllReduce on
+// purpose — running both side by side is what makes the enabled delta
+// readable:
+//
+//	go test ./internal/hostbench -bench 'Trace' -run '^$'
+//
+// The disabled path is gated in CI through archbench -compare; the
+// enabled path is informational (tracing is opt-in per run).
+
+func benchTracedPingPong(b *testing.B, traced bool) error {
+	model := machine.IBMSP()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := context.Background()
+		if traced {
+			ctx = obs.NewContext(ctx, obs.NewCollector())
+		}
+		if _, err := core.Run(ctx, backend.Real(), 2, model, func(p *spmd.Proc) {
+			peer := 1 - p.Rank()
+			msg := []float64{1}
+			for round := 0; round < pingPongRounds; round++ {
+				if p.Rank() == 0 {
+					spmd.SendT(p, peer, 1, msg)
+					spmd.Recv[[]float64](p, peer, 1)
+				} else {
+					spmd.Recv[[]float64](p, peer, 1)
+					spmd.SendT(p, peer, 1, msg)
+				}
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func benchTracedAllReduce(b *testing.B, traced bool) error {
+	model := machine.IBMSP()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := context.Background()
+		if traced {
+			ctx = obs.NewContext(ctx, obs.NewCollector())
+		}
+		if _, err := core.Run(ctx, backend.Real(), 32, model, func(p *spmd.Proc) {
+			collective.AllReduce(p, float64(p.Rank()), math.Max)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func BenchmarkTraceOffPingPong(b *testing.B) {
+	mustBench(b, func(b *testing.B) error { return benchTracedPingPong(b, false) })
+}
+
+func BenchmarkTraceOnPingPong(b *testing.B) {
+	mustBench(b, func(b *testing.B) error { return benchTracedPingPong(b, true) })
+}
+
+func BenchmarkTraceOffAllReduce(b *testing.B) {
+	mustBench(b, func(b *testing.B) error { return benchTracedAllReduce(b, false) })
+}
+
+func BenchmarkTraceOnAllReduce(b *testing.B) {
+	mustBench(b, func(b *testing.B) error { return benchTracedAllReduce(b, true) })
+}

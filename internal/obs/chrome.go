@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// traceEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, ui.perfetto.dev). Timestamps are microseconds.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// sysTid is the thread id used for a run's system ring: one past the
+// highest rank, so the system track sorts below the rank tracks.
+func meta(pid, tid int, kind, name string) traceEvent {
+	return traceEvent{Name: kind, Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}}
+}
+
+func appendRunEvents(out []traceEvent, pid int, rec *Recorder) []traceEvent {
+	out = append(out, meta(pid, 0, "process_name", fmt.Sprintf("run %d: %s", pid, rec.Label())))
+	n := rec.N()
+	for rank := 0; rank < n; rank++ {
+		out = append(out, meta(pid, rank, "thread_name", fmt.Sprintf("rank %d", rank)))
+		ev, dropped := rec.Events(rank)
+		for _, e := range ev {
+			out = append(out, toTraceEvent(pid, rank, e))
+		}
+		if dropped > 0 {
+			out = append(out, traceEvent{
+				Name: "dropped-events", Ph: "i", S: "t", Pid: pid, Tid: rank,
+				Args: map[string]any{"dropped": dropped},
+			})
+		}
+	}
+	out = append(out, meta(pid, n, "thread_name", "system"))
+	sys, _ := rec.SysEvents()
+	for _, e := range sys {
+		out = append(out, toTraceEvent(pid, n, e))
+	}
+	return out
+}
+
+func toTraceEvent(pid, tid int, e Event) traceEvent {
+	te := traceEvent{
+		Name: e.Kind.String(),
+		Ts:   float64(e.T) / 1e3,
+		Pid:  pid,
+		Tid:  tid,
+		Args: map[string]any{},
+	}
+	if e.Dur > 0 {
+		te.Ph = "X"
+		te.Dur = float64(e.Dur) / 1e3
+	} else {
+		te.Ph = "i"
+		te.S = "t"
+	}
+	if e.Peer >= 0 {
+		te.Args["peer"] = e.Peer
+	}
+	if e.Tag != 0 {
+		te.Args["tag"] = e.Tag
+	}
+	if e.Bytes != 0 {
+		te.Args["bytes"] = e.Bytes
+	}
+	if e.Rank >= 0 && int(e.Rank) != tid {
+		te.Args["rank"] = e.Rank
+	}
+	if len(te.Args) == 0 {
+		te.Args = nil
+	}
+	return te
+}
+
+func (c *Collector) traceEvents() []traceEvent {
+	var out []traceEvent
+	if sched := c.SysEvents(); len(sched) > 0 {
+		out = append(out, meta(0, 0, "process_name", "scheduler"), meta(0, 0, "thread_name", "sched"))
+		for _, e := range sched {
+			out = append(out, toTraceEvent(0, 0, e))
+		}
+	}
+	for i, rec := range c.Runs() {
+		out = appendRunEvents(out, i+1, rec)
+	}
+	return out
+}
+
+// WriteChrome writes the collector's full contents as Chrome
+// trace-event JSON: pid 0 is the scheduler track, each run is its own
+// process with one thread per rank plus a "system" thread.
+func (c *Collector) WriteChrome(w io.Writer) error {
+	return json.NewEncoder(w).Encode(chromeTrace{TraceEvents: c.traceEvents(), DisplayTimeUnit: "ms"})
+}
+
+// ChromeJSON returns the trace as a JSON byte slice (the form archserve
+// stores on a traced job).
+func (c *Collector) ChromeJSON() ([]byte, error) {
+	return json.Marshal(chromeTrace{TraceEvents: c.traceEvents(), DisplayTimeUnit: "ms"})
+}
+
+// WriteChromeFile writes the trace to path.
+func (c *Collector) WriteChromeFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = c.WriteChrome(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

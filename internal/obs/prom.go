@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is a minimal Prometheus text-exposition (version 0.0.4)
+// registry — counters, label-set counters, callback gauges, and
+// cumulative histograms — enough for archserve's /metrics without an
+// external client library. Metric names and label values are the
+// caller's responsibility to keep exposition-legal (we escape label
+// values but do not validate names).
+
+type promMetric interface {
+	write(w io.Writer) error
+}
+
+// Registry holds metrics in registration order and renders them as
+// Prometheus text.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []promMetric
+	names   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+func (r *Registry) register(name string, m promMetric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic("obs: duplicate metric " + name)
+	}
+	r.names[name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// WriteText renders every registered metric in registration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	ms := make([]promMetric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	for _, m := range ms {
+		if err := m.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, name, help, typ string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	return err
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func formatFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Counter is a monotonically increasing integer counter.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(name, c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (must be non-negative).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) write(w io.Writer) error {
+	if err := writeHeader(w, c.name, c.help, "counter"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", c.name, c.v.Load())
+	return err
+}
+
+// CounterVec is a counter partitioned by one label.
+type CounterVec struct {
+	name, help, label string
+	mu                sync.Mutex
+	vals              map[string]*atomic.Int64
+}
+
+// CounterVec registers and returns a counter family keyed by label.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	c := &CounterVec{name: name, help: help, label: label, vals: map[string]*atomic.Int64{}}
+	r.register(name, c)
+	return c
+}
+
+// With returns the counter cell for a label value, creating it at zero.
+func (c *CounterVec) With(value string) *atomic.Int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := c.vals[value]
+	if v == nil {
+		v = new(atomic.Int64)
+		c.vals[value] = v
+	}
+	return v
+}
+
+// Inc adds one to the cell for value.
+func (c *CounterVec) Inc(value string) { c.With(value).Add(1) }
+
+// Value returns the current count for a label value.
+func (c *CounterVec) Value(value string) int64 { return c.With(value).Load() }
+
+func (c *CounterVec) write(w io.Writer) error {
+	if err := writeHeader(w, c.name, c.help, "counter"); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	keys := make([]string, 0, len(c.vals))
+	for k := range c.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type cell struct {
+		k string
+		v int64
+	}
+	cells := make([]cell, 0, len(keys))
+	for _, k := range keys {
+		cells = append(cells, cell{k, c.vals[k].Load()})
+	}
+	c.mu.Unlock()
+	for _, cl := range cells {
+		if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", c.name, c.label, escapeLabel(cl.k), cl.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Gauge reports a value sampled at scrape time via a callback.
+type Gauge struct {
+	name, help string
+	fn         func() float64
+}
+
+// Gauge registers a callback gauge.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.register(name, &Gauge{name: name, help: help, fn: fn})
+}
+
+func (g *Gauge) write(w io.Writer) error {
+	if err := writeHeader(w, g.name, g.help, "gauge"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.fn()))
+	return err
+}
+
+// Histogram is a cumulative-bucket histogram.
+type Histogram struct {
+	name, help string
+	bounds     []float64 // upper bounds, ascending, +Inf implicit
+	mu         sync.Mutex
+	counts     []int64 // len(bounds)+1; last is the +Inf bucket
+	sum        float64
+	total      int64
+}
+
+// DurationBuckets is a decade ladder suited to run durations: 1 ms to
+// ~2 minutes.
+var DurationBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 30, 120}
+
+// Histogram registers a histogram with the given ascending upper
+// bounds; the +Inf bucket is implicit.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := &Histogram{name: name, help: help, bounds: bounds, counts: make([]int64, len(bounds)+1)}
+	r.register(name, h)
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+func (h *Histogram) write(w io.Writer) error {
+	if err := writeHeader(w, h.name, h.help, "histogram"); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	counts := make([]int64, len(h.counts))
+	copy(counts, h.counts)
+	sum, total := h.sum, h.total
+	h.mu.Unlock()
+	var cum int64
+	for i, b := range h.bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", h.name, formatFloat(sum), h.name, total); err != nil {
+		return err
+	}
+	return nil
+}

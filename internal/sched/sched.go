@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/spmd"
 )
 
@@ -116,6 +117,7 @@ func (s *Scheduler) run(ctx context.Context, key cellKey, f func() (*spmd.Result
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	col := obs.FromContext(ctx)
 	s.mu.Lock()
 	c, hit := s.cache[key]
 	if !hit {
@@ -135,12 +137,15 @@ func (s *Scheduler) run(ctx context.Context, key cellKey, f func() (*spmd.Result
 			if c.err != nil && isCancellation(c.err) && ctx.Err() == nil {
 				return s.run(ctx, key, f)
 			}
+			col.Emit(obs.Event{Rank: -1, Peer: int32(key.procs), Kind: obs.KindCacheHit})
 			return c.res, c.err
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
 	}
+	col.Emit(obs.Event{Rank: -1, Peer: int32(key.procs), Kind: obs.KindEnqueue})
 	s.acquire()
+	start := col.Now()
 	func() {
 		defer s.release()
 		defer close(c.done)
@@ -172,6 +177,7 @@ func (s *Scheduler) run(ctx context.Context, key cellKey, f func() (*spmd.Result
 			s.mu.Unlock()
 		}()
 		c.res, c.err = f()
+		col.Emit(obs.Event{T: start, Dur: col.Now() - start, Rank: -1, Peer: int32(key.procs), Kind: obs.KindExecute})
 	}()
 	return c.res, c.err
 }
@@ -313,13 +319,17 @@ func Map[T any](ctx context.Context, s *Scheduler, n int, f func(i int) (T, erro
 	s.init()
 	results := make([]T, n)
 	errs := make([]error, n)
+	col := obs.FromContext(ctx)
 	runCell := func(i int) {
+		col.Emit(obs.Event{Rank: -1, Peer: int32(i), Kind: obs.KindEnqueue})
 		s.acquire()
 		defer s.release()
+		start := col.Now()
 		defer func() {
 			if r := recover(); r != nil {
 				errs[i] = fmt.Errorf("sched: cell panicked: %v", r)
 			}
+			col.Emit(obs.Event{T: start, Dur: col.Now() - start, Rank: -1, Peer: int32(i), Kind: obs.KindExecute})
 		}()
 		if err := ctx.Err(); err != nil {
 			errs[i] = err

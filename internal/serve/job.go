@@ -143,6 +143,7 @@ type job struct {
 	cached    bool
 	coalesced bool
 	stream    *StreamProgress
+	trace     []byte
 	finished  time.Time
 	// changed is closed and replaced on every state transition; watch
 	// hands it to SSE streams so they wake exactly when the status
@@ -194,7 +195,16 @@ func (j *job) finish(out runOutcome, coalesced bool, err error) {
 		j.summary = out.summary
 		j.report = out.report
 		j.cached = out.cached
+		j.trace = out.trace
 	})
+}
+
+// traceJSON returns the job's retained Chrome trace, nil if there is
+// none (untraced spec, or not finished yet).
+func (j *job) traceJSON() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
 }
 
 // progress records a stream job's latest progress window and wakes

@@ -7,10 +7,12 @@
 // The request surface is small and shaped by the facade it fronts:
 //
 //	GET  /apps             the registry: name, description, default size, backends
-//	POST /runs             submit a run spec {app, size, procs, machine, backend, mode}
+//	POST /runs             submit a run spec {app, size, procs, machine, backend, mode, trace}
 //	GET  /runs/{id}        one job's status (poll until state done/failed)
 //	GET  /runs/{id}/events the same status stream as server-sent events
-//	GET  /healthz          liveness probe
+//	GET  /runs/{id}/trace  Chrome trace JSON of a job submitted with trace:true
+//	GET  /metrics          Prometheus text exposition (jobs, cache, durations)
+//	GET  /healthz          liveness probe: uptime, build info, live job gauges
 //
 // A submission is canonicalized (arch.Spec.Canonical) and addressed by
 // content: the job ID is the SHA-256 of the canonical spec
@@ -54,6 +56,7 @@ import (
 	"time"
 
 	"repro/arch"
+	"repro/internal/obs"
 	"repro/internal/rescache"
 	"repro/internal/sched"
 )
@@ -80,6 +83,10 @@ type Config struct {
 	// keep-alive comment so proxies and idle timeouts don't sever
 	// long-lived connections. Zero means 15s; negative disables.
 	KeepAlive time.Duration
+	// LogRequests turns on per-request access logging (method, path,
+	// status, duration) through Log. Off by default; archserve enables
+	// it unless started with -quiet.
+	LogRequests bool
 	// Log receives service events; nil means the standard logger.
 	Log *log.Logger
 }
@@ -103,16 +110,21 @@ type runOutcome struct {
 	summary string
 	report  arch.Report
 	cached  bool
+	// trace is the Chrome trace-event JSON of a job submitted with
+	// {"trace": true}, served by GET /runs/{id}/trace.
+	trace []byte
 }
 
 // Server is the archetype service. Create one with New; it implements
 // http.Handler.
 type Server struct {
-	cfg    Config
-	logger *log.Logger
-	pool   *sched.Scheduler
-	flight sched.Flight[runOutcome]
-	mux    *http.ServeMux
+	cfg     Config
+	logger  *log.Logger
+	pool    *sched.Scheduler
+	flight  sched.Flight[runOutcome]
+	mux     *http.ServeMux
+	met     *metrics
+	started time.Time
 
 	// runCtx parents every job execution; stopRuns cancels it when a
 	// drain deadline expires.
@@ -140,24 +152,37 @@ func New(cfg Config) *Server {
 		logger:   logger,
 		pool:     &sched.Scheduler{Workers: cfg.Workers},
 		mux:      http.NewServeMux(),
+		met:      newMetrics(),
+		started:  time.Now(),
 		runCtx:   runCtx,
 		stopRuns: stopRuns,
 		jobs:     make(map[string]*job),
 	}
 	s.flight.Sched = s.pool
+	s.registerGauges()
 	s.mux.HandleFunc("GET /apps", s.handleApps)
 	s.mux.HandleFunc("POST /runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /runs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	s.mux.HandleFunc("GET /runs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
 
-// ServeHTTP dispatches to the service's routes.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP dispatches to the service's routes, with per-request access
+// logging when configured.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.LogRequests {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	s.logger.Printf("serve: %s %s %d %.1fms", r.Method, r.URL.Path, sw.code,
+		float64(time.Since(start).Microseconds())/1e3)
+}
 
 // queueDepth returns the effective admission bound.
 func (s *Server) queueDepth() int {
@@ -235,10 +260,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// Warm path: a persisted result answers immediately, no admission
 	// needed. (Checked before the job table so a restarted server's
-	// first resubmission short-circuits too.)
+	// first resubmission short-circuits too.) Traced jobs never consult
+	// the cache: the cached entry has no trace, and the point of the
+	// submission is the trace.
 	var warm *rescache.Entry
-	if s.cfg.Cache != nil {
-		warm, _ = s.cfg.Cache.Get(key)
+	if s.cfg.Cache != nil && !spec.Trace {
+		if warm, _ = s.cfg.Cache.Get(key); warm != nil {
+			s.met.cacheHits.Inc()
+		} else {
+			s.met.cacheMisses.Inc()
+		}
 	}
 
 	s.mu.Lock()
@@ -257,6 +288,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.completeCached(warm)
 		s.jobs[key] = j
 		s.mu.Unlock()
+		s.recordOutcome(nil, 0)
 		writeJSON(w, http.StatusOK, j.snapshot())
 		return
 	}
@@ -333,8 +365,19 @@ func (s *Server) runStreamJob(j *job) {
 		s.mu.Unlock()
 	}()
 	j.setRunning()
-	summary, rep, err := arch.RunSpecStream(s.runCtx, j.spec, j.progress)
+	start := time.Now()
+	var lastElems int64
+	progress := func(w arch.StreamWindow) {
+		s.met.streamWindows.Inc()
+		if d := w.Elems - lastElems; d > 0 {
+			s.met.newElems.Add(d)
+		}
+		lastElems = w.Elems
+		j.progress(w)
+	}
+	summary, rep, err := arch.RunSpecStream(s.runCtx, j.spec, progress)
 	j.finish(runOutcome{summary: summary, report: rep}, false, err)
+	s.recordOutcome(err, time.Since(start).Seconds())
 }
 
 // runJob executes one admitted job through the singleflight and the
@@ -347,12 +390,29 @@ func (s *Server) runJob(j *job) {
 		s.mu.Unlock()
 	}()
 	j.setRunning()
+	start := time.Now()
 	out, shared, err := s.flight.Do(s.runCtx, j.id, func() (runOutcome, error) {
+		// Traced jobs bypass the persistent cache in both directions: a
+		// cached entry has no trace to serve, and an entry persisted
+		// from a traced run would claim coverage it doesn't have.
+		if j.spec.Trace {
+			col := obs.NewCollector()
+			summary, rep, err := arch.RunSpec(obs.NewContext(s.runCtx, col), j.spec)
+			if err != nil {
+				return runOutcome{}, err
+			}
+			blob, err := col.ChromeJSON()
+			if err != nil {
+				return runOutcome{}, fmt.Errorf("serve: encoding trace: %w", err)
+			}
+			return runOutcome{summary: summary, report: rep, trace: blob}, nil
+		}
 		// Re-check the persistent cache inside the flight: another
 		// process sharing the cache directory may have finished this
 		// exact experiment since admission.
 		if s.cfg.Cache != nil {
 			if e, ok := s.cfg.Cache.Get(j.id); ok {
+				s.met.cacheHits.Inc()
 				return runOutcome{summary: e.Summary, report: e.Report, cached: true}, nil
 			}
 		}
@@ -369,6 +429,7 @@ func (s *Server) runJob(j *job) {
 		return runOutcome{summary: summary, report: rep}, nil
 	})
 	j.finish(out, shared, err)
+	s.recordOutcome(err, time.Since(start).Seconds())
 }
 
 // lookupJob finds the job for id, reviving it from the persistent cache
@@ -406,6 +467,33 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleTrace serves the Chrome trace-event JSON of a finished traced
+// job (one submitted with {"trace": true}). Load it in ui.perfetto.dev
+// or chrome://tracing.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	blob := j.traceJSON()
+	if blob == nil {
+		st := j.snapshot()
+		switch {
+		case !j.spec.Trace:
+			writeError(w, http.StatusNotFound, "run was not submitted with trace enabled")
+		case !st.Terminal():
+			writeError(w, http.StatusConflict, "run is still "+st.State+"; trace is available once it finishes")
+		default:
+			writeError(w, http.StatusNotFound, "run has no trace (it failed before producing one)")
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(blob)
 }
 
 // handleEvents streams one job's status transitions as server-sent

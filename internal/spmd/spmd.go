@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // World is a set of N communicating processes plus the machine model that
@@ -48,6 +49,10 @@ type World struct {
 	model  *machine.Model
 	t      backend.Transport
 	ran    bool
+	// rec is the run's flight recorder, taken from the transport when it
+	// implements backend.Traced; nil when tracing is off (the normal,
+	// free case).
+	rec *obs.Recorder
 }
 
 // NewWorld creates a world of n processes over the given machine model on
@@ -115,6 +120,12 @@ type Result struct {
 	// excluded).
 	Msgs  int64
 	Bytes int64
+	// Recorder is the run's flight recorder when the run was traced
+	// (the transport was created under a context carrying an
+	// obs.Collector); nil otherwise. The recorder outlives the
+	// transport, so callers may read events and build summaries from it
+	// after the run.
+	Recorder *obs.Recorder
 }
 
 // Run executes body on every process concurrently and waits for all of
@@ -135,6 +146,12 @@ func (w *World) Run(body func(p *Proc)) (*Result, error) {
 		return nil, err
 	}
 	w.t = w.runner.NewTransport(w.ctx, w.n, w.model)
+	if tr, ok := w.t.(backend.Traced); ok {
+		w.rec = tr.Recorder()
+	}
+	if w.rec != nil {
+		w.rec.EmitSys(obs.Event{T: w.rec.Now(), Rank: -1, Kind: obs.KindStart})
+	}
 
 	// runRank executes the body for one rank, translating panics the same
 	// way the per-goroutine path below does: the cancellation sentinel
@@ -150,6 +167,11 @@ func (w *World) Run(body func(p *Proc)) (*Result, error) {
 			}
 		}()
 		body(&Proc{world: w, rank: rank})
+		if w.rec != nil {
+			// The body returned normally: stamp the rank's finish on its
+			// own ring (virtual time on the simulator, wall otherwise).
+			w.rec.Emit(rank, obs.Event{T: w.stamp(rank), Peer: -1, Kind: obs.KindFinish})
+		}
 		return nil
 	}
 
@@ -157,8 +179,19 @@ func (w *World) Run(body func(p *Proc)) (*Result, error) {
 		// The transport owns rank scheduling (elastic backends): it decides
 		// when and how often each rank body executes, and may re-execute a
 		// rank after its host worker dies. The Finish-on-every-exit-path
-		// contract is unchanged.
-		err := d.Drive(runRank)
+		// contract is unchanged. A driving transport that also observes
+		// rank returns gets the same final-flush callback as the
+		// goroutine-per-rank path below — once per executed attempt, on
+		// the attempt's goroutine.
+		run := runRank
+		if ro, ok := w.t.(backend.RankObserver); ok {
+			run = func(rank int) error {
+				err := runRank(rank)
+				ro.RankReturned(rank)
+				return err
+			}
+		}
+		err := d.Drive(run)
 		if cerr := w.ctx.Err(); cerr != nil {
 			w.t.Finish()
 			return nil, cerr
@@ -167,17 +200,11 @@ func (w *World) Run(body func(p *Proc)) (*Result, error) {
 			w.t.Finish()
 			return nil, err
 		}
-		fin := w.t.Finish()
-		return &Result{
-			Makespan: fin.Makespan,
-			Clocks:   fin.Clocks,
-			Msgs:     fin.Msgs,
-			Bytes:    fin.Bytes,
-		}, nil
+		return w.finishResult(), nil
 	}
 
 	errs := make([]error, w.n)
-	obs, _ := w.t.(backend.RankObserver)
+	ro, _ := w.t.(backend.RankObserver)
 	var wg sync.WaitGroup
 	wg.Add(w.n)
 	for rank := 0; rank < w.n; rank++ {
@@ -185,10 +212,10 @@ func (w *World) Run(body func(p *Proc)) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			errs[rank] = runRank(rank)
-			if obs != nil {
+			if ro != nil {
 				// The rank's last word to the transport: flush whatever
 				// its body left buffered while its peers still run.
-				obs.RankReturned(rank)
+				ro.RankReturned(rank)
 			}
 		}()
 	}
@@ -207,13 +234,40 @@ func (w *World) Run(body func(p *Proc)) (*Result, error) {
 			return nil, err
 		}
 	}
+	return w.finishResult(), nil
+}
+
+// stamp returns rank's current trace timestamp: virtual time on
+// virtual-time backends (so sim traces sit on the modeled timeline),
+// recorder wall time otherwise. Only valid while the transport is live
+// and only from the rank's own goroutine.
+func (w *World) stamp(rank int) int64 {
+	if w.runner.Virtual() {
+		return int64(w.t.Clock(rank) * 1e9)
+	}
+	return w.rec.Now()
+}
+
+// finishResult finishes the transport and assembles the Result,
+// stamping the world-finish trace event (the transport is dead after
+// Finish, so the stamp comes from the finished makespan on virtual
+// backends).
+func (w *World) finishResult() *Result {
 	fin := w.t.Finish()
+	if w.rec != nil {
+		t := w.rec.Now()
+		if w.runner.Virtual() {
+			t = int64(fin.Makespan * 1e9)
+		}
+		w.rec.EmitSys(obs.Event{T: t, Rank: -1, Kind: obs.KindFinish})
+	}
 	return &Result{
 		Makespan: fin.Makespan,
 		Clocks:   fin.Clocks,
 		Msgs:     fin.Msgs,
 		Bytes:    fin.Bytes,
-	}, nil
+		Recorder: w.rec,
+	}
 }
 
 // Proc is one logical process of an SPMD computation: a rank's view of the
@@ -226,6 +280,17 @@ type Proc struct {
 
 // Rank returns this process's index in [0, N).
 func (p *Proc) Rank() int { return p.rank }
+
+// Recorder returns the run's flight recorder, nil when tracing is off.
+// Layers above the transport (collectives) use it to bracket compound
+// operations — e.g. a barrier — as single trace events.
+func (p *Proc) Recorder() *obs.Recorder { return p.world.rec }
+
+// Stamp returns this rank's current trace timestamp (virtual ns on the
+// simulator backend, recorder wall ns otherwise). Only meaningful while
+// tracing is on; like all Proc methods it must be called from the
+// process's own goroutine.
+func (p *Proc) Stamp() int64 { return p.world.stamp(p.rank) }
 
 // N returns the number of processes in the world.
 func (p *Proc) N() int { return p.world.n }
